@@ -1,0 +1,104 @@
+//! Priority-ordered linear search — the semantic oracle.
+
+use crate::{Baseline, BaselineResult};
+use spc_types::{Header, Rule, RuleId, RuleSet};
+
+/// Linear scan in priority order; first match is the HPMR by construction.
+///
+/// Used as the ground truth for every other classifier in the workspace,
+/// and as the degenerate baseline in benchmark comparisons.
+///
+/// ```
+/// use spc_baselines::{LinearSearch, Baseline};
+/// use spc_types::{Rule, RuleSet, Priority, Header};
+/// let rs = RuleSet::from_rules(vec![Rule::any(Priority(0))]);
+/// let ls = LinearSearch::build(&rs);
+/// let r = ls.classify(&Header::default());
+/// assert!(r.rule.is_some());
+/// assert_eq!(r.accesses, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSearch {
+    /// (original id, rule), sorted by (priority, id).
+    rules: Vec<(RuleId, Rule)>,
+}
+
+/// Bits to store one rule in a flat table (5-tuple + lengths + priority +
+/// action; see `spc_core`'s Rule Filter word model).
+const RULE_BITS: u64 = 152;
+
+/// Memory words read to compare one rule (152 bits / 64-bit words).
+pub(crate) const RULE_WORDS: u32 = 3;
+
+impl LinearSearch {
+    /// Builds the oracle from a rule set.
+    pub fn build(rules: &RuleSet) -> Self {
+        let mut v: Vec<(RuleId, Rule)> = rules.iter().map(|(id, r)| (id, *r)).collect();
+        v.sort_by_key(|(id, r)| (r.priority, id.0));
+        LinearSearch { rules: v }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl Baseline for LinearSearch {
+    fn name(&self) -> &'static str {
+        "LinearSearch"
+    }
+
+    fn classify(&self, h: &Header) -> BaselineResult {
+        let mut accesses = 0;
+        for (id, rule) in &self.rules {
+            accesses += RULE_WORDS;
+            if rule.matches(h) {
+                return BaselineResult { rule: Some(*id), accesses };
+            }
+        }
+        BaselineResult { rule: None, accesses }
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.rules.len() as u64 * RULE_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{small_set, trace};
+
+    #[test]
+    fn agrees_with_ruleset_classify() {
+        let rs = small_set();
+        let ls = LinearSearch::build(&rs);
+        for h in trace(&rs, 200) {
+            assert_eq!(ls.classify(&h).rule, rs.classify(&h).map(|(id, _)| id));
+        }
+    }
+
+    #[test]
+    fn accesses_bounded_by_len() {
+        let rs = small_set();
+        let ls = LinearSearch::build(&rs);
+        for h in trace(&rs, 50) {
+            let r = ls.classify(&h);
+            assert!(r.accesses as usize <= 3 * ls.len());
+            assert!(r.accesses > 0);
+        }
+    }
+
+    #[test]
+    fn memory_is_linear() {
+        let rs = small_set();
+        let ls = LinearSearch::build(&rs);
+        assert_eq!(ls.memory_bits(), rs.len() as u64 * 152);
+    }
+}

@@ -1,0 +1,284 @@
+//! The trie-combination classifiers called **Option 1** and **Option 2**
+//! in the paper's Table I (from the authors' ICC'14 study \[17\]).
+//!
+//! * Option 1 — 5-level multi-bit trie for the 32-bit IP fields, 4-level
+//!   segment trie for the port fields, register LUT for protocol.
+//! * Option 2 — 4-level multi-bit trie, 5-level segment trie, LUT.
+//!
+//! Both use the label method and resolve the HPMR by probing the label
+//! cross-product against a hashed rule memory — the approach this paper
+//! then hardens into the configurable segment architecture.
+
+use crate::{Baseline, BaselineResult};
+use spc_core::RuleFilter;
+use spc_lookup::{
+    FieldEngine, Label, LabelEntry, LabelStore, MbtConfig, MultiBitTrie, ProtocolLut,
+    SegTrieConfig, SegmentTrie,
+};
+use spc_types::{DimValue, Header, Priority, ProtoSpec, RuleId, RuleSet};
+use std::collections::HashMap;
+
+/// Which Table I option to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptionKind {
+    /// 5-level MBT + 4-level segment trie + LUT.
+    One,
+    /// 4-level MBT + 5-level segment trie + LUT.
+    Two,
+}
+
+impl std::fmt::Display for OptionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptionKind::One => f.write_str("Option 1"),
+            OptionKind::Two => f.write_str("Option 2"),
+        }
+    }
+}
+
+/// A Table I option classifier (static build).
+///
+/// ```
+/// use spc_baselines::{OptionClassifier, OptionKind, Baseline};
+/// use spc_types::{Rule, RuleSet, Priority, Header, PortRange};
+/// let rs = RuleSet::from_rules(vec![
+///     Rule::builder(Priority(0)).dst_port(PortRange::exact(80)).build(),
+/// ]);
+/// let opt = OptionClassifier::build(&rs, OptionKind::One);
+/// let h = Header::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 7, 80, 6);
+/// assert_eq!(opt.classify(&h).rule.unwrap().0, 0);
+/// ```
+#[derive(Debug)]
+pub struct OptionClassifier {
+    kind: OptionKind,
+    sip: MultiBitTrie,
+    sip_store: LabelStore,
+    dip: MultiBitTrie,
+    dip_store: LabelStore,
+    sport: SegmentTrie,
+    sport_store: LabelStore,
+    dport: SegmentTrie,
+    dport_store: LabelStore,
+    proto: ProtocolLut,
+    proto_store: LabelStore,
+    filter: RuleFilter,
+}
+
+/// Key layout: 13+13+13+13+4 = 56 bits.
+fn make_key(sip: Label, dip: Label, sp: Label, dp: Label, pr: Label) -> u128 {
+    let mut k = 0u128;
+    for (l, w) in [(sip, 13u32), (dip, 13), (sp, 13), (dp, 13), (pr, 4)] {
+        k = (k << w) | u128::from(l.0);
+    }
+    k
+}
+
+impl OptionClassifier {
+    /// Builds the option classifier over a rule set.
+    pub fn build(rules: &RuleSet, kind: OptionKind) -> Self {
+        let cap = (rules.len() + 64).next_power_of_two();
+        let (mbt_cfg, seg_cfg) = match kind {
+            OptionKind::One => {
+                (MbtConfig::ip32_5level(cap), SegTrieConfig::four_level(cap.min(4096)))
+            }
+            OptionKind::Two => {
+                (MbtConfig::ip32_4level(cap), SegTrieConfig::five_level(cap.min(4096)))
+            }
+        };
+        let mut me = OptionClassifier {
+            kind,
+            sip: MultiBitTrie::new(mbt_cfg.clone()),
+            sip_store: LabelStore::new("opt/sip", 1 << 20, 13),
+            dip: MultiBitTrie::new(mbt_cfg),
+            dip_store: LabelStore::new("opt/dip", 1 << 20, 13),
+            sport: SegmentTrie::new(seg_cfg.clone()),
+            sport_store: LabelStore::new("opt/sport", 1 << 18, 13),
+            dport: SegmentTrie::new(seg_cfg),
+            dport_store: LabelStore::new("opt/dport", 1 << 18, 13),
+            proto: ProtocolLut::new(),
+            proto_store: LabelStore::new("opt/proto", 16, 4),
+            filter: RuleFilter::new(
+                ((rules.len().max(64) * 2).next_power_of_two().trailing_zeros()).max(6),
+                56,
+            ),
+        };
+        let mut sip_labels: HashMap<(u32, u8), Label> = HashMap::new();
+        let mut dip_labels: HashMap<(u32, u8), Label> = HashMap::new();
+        let mut sport_labels: HashMap<(u16, u16), Label> = HashMap::new();
+        let mut dport_labels: HashMap<(u16, u16), Label> = HashMap::new();
+        let mut proto_labels: HashMap<Option<u8>, Label> = HashMap::new();
+        for (id, r) in rules.iter() {
+            let p = r.priority;
+            let next_sip = sip_labels.len();
+            let ls = *sip_labels.entry((r.src_ip.value(), r.src_ip.len())).or_insert_with(|| {
+                let l = Label(next_sip as u16);
+                me.sip
+                    .insert_prefix(
+                        &mut me.sip_store,
+                        r.src_ip.value(),
+                        r.src_ip.len(),
+                        LabelEntry::by_priority(l, p),
+                    )
+                    .expect("option sip trie sized for the rule set");
+                l
+            });
+            let next_dip = dip_labels.len();
+            let ld = *dip_labels.entry((r.dst_ip.value(), r.dst_ip.len())).or_insert_with(|| {
+                let l = Label(next_dip as u16);
+                me.dip
+                    .insert_prefix(
+                        &mut me.dip_store,
+                        r.dst_ip.value(),
+                        r.dst_ip.len(),
+                        LabelEntry::by_priority(l, p),
+                    )
+                    .expect("option dip trie sized for the rule set");
+                l
+            });
+            let next_sport = sport_labels.len();
+            let lsp = *sport_labels.entry((r.src_port.lo(), r.src_port.hi())).or_insert_with(|| {
+                let l = Label(next_sport as u16);
+                me.sport
+                    .insert_range(&mut me.sport_store, r.src_port, LabelEntry::by_priority(l, p))
+                    .expect("option sport trie sized for the rule set");
+                l
+            });
+            let next_dport = dport_labels.len();
+            let ldp = *dport_labels.entry((r.dst_port.lo(), r.dst_port.hi())).or_insert_with(|| {
+                let l = Label(next_dport as u16);
+                me.dport
+                    .insert_range(&mut me.dport_store, r.dst_port, LabelEntry::by_priority(l, p))
+                    .expect("option dport trie sized for the rule set");
+                l
+            });
+            let next_proto = proto_labels.len();
+            let lpr = *proto_labels.entry(match r.proto {
+                    ProtoSpec::Any => None,
+                    ProtoSpec::Exact(v) => Some(v),
+                })
+                .or_insert_with(|| {
+                    let l = Label(next_proto as u16);
+                    me.proto
+                        .insert(
+                            &mut me.proto_store,
+                            DimValue::Proto(r.proto),
+                            LabelEntry::by_priority(l, p),
+                        )
+                        .expect("protocol LUT is direct-indexed");
+                    l
+                });
+            me.filter
+                .insert(make_key(ls, ld, lsp, ldp, lpr), id, *r)
+                .expect("filter sized at 2x rules; generator deduplicates 5-tuples");
+        }
+        me
+    }
+
+    /// Which option this is.
+    pub fn kind(&self) -> OptionKind {
+        self.kind
+    }
+}
+
+impl Baseline for OptionClassifier {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            OptionKind::One => "Option 1",
+            OptionKind::Two => "Option 2",
+        }
+    }
+
+    fn classify(&self, h: &Header) -> BaselineResult {
+        let mut accesses = 0u32;
+        let rs = self.sip.lookup_key(&self.sip_store, h.src_ip.0).expect("in range");
+        let rd = self.dip.lookup_key(&self.dip_store, h.dst_ip.0).expect("in range");
+        let rsp = self.sport.lookup(&self.sport_store, h.src_port).expect("in range");
+        let rdp = self.dport.lookup(&self.dport_store, h.dst_port).expect("in range");
+        let rpr = self.proto.lookup(&self.proto_store, u16::from(h.proto)).expect("in range");
+        accesses += rs.mem_reads + rd.mem_reads + rsp.mem_reads + rdp.mem_reads + rpr.mem_reads;
+        let mut best: Option<(Priority, RuleId)> = None;
+        for a in rs.labels.iter() {
+            for b in rd.labels.iter() {
+                for c in rsp.labels.iter() {
+                    for d in rdp.labels.iter() {
+                        for e in rpr.labels.iter() {
+                            let probe = self
+                                .filter
+                                .probe(make_key(a.label, b.label, c.label, d.label, e.label));
+                            accesses += probe.reads;
+                            if let Some(s) = probe.hit {
+                                let cand = (s.rule.priority, s.id);
+                                if best.map_or(true, |x| cand < x) {
+                                    best = Some(cand);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BaselineResult { rule: best.map(|(_, id)| id), accesses }
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.sip.used_bits()
+            + self.dip.used_bits()
+            + self.sport.used_bits()
+            + self.dport.used_bits()
+            + FieldEngine::used_bits(&self.proto)
+            + self.sip_store.used_bits()
+            + self.dip_store.used_bits()
+            + self.sport_store.used_bits()
+            + self.dport_store.used_bits()
+            + self.proto_store.used_bits()
+            + self.filter.provisioned_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fw_set, small_set, trace};
+    use crate::LinearSearch;
+
+    #[test]
+    fn option1_agrees_with_oracle() {
+        let rs = small_set();
+        let o = OptionClassifier::build(&rs, OptionKind::One);
+        let ls = LinearSearch::build(&rs);
+        for h in trace(&rs, 300) {
+            assert_eq!(o.classify(&h).rule, ls.classify(&h).rule, "header {h}");
+        }
+    }
+
+    #[test]
+    fn option2_agrees_with_oracle() {
+        let rs = fw_set();
+        let o = OptionClassifier::build(&rs, OptionKind::Two);
+        let ls = LinearSearch::build(&rs);
+        for h in trace(&rs, 300) {
+            assert_eq!(o.classify(&h).rule, ls.classify(&h).rule, "header {h}");
+        }
+    }
+
+    #[test]
+    fn option_kinds_report_names() {
+        let rs = small_set();
+        let o1 = OptionClassifier::build(&rs, OptionKind::One);
+        let o2 = OptionClassifier::build(&rs, OptionKind::Two);
+        assert_eq!(o1.name(), "Option 1");
+        assert_eq!(o2.name(), "Option 2");
+        assert_eq!(o1.kind(), OptionKind::One);
+        assert!(o1.memory_bits() > 0 && o2.memory_bits() > 0);
+    }
+
+    #[test]
+    fn option2_shallower_ip_trie() {
+        // 4 levels vs 5: option 2's IP lookups read fewer trie nodes.
+        let rs = small_set();
+        let o1 = OptionClassifier::build(&rs, OptionKind::One);
+        let o2 = OptionClassifier::build(&rs, OptionKind::Two);
+        assert_eq!(o1.sip.num_levels(), 5);
+        assert_eq!(o2.sip.num_levels(), 4);
+    }
+}

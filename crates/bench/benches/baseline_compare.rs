@@ -1,0 +1,36 @@
+//! Criterion bench: software lookup speed of the Table I baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spc_baselines::{Baseline, Dcfl, HyperCuts, LinearSearch, OptionClassifier, OptionKind, Rfc};
+use spc_bench::{ruleset, trace};
+use spc_classbench::FilterKind;
+
+fn bench_baselines(c: &mut Criterion) {
+    let rules = ruleset(FilterKind::Acl, 2000);
+    let t = trace(&rules, 512);
+    let classifiers: Vec<Box<dyn Baseline>> = vec![
+        Box::new(LinearSearch::build(&rules)),
+        Box::new(HyperCuts::build(&rules, Default::default())),
+        Box::new(Rfc::build(&rules, 1 << 26).expect("cap ok at 2K")),
+        Box::new(Dcfl::build(&rules)),
+        Box::new(OptionClassifier::build(&rules, OptionKind::One)),
+        Box::new(OptionClassifier::build(&rules, OptionKind::Two)),
+    ];
+    let mut group = c.benchmark_group("baselines");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    for cls in &classifiers {
+        group.bench_with_input(BenchmarkId::from_parameter(cls.name()), &t, |b, t| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for h in t {
+                    acc += u64::from(cls.classify(h).accesses);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

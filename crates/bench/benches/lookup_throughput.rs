@@ -1,0 +1,36 @@
+//! Criterion bench: classify throughput, MBT vs BST configurations
+//! (software wall-clock; the hardware model numbers are the table bins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spc_bench::{ruleset, trace};
+use spc_classbench::FilterKind;
+use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    for alg in [IpAlg::Mbt, IpAlg::Bst] {
+        for n in [1000usize, 4000] {
+            let rules = ruleset(FilterKind::Acl, n);
+            let mut cfg =
+                ArchConfig::large().with_ip_alg(alg).with_combine(CombineStrategy::FirstLabel);
+            cfg.rule_filter_addr_bits = 14;
+            let mut cls = Classifier::new(cfg);
+            cls.load(&rules).expect("fits");
+            let t = trace(&rules, 1024);
+            group.throughput(Throughput::Elements(t.len() as u64));
+            group.bench_with_input(BenchmarkId::new(format!("{alg}"), n), &t, |b, t| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for h in t {
+                        hits += usize::from(cls.classify(h).hit.is_some());
+                    }
+                    hits
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

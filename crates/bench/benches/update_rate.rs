@@ -1,0 +1,53 @@
+//! Criterion bench: incremental rule insert/remove rate (§V.A), MBT vs
+//! BST — the BST pays its software rebuild on every flush.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use spc_bench::ruleset;
+use spc_classbench::FilterKind;
+use spc_core::{ArchConfig, Classifier, IpAlg};
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update");
+    group.sample_size(20);
+    let base = ruleset(FilterKind::Acl, 1000);
+    let churn = ruleset(FilterKind::Acl, 1200);
+    for alg in [IpAlg::Mbt, IpAlg::Bst] {
+        let mut cfg = ArchConfig::large().with_ip_alg(alg);
+        cfg.rule_filter_addr_bits = 14;
+        let mut cls = Classifier::new(cfg);
+        cls.load(&base).expect("fits");
+        let extra: Vec<_> = churn
+            .rules()
+            .iter()
+            .skip(1000)
+            .take(64)
+            .enumerate()
+            .map(|(i, r)| {
+                let mut r = *r;
+                r.priority = spc_types::Priority(50_000 + i as u32);
+                r
+            })
+            .collect();
+        group.bench_function(BenchmarkId::new("insert_remove", alg.to_string()), |b| {
+            b.iter_batched(
+                || extra.clone(),
+                |rules| {
+                    let mut ids = Vec::new();
+                    for r in rules {
+                        if let Ok(rep) = cls.insert(r) {
+                            ids.push(rep.rule_id);
+                        }
+                    }
+                    for id in ids {
+                        cls.remove(id).unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig 5 — memory sharing between the MBT level-2 block and the BST node
+//! memory, and what BST mode does with the freed trie blocks.
+//!
+//! Sweeps the MBT leaf provisioning and reports, for each point, the
+//! shared-region physical bits, what each mode occupies, and the extra
+//! rule capacity BST mode gains — the mechanism behind Table VI's
+//! 8K-vs-12K rule counts.
+
+use serde::Serialize;
+use spc_bench::{emit_json, kbits, print_table, Row};
+use spc_core::{ArchConfig, Classifier, SharingReport};
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    sweep: Vec<(usize, SharingReport)>,
+}
+
+fn main() {
+    let mut sweep = Vec::new();
+    let mut rows = Vec::new();
+    for leaf_nodes in [48usize, 96, 192, 384] {
+        let mut cfg = ArchConfig::paper_prototype();
+        cfg.mbt_leaf_nodes = leaf_nodes;
+        // Keep the BST inside the shared region at every sweep point.
+        cfg.bst_max_intervals = (leaf_nodes * 16).min(1 << 14);
+        let cls = Classifier::new(cfg);
+        let rep = cls.sharing_report();
+        rows.push(Row {
+            name: format!("leaf nodes {leaf_nodes}"),
+            values: vec![
+                format!("{:.0}", kbits(rep.physical_bits)),
+                format!("{:.0}", kbits(rep.mbt_bits)),
+                format!("{:.0}", kbits(rep.bst_bits)),
+                format!("{:.0}", kbits(rep.freed_bits_bst_mode)),
+                format!("+{}", rep.extra_rule_capacity),
+                format!("{:.0}", kbits(rep.saved_bits())),
+            ],
+        });
+        sweep.push((leaf_nodes, rep));
+    }
+    print_table(
+        "Fig 5 — memory sharing across the 4 IP dimensions (Kbits)",
+        &["physical", "MBT mode", "BST mode", "freed", "extra rules", "saved vs unshared"],
+        &rows,
+    );
+    let default = Classifier::new(ArchConfig::paper_prototype()).sharing_report();
+    println!("\nDefault configuration:\n{default}");
+    emit_json(&Record { experiment: "fig5", sweep });
+}

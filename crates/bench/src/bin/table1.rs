@@ -1,0 +1,90 @@
+//! Table I — performance evaluation of algorithms based on different
+//! lookup approaches: average lookup memory accesses and memory space.
+//!
+//! Paper values (acl-class filter set):
+//! HyperCuts 60.05 / 5.96 Mb; RFC 48 / 31.48 Mb; DCFL 23.1 / 22.54 Mb;
+//! Option 1 49.3 / 5.57 Mb; Option 2 31.33 / 6.36 Mb.
+//!
+//! Run: `cargo run --release -p spc-bench --bin table1` (set `SPC_SCALE`
+//! to change the rule count; default 5000).
+
+use serde::Serialize;
+use spc_baselines::{
+    Baseline, Dcfl, HyperCuts, HyperCutsConfig, OptionClassifier, OptionKind, Rfc,
+};
+use spc_bench::{emit_json, mbits, print_table, ruleset, scale_or, trace, Row};
+use spc_classbench::FilterKind;
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    rules: usize,
+    rows: Vec<RowRec>,
+}
+
+#[derive(Serialize)]
+struct RowRec {
+    algorithm: String,
+    avg_accesses: f64,
+    worst_accesses: u32,
+    memory_mbits: f64,
+    paper_accesses: f64,
+    paper_memory_mbits: f64,
+}
+
+fn main() {
+    let n = scale_or(5000);
+    let rules = ruleset(FilterKind::Acl, n);
+    let t = trace(&rules, 2000);
+    eprintln!("building classifiers over {} rules...", rules.len());
+
+    let paper: &[(&str, f64, f64)] = &[
+        ("HyperCuts", 60.05, 5.96),
+        ("RFC", 48.0, 31.48),
+        ("DCFL", 23.1, 22.54),
+        ("Option 1", 49.3, 5.57),
+        ("Option 2", 31.33, 6.36),
+    ];
+
+    let classifiers: Vec<Box<dyn Baseline>> = vec![
+        Box::new(HyperCuts::build(&rules, HyperCutsConfig::default())),
+        Box::new(Rfc::build(&rules, 1 << 27).expect("rfc tables within cap at this scale")),
+        Box::new(Dcfl::build(&rules)),
+        Box::new(OptionClassifier::build(&rules, OptionKind::One)),
+        Box::new(OptionClassifier::build(&rules, OptionKind::Two)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut recs = Vec::new();
+    for c in &classifiers {
+        let acc = c.avg_accesses(&t);
+        let worst = t.iter().map(|h| c.classify(h).accesses).max().unwrap_or(0);
+        let mem = mbits(c.memory_bits());
+        let (_, pacc, pmem) =
+            paper.iter().find(|(name, _, _)| *name == c.name()).expect("known algorithm");
+        rows.push(Row {
+            name: c.name().to_string(),
+            values: vec![
+                format!("{acc:.2}"),
+                format!("{worst}"),
+                format!("{mem:.2}"),
+                format!("{pacc:.2}"),
+                format!("{pmem:.2}"),
+            ],
+        });
+        recs.push(RowRec {
+            algorithm: c.name().to_string(),
+            avg_accesses: acc,
+            worst_accesses: worst,
+            memory_mbits: mem,
+            paper_accesses: *pacc,
+            paper_memory_mbits: *pmem,
+        });
+    }
+    print_table(
+        &format!("Table I — lookup approaches (acl1, {} rules)", rules.len()),
+        &["avg acc", "worst acc", "memory Mb", "paper acc", "paper Mb"],
+        &rows,
+    );
+    emit_json(&Record { experiment: "table1", rules: rules.len(), rows: recs });
+}

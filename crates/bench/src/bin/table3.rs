@@ -1,0 +1,43 @@
+//! Table III — analysis of rule filters: rule counts of the ACL / FW /
+//! IPC families at the 1K / 5K / 10K scales (after redundancy removal).
+//!
+//! Paper: ACL 916/4415/9603, FW 791/4653/9311, IPC 938/4460/9037.
+
+use serde::Serialize;
+use spc_bench::{emit_json, print_table, ruleset, Row};
+use spc_classbench::FilterKind;
+
+#[derive(Serialize)]
+struct Record {
+    experiment: &'static str,
+    rows: Vec<(String, [usize; 3], [usize; 3])>,
+}
+
+fn main() {
+    let paper = [
+        (FilterKind::Acl, "ACL", [916usize, 4415, 9603]),
+        (FilterKind::Fw, "FW", [791, 4653, 9311]),
+        (FilterKind::Ipc, "IPC", [938, 4460, 9037]),
+    ];
+    let mut rows = Vec::new();
+    let mut recs = Vec::new();
+    for (kind, name, p) in paper {
+        let counts: Vec<usize> =
+            [1000, 5000, 10000].iter().map(|&n| ruleset(kind, n).len()).collect();
+        rows.push(Row {
+            name: name.to_string(),
+            values: vec![
+                format!("{} ({})", counts[0], p[0]),
+                format!("{} ({})", counts[1], p[1]),
+                format!("{} ({})", counts[2], p[2]),
+            ],
+        });
+        recs.push((name.to_string(), [counts[0], counts[1], counts[2]], p));
+    }
+    print_table(
+        "Table III — rule filters, measured (paper)",
+        &["1K rules", "5K rules", "10K rules"],
+        &rows,
+    );
+    emit_json(&Record { experiment: "table3", rows: recs });
+}

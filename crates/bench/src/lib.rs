@@ -1,0 +1,116 @@
+//! Shared harness utilities for the table-reproduction binaries and
+//! criterion benches.
+//!
+//! Every `table*`/`fig*` binary prints the paper's rows next to our
+//! measured values and also emits a JSON record (on `--json`) so results
+//! can be collected mechanically. Workload scale can be overridden with
+//! `SPC_SCALE` (rule count, default per experiment) to trade fidelity for
+//! runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use spc_classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc_types::{Header, RuleSet};
+
+/// The canonical seeds used by every experiment, so all tables are
+/// regenerated from identical inputs.
+pub const SEED_RULES: u64 = 2014;
+/// Trace generation seed.
+pub const SEED_TRACE: u64 = 353; // first page of the paper
+
+/// Standard rule set used throughout the evaluation.
+pub fn ruleset(kind: FilterKind, size: usize) -> RuleSet {
+    RuleSetGenerator::new(kind, size).seed(SEED_RULES).generate()
+}
+
+/// Standard evaluation trace: 90 % matching traffic.
+pub fn trace(rules: &RuleSet, len: usize) -> Vec<Header> {
+    TraceGenerator::new().seed(SEED_TRACE).match_fraction(0.9).generate(rules, len)
+}
+
+/// Reads a scale override from `SPC_SCALE`.
+pub fn scale_or(default: usize) -> usize {
+    std::env::var("SPC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// Whether `--json` was passed.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints a serialisable record as JSON when `--json` is set.
+pub fn emit_json<T: Serialize>(record: &T) {
+    if json_mode() {
+        println!("{}", serde_json::to_string_pretty(record).expect("serialisable record"));
+    }
+}
+
+/// Converts bits to the paper's "Mb" (megabits).
+pub fn mbits(bits: u64) -> f64 {
+    bits as f64 / 1.0e6
+}
+
+/// Converts bits to Kbits.
+pub fn kbits(bits: u64) -> f64 {
+    bits as f64 / 1.0e3
+}
+
+/// One row of a printed table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (algorithm / configuration).
+    pub name: String,
+    /// Column values, in table order.
+    pub values: Vec<String>,
+}
+
+/// Prints an aligned table with a header, a separator and rows.
+pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    widths.insert(0, rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4));
+    for r in rows {
+        for (i, v) in r.values.iter().enumerate() {
+            widths[i + 1] = widths[i + 1].max(v.len());
+        }
+    }
+    print!("{:<w$}  ", "", w = widths[0]);
+    for (i, c) in columns.iter().enumerate() {
+        print!("{:>w$}  ", c, w = widths[i + 1]);
+    }
+    println!();
+    for r in rows {
+        print!("{:<w$}  ", r.name, w = widths[0]);
+        for (i, v) in r.values.iter().enumerate() {
+            print!("{:>w$}  ", v, w = widths[i + 1]);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ruleset_deterministic() {
+        assert_eq!(ruleset(FilterKind::Acl, 200), ruleset(FilterKind::Acl, 200));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((mbits(5_960_000) - 5.96).abs() < 1e-9);
+        assert!((kbits(543_000) - 543.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[Row { name: "x".into(), values: vec!["1".into(), "2".into()] }],
+        );
+    }
+}

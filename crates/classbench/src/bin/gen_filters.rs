@@ -1,0 +1,42 @@
+//! Command-line filter-set generator: writes ClassBench-format rule files.
+//!
+//! Usage:
+//! ```text
+//! gen_filters <acl|fw|ipc> <size> [seed] [output.rules]
+//! ```
+//! Without an output path the set is written to stdout, so it can be piped
+//! straight into other tools.
+
+use spc_classbench::{ruleset_stats, FilterKind, RuleSetGenerator};
+use spc_types::write_ruleset;
+use std::io::Write as _;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: gen_filters <acl|fw|ipc> <size> [seed] [output.rules]";
+    let kind = match args.first().map(String::as_str) {
+        Some("acl") => FilterKind::Acl,
+        Some("fw") => FilterKind::Fw,
+        Some("ipc") => FilterKind::Ipc,
+        _ => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    });
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let rs = RuleSetGenerator::new(kind, size).seed(seed).generate();
+    let text = write_ruleset(&rs);
+    match args.get(3) {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!("wrote {} rules to {path}", rs.len());
+        }
+        None => std::io::stdout().write_all(text.as_bytes())?,
+    }
+    eprintln!("{}", ruleset_stats(&format!("{kind} {size}"), &rs));
+    Ok(())
+}

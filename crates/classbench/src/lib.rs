@@ -1,0 +1,43 @@
+//! Seeded, ClassBench-style rule-set and packet-trace generators.
+//!
+//! The paper evaluates on the public filter sets of Song's ClassBench
+//! project (`www.arl.wustl.edu/~hs1/project/filterset` — reference [12]):
+//! Access Control Lists (ACL), Firewalls (FW) and IP Chains (IPC) at
+//! roughly 1K/5K/10K rules (Table III). Those archives are no longer
+//! distributable, so this crate regenerates *structurally equivalent* sets:
+//!
+//! * per-field pools with kind-specific size and skew, reproducing the
+//!   unique-rule-field profile of Table II (many unique source prefixes,
+//!   few unique destination prefixes, a single wildcard source port, ~100
+//!   destination ports, 3 protocols for ACL sets);
+//! * kind-specific prefix-length and range-shape distributions (ACL: long
+//!   source prefixes; FW: wildcard-heavy with ranges on both ports; IPC:
+//!   balanced prefix pairs);
+//! * deterministic output from a [`u64`] seed.
+//!
+//! It also generates packet header traces ([`TraceGenerator`]) containing a
+//! mix of rule-matching and background traffic with temporal locality, and
+//! computes the statistics used by Tables II and III ([`ruleset_stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use spc_classbench::{RuleSetGenerator, FilterKind};
+//! let rs = RuleSetGenerator::new(FilterKind::Acl, 1000).seed(42).generate();
+//! assert!(rs.len() > 850 && rs.len() <= 1000);
+//! // Deterministic:
+//! let rs2 = RuleSetGenerator::new(FilterKind::Acl, 1000).seed(42).generate();
+//! assert_eq!(rs, rs2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod pools;
+mod stats;
+mod trace;
+
+pub use gen::{FilterKind, RuleSetGenerator};
+pub use stats::{ruleset_stats, RuleSetStats};
+pub use trace::{sample_matching_header, TraceGenerator};

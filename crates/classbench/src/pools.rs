@@ -1,0 +1,304 @@
+//! Skewed value pools for rule-field generation.
+//!
+//! ClassBench filter sets draw each field from a modest pool of distinct
+//! values with a heavily skewed popularity distribution — that is what
+//! produces Table II's "unique rule fields ≪ rules" structure the label
+//! method exploits. Each pool here is a fixed vector of candidate values
+//! plus a Zipf-like sampler over pool indices.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use spc_types::{PortRange, Prefix, ProtoSpec};
+
+/// Zipf-ish sampler over `0..n` with exponent `alpha` (precomputed CDF).
+#[derive(Debug, Clone)]
+pub(crate) struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    pub(crate) fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "pool must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n > 0");
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Weighted choice helper.
+pub(crate) fn choose_weighted<'a, T>(rng: &mut StdRng, items: &'a [(T, f64)]) -> &'a T {
+    let total: f64 = items.iter().map(|(_, w)| w).sum();
+    let mut u: f64 = rng.gen::<f64>() * total;
+    for (item, w) in items {
+        if u < *w {
+            return item;
+        }
+        u -= w;
+    }
+    &items.last().expect("non-empty weights").0
+}
+
+/// A pool of IPv4 prefixes with a skewed sampler.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixPool {
+    values: Vec<Prefix>,
+    sampler: ZipfSampler,
+}
+
+/// Prefix-length bands with weights, e.g. `&[(24, 32, 0.5), (8, 23, 0.5)]`.
+pub(crate) type LenBands = [(u8, u8, f64)];
+
+impl PrefixPool {
+    /// Builds a pool of `size` prefixes. With probability `nest_prob` a new
+    /// prefix is derived by *extending* an earlier pool entry, creating the
+    /// nested structure real route/filter tables have (this is what gives
+    /// trie label lists length > 1).
+    pub(crate) fn generate(
+        rng: &mut StdRng,
+        size: usize,
+        bands: &LenBands,
+        nest_prob: f64,
+        wildcard_weight: f64,
+        alpha: f64,
+    ) -> Self {
+        assert!(size > 0, "prefix pool size must be positive");
+        // Real filter sets reuse a modest set of low-16-bit host/subnet
+        // patterns (hosts cluster inside a few subnets), which keeps the
+        // architecture's lo-segment dimensions compact; uniformly random
+        // low bits would exaggerate segment diversity.
+        let lo_patterns: Vec<u16> = (0..160).map(|_| rng.gen()).collect();
+        let fresh = |rng: &mut StdRng| -> u32 {
+            (u32::from(rng.gen::<u16>()) << 16)
+                | u32::from(lo_patterns[rng.gen_range(0..lo_patterns.len())])
+        };
+        let mut values: Vec<Prefix> = Vec::with_capacity(size);
+        if wildcard_weight > 0.0 {
+            values.push(Prefix::ANY);
+        }
+        while values.len() < size {
+            let len = Self::sample_len(rng, bands);
+            let p = if !values.is_empty() && rng.gen_bool(nest_prob) {
+                // Extend an existing prefix to a longer, nested one.
+                let base = values[rng.gen_range(0..values.len())];
+                if base.len() >= len {
+                    Prefix::masked(fresh(rng), len)
+                } else {
+                    let noise = fresh(rng) >> base.len().min(31);
+                    Prefix::masked(base.value() | noise, len)
+                }
+            } else {
+                Prefix::masked(fresh(rng), len)
+            };
+            values.push(p);
+        }
+        let sampler = ZipfSampler::new(values.len(), alpha);
+        PrefixPool { values, sampler }
+    }
+
+    fn sample_len(rng: &mut StdRng, bands: &LenBands) -> u8 {
+        let total: f64 = bands.iter().map(|(_, _, w)| w).sum();
+        let mut u = rng.gen::<f64>() * total;
+        for &(lo, hi, w) in bands {
+            if u < w {
+                return rng.gen_range(lo..=hi);
+            }
+            u -= w;
+        }
+        bands.last().expect("non-empty bands").1
+    }
+
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> Prefix {
+        self.values[self.sampler.sample(rng)]
+    }
+}
+
+/// A pool of port ranges.
+#[derive(Debug, Clone)]
+pub(crate) struct PortPool {
+    values: Vec<PortRange>,
+    sampler: ZipfSampler,
+}
+
+/// Shape of the port field of a filter kind.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PortShape {
+    /// Always the full wildcard (ACL source port: 1 unique value).
+    AlwaysAny,
+    /// Mix of well-known exact ports, a few ranges, and the wildcard.
+    Mixed {
+        /// Distinct values in the pool.
+        pool: usize,
+        /// Fraction of pool entries that are ranges (vs exact).
+        range_frac: f64,
+    },
+}
+
+const WELL_KNOWN: [u16; 24] = [
+    20, 21, 22, 23, 25, 53, 67, 69, 80, 110, 119, 123, 135, 137, 139, 143, 161, 389, 443, 445,
+    993, 1521, 3306, 8080,
+];
+
+impl PortPool {
+    pub(crate) fn generate(rng: &mut StdRng, shape: PortShape, alpha: f64) -> Self {
+        let values: Vec<PortRange> = match shape {
+            PortShape::AlwaysAny => vec![PortRange::ANY],
+            PortShape::Mixed { pool, range_frac } => {
+                let mut vs = vec![PortRange::ANY];
+                // Well-known exact ports first (they soak up the skew mass).
+                for &p in WELL_KNOWN.iter() {
+                    if vs.len() >= pool {
+                        break;
+                    }
+                    vs.push(PortRange::exact(p));
+                }
+                while vs.len() < pool {
+                    if rng.gen_bool(range_frac) {
+                        let lo = rng.gen_range(0..=u16::MAX - 1);
+                        let span = match rng.gen_range(0..3) {
+                            0 => rng.gen_range(1..=10),       // tight range
+                            1 => rng.gen_range(10..=1000),    // medium
+                            _ => rng.gen_range(1000..=40000), // wide
+                        };
+                        let hi = lo.saturating_add(span);
+                        vs.push(PortRange::new(lo, hi).expect("lo <= hi by construction"));
+                    } else {
+                        vs.push(PortRange::exact(rng.gen_range(1024..=u16::MAX)));
+                    }
+                }
+                vs
+            }
+        };
+        let sampler = ZipfSampler::new(values.len(), alpha);
+        PortPool { values, sampler }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> PortRange {
+        self.values[self.sampler.sample(rng)]
+    }
+}
+
+/// A weighted protocol distribution.
+#[derive(Debug, Clone)]
+pub(crate) struct ProtoPool {
+    weighted: Vec<(ProtoSpec, f64)>,
+}
+
+impl ProtoPool {
+    pub(crate) fn new(weighted: Vec<(ProtoSpec, f64)>) -> Self {
+        assert!(!weighted.is_empty(), "protocol pool must be non-empty");
+        ProtoPool { weighted }
+    }
+
+    pub(crate) fn sample(&self, rng: &mut StdRng) -> ProtoSpec {
+        *choose_weighted(rng, &self.weighted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn zipf_prefers_low_indices() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut r = rng();
+        let mut head = 0;
+        for _ in 0..1000 {
+            if z.sample(&mut r) < 10 {
+                head += 1;
+            }
+        }
+        // Top 10 of 100 items under Zipf(1.0) carry ~56% of the mass.
+        assert!(head > 400, "head draws: {head}");
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut r = rng();
+        assert_eq!(z.sample(&mut r), 0);
+    }
+
+    #[test]
+    fn prefix_pool_respects_bands() {
+        let mut r = rng();
+        let pool = PrefixPool::generate(&mut r, 200, &[(24, 32, 1.0)], 0.3, 0.0, 1.0);
+        let mut saw_nested = false;
+        for v in &pool.values {
+            assert!((24..=32).contains(&v.len()));
+        }
+        // Some pair should be nested thanks to nest_prob.
+        'outer: for a in &pool.values {
+            for b in &pool.values {
+                if a != b && a.covers(*b) {
+                    saw_nested = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(saw_nested);
+    }
+
+    #[test]
+    fn prefix_pool_includes_wildcard_when_weighted() {
+        let mut r = rng();
+        let pool = PrefixPool::generate(&mut r, 10, &[(8, 16, 1.0)], 0.0, 1.0, 1.0);
+        assert!(pool.values.contains(&Prefix::ANY));
+    }
+
+    #[test]
+    fn port_pool_always_any() {
+        let mut r = rng();
+        let p = PortPool::generate(&mut r, PortShape::AlwaysAny, 1.0);
+        for _ in 0..10 {
+            assert!(p.sample(&mut r).is_any());
+        }
+    }
+
+    #[test]
+    fn port_pool_mixed_has_exacts_and_ranges() {
+        let mut r = rng();
+        let p = PortPool::generate(&mut r, PortShape::Mixed { pool: 120, range_frac: 0.3 }, 1.0);
+        assert_eq!(p.values.len(), 120);
+        assert!(p.values.iter().any(|v| v.is_exact()));
+        assert!(p.values.iter().any(|v| !v.is_exact() && !v.is_any()));
+    }
+
+    #[test]
+    fn proto_pool_samples_from_support() {
+        let mut r = rng();
+        let pool = ProtoPool::new(vec![(ProtoSpec::Exact(6), 0.9), (ProtoSpec::Any, 0.1)]);
+        for _ in 0..20 {
+            let s = pool.sample(&mut r);
+            assert!(s == ProtoSpec::Exact(6) || s == ProtoSpec::Any);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_degenerate() {
+        let mut r = rng();
+        let items = [(42u32, 1.0)];
+        assert_eq!(*choose_weighted(&mut r, &items), 42);
+    }
+}

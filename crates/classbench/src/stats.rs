@@ -1,0 +1,110 @@
+//! Rule-set statistics for Tables II and III.
+
+use serde::{Deserialize, Serialize};
+use spc_types::{FieldUniques, RuleSet};
+use std::fmt;
+
+/// Summary statistics of one rule set (a row of Tables II/III).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuleSetStats {
+    /// Human-readable set name (e.g. `acl1 10K`).
+    pub name: String,
+    /// Number of rules after redundancy removal.
+    pub rules: usize,
+    /// Unique values per 5-tuple field (Table II rows).
+    pub uniques: FieldUniques,
+    /// Unique values per 16-bit segment dimension, in
+    /// [`spc_types::ALL_DIMS`] order — what the label memories must hold.
+    pub segment_uniques: [usize; 7],
+    /// Storage saving of the label method: `1 - sum(uniques)/ (5*rules)`,
+    /// the "more than 50%" figure of §III.C.
+    pub label_saving: f64,
+}
+
+/// Computes the statistics for one rule set.
+///
+/// ```
+/// use spc_classbench::{ruleset_stats, RuleSetGenerator, FilterKind};
+/// let rs = RuleSetGenerator::new(FilterKind::Acl, 1000).seed(1).generate();
+/// let st = ruleset_stats("acl1 1K", &rs);
+/// assert_eq!(st.uniques.src_port, 1);
+/// assert!(st.label_saving > 0.5);
+/// ```
+pub fn ruleset_stats(name: &str, rs: &RuleSet) -> RuleSetStats {
+    let uniques = rs.unique_field_counts();
+    let stored_fields =
+        uniques.src_ip + uniques.dst_ip + uniques.src_port + uniques.dst_port + uniques.proto;
+    let total_fields = 5 * rs.len();
+    let label_saving = if total_fields == 0 {
+        0.0
+    } else {
+        1.0 - stored_fields as f64 / total_fields as f64
+    };
+    RuleSetStats {
+        name: name.to_string(),
+        rules: rs.len(),
+        uniques,
+        segment_uniques: rs.unique_counts(),
+        label_saving,
+    }
+}
+
+impl fmt::Display for RuleSetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} rules={:<6} srcIP={:<5} dstIP={:<5} srcPort={:<4} dstPort={:<4} proto={:<2} label-saving={:.0}%",
+            self.name,
+            self.rules,
+            self.uniques.src_ip,
+            self.uniques.dst_ip,
+            self.uniques.src_port,
+            self.uniques.dst_port,
+            self.uniques.proto,
+            100.0 * self.label_saving
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FilterKind, RuleSetGenerator};
+
+    #[test]
+    fn label_saving_exceeds_half_for_acl() {
+        // Paper §III.C: "the storage requirement can be reduced by more
+        // than 50%" via unique-field labelling.
+        for n in [1000usize, 5000] {
+            let rs = RuleSetGenerator::new(FilterKind::Acl, n).seed(1).generate();
+            let st = ruleset_stats("acl", &rs);
+            assert!(st.label_saving > 0.5, "saving {} at n={n}", st.label_saving);
+        }
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let rs = RuleSetGenerator::new(FilterKind::Acl, 300).seed(1).generate();
+        let st = ruleset_stats("acl1 tiny", &rs);
+        let s = st.to_string();
+        assert!(s.contains("acl1 tiny"));
+        assert!(s.contains("srcPort=1"));
+    }
+
+    #[test]
+    fn empty_ruleset_stats() {
+        let st = ruleset_stats("empty", &RuleSet::default());
+        assert_eq!(st.rules, 0);
+        assert_eq!(st.label_saving, 0.0);
+    }
+
+    use spc_types::RuleSet;
+
+    #[test]
+    fn segment_uniques_ordering() {
+        let rs = RuleSetGenerator::new(FilterKind::Acl, 300).seed(1).generate();
+        let st = ruleset_stats("acl", &rs);
+        // src port is the wildcard-only dimension: exactly 1 unique segment.
+        assert_eq!(st.segment_uniques[4], 1);
+    }
+}

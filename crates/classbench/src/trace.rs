@@ -1,0 +1,186 @@
+//! Packet header trace generation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use spc_types::{Header, ProtoSpec, Rule, RuleSet};
+
+/// Samples a header guaranteed to match `rule`.
+///
+/// Free bits (below prefix masks, inside ranges, wildcard protocol) are
+/// drawn uniformly from the rule's match region.
+///
+/// ```
+/// use spc_classbench::sample_matching_header;
+/// use spc_types::{Rule, Priority, Prefix, PortRange, ProtoSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let rule = Rule::builder(Priority(0))
+///     .src_ip(Prefix::parse("10.0.0.0/8").unwrap())
+///     .dst_port(PortRange::exact(80))
+///     .proto(ProtoSpec::Exact(6))
+///     .build();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let h = sample_matching_header(&rule, &mut rng);
+/// assert!(rule.matches(&h));
+/// ```
+pub fn sample_matching_header(rule: &Rule, rng: &mut StdRng) -> Header {
+    let sip = rng.gen_range(rule.src_ip.first().0..=rule.src_ip.last().0);
+    let dip = rng.gen_range(rule.dst_ip.first().0..=rule.dst_ip.last().0);
+    let sport = rng.gen_range(rule.src_port.lo()..=rule.src_port.hi());
+    let dport = rng.gen_range(rule.dst_port.lo()..=rule.dst_port.hi());
+    let proto = match rule.proto {
+        ProtoSpec::Exact(p) => p,
+        ProtoSpec::Any => *[6u8, 17, 1].choose(rng).expect("non-empty"),
+    };
+    Header::new(sip.into(), dip.into(), sport, dport, proto)
+}
+
+/// Generates packet-header traces against a rule set.
+///
+/// A fraction of headers ([`TraceGenerator::match_fraction`]) is sampled
+/// from randomly chosen rules (Zipf-less uniform rule popularity keeps the
+/// trace adversarial for caches); the rest is uniform background traffic
+/// that may or may not match. Temporal locality — the hallmark of real
+/// flow-based traffic, where one flow's packets arrive back to back — is
+/// modeled by repeating the previous header with probability
+/// [`TraceGenerator::locality`].
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    seed: u64,
+    match_fraction: f64,
+    locality: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a trace generator with 90 % matching traffic and 0 locality.
+    pub fn new() -> Self {
+        TraceGenerator { seed: 1, match_fraction: 0.9, locality: 0.0 }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of headers sampled from rules (clamped to `0..=1`).
+    pub fn match_fraction(mut self, f: f64) -> Self {
+        self.match_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the probability of repeating the previous flow's header.
+    pub fn locality(mut self, p: f64) -> Self {
+        self.locality = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Generates `len` headers for `rules`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rules` is empty and `match_fraction > 0`.
+    pub fn generate(&self, rules: &RuleSet, len: usize) -> Vec<Header> {
+        assert!(
+            !rules.is_empty() || self.match_fraction == 0.0,
+            "cannot sample matching traffic from an empty rule set"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::with_capacity(len);
+        let mut prev: Option<Header> = None;
+        for _ in 0..len {
+            if let Some(p) = prev {
+                if rng.gen_bool(self.locality) {
+                    out.push(p);
+                    continue;
+                }
+            }
+            let h = if rng.gen_bool(self.match_fraction) {
+                let idx = rng.gen_range(0..rules.len());
+                sample_matching_header(&rules.rules()[idx], &mut rng)
+            } else {
+                Header::new(
+                    rng.gen::<u32>().into(),
+                    rng.gen::<u32>().into(),
+                    rng.gen(),
+                    rng.gen(),
+                    *[6u8, 17, 1, 47].choose(&mut rng).expect("non-empty"),
+                )
+            };
+            prev = Some(h);
+            out.push(h);
+        }
+        out
+    }
+}
+
+impl Default for TraceGenerator {
+    fn default() -> Self {
+        TraceGenerator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FilterKind, RuleSetGenerator};
+    use spc_types::{PortRange, Prefix, Priority};
+
+    fn small_set() -> RuleSet {
+        RuleSetGenerator::new(FilterKind::Acl, 200).seed(11).generate()
+    }
+
+    #[test]
+    fn deterministic() {
+        let rs = small_set();
+        let a = TraceGenerator::new().seed(3).generate(&rs, 100);
+        let b = TraceGenerator::new().seed(3).generate(&rs, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn match_fraction_one_always_matches() {
+        let rs = small_set();
+        let trace = TraceGenerator::new().seed(3).match_fraction(1.0).generate(&rs, 200);
+        for h in &trace {
+            assert!(rs.classify(h).is_some(), "header {h} should match some rule");
+        }
+    }
+
+    #[test]
+    fn locality_repeats_headers() {
+        let rs = small_set();
+        let trace = TraceGenerator::new().seed(3).locality(0.8).generate(&rs, 500);
+        let repeats = trace.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(repeats > 250, "expected heavy repetition, got {repeats}");
+    }
+
+    #[test]
+    fn sample_matching_header_respects_tight_rule() {
+        let rule = Rule::builder(Priority(0))
+            .src_ip(Prefix::parse("1.2.3.4/32").unwrap())
+            .dst_ip(Prefix::parse("5.6.7.8/32").unwrap())
+            .src_port(PortRange::exact(1))
+            .dst_port(PortRange::exact(2))
+            .proto(spc_types::ProtoSpec::Exact(6))
+            .build();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..5 {
+            let h = sample_matching_header(&rule, &mut rng);
+            assert_eq!(h.src_ip.octets(), [1, 2, 3, 4]);
+            assert_eq!(h.dst_port, 2);
+            assert_eq!(h.proto, 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rule set")]
+    fn empty_rules_with_matching_fraction_panics() {
+        let _ = TraceGenerator::new().generate(&RuleSet::new(), 10);
+    }
+
+    #[test]
+    fn empty_rules_background_only_ok() {
+        let trace = TraceGenerator::new().match_fraction(0.0).generate(&RuleSet::new(), 10);
+        assert_eq!(trace.len(), 10);
+    }
+}

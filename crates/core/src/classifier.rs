@@ -1,0 +1,821 @@
+//! The configurable packet classifier (paper §III, Fig 2).
+//!
+//! [`Classifier`] bundles the software controller (label tables with
+//! reference counters, Fig 4) and the hardware data plane (seven parallel
+//! field engines, per-dimension label memories, the hash unit and the Rule
+//! Filter). The `IPalg_s` signal is [`Classifier::set_ip_alg`]; rule
+//! install/remove follow the paper's incremental-update protocol; and
+//! every classify returns full cycle/memory-access accounting so the
+//! evaluation harness can regenerate Tables V–VII.
+
+use crate::config::{ArchConfig, CombineStrategy, IpAlg};
+use crate::error::ClassifierError;
+use crate::labels::{InsertOutcome, LabelTable, RemoveOutcome};
+use crate::memory::{BlockUsage, MemoryReport, SharingReport};
+use crate::pipeline::LookupTiming;
+use crate::rulefilter::{RuleFilter, StoredRule};
+use spc_lookup::{
+    FieldEngine, Label, LabelEntry, LabelList, LabelStore, MbtConfig, MultiBitTrie,
+    PortRegisters, ProtocolLut, RangeBst,
+};
+use spc_types::{Dim, Header, Priority, Rule, RuleId, ALL_DIMS, IP_SEG_DIMS};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// One dimension's hardware unit: the active engine, its label memory and
+/// the controller-side label table.
+#[derive(Debug)]
+struct DimUnit {
+    dim: Dim,
+    engine: Box<dyn FieldEngine>,
+    store: LabelStore,
+    table: LabelTable,
+}
+
+/// A classification hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Id of the highest-priority matching rule.
+    pub rule_id: RuleId,
+    /// The rule itself (with action).
+    pub rule: Rule,
+}
+
+/// Full result of one classify, with hardware-model accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// The HPMR, or `None` on a miss.
+    pub hit: Option<Hit>,
+    /// Pipeline timing of this lookup.
+    pub timing: LookupTiming,
+    /// Memory words read by the field engines + label memories (phase 2).
+    pub engine_reads: u32,
+    /// Memory words read in the Rule Filter (phase 4).
+    pub rule_filter_reads: u32,
+    /// Label combinations probed (1 = the paper's fast path sufficed).
+    pub combos_probed: u32,
+}
+
+impl Classification {
+    /// Total memory reads across all phases.
+    pub fn total_reads(&self) -> u32 {
+        self.engine_reads + self.rule_filter_reads
+    }
+}
+
+/// Report of one rule install/remove (paper §V.A accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The affected rule.
+    pub rule_id: RuleId,
+    /// Labels newly created (engines had to store a value).
+    pub created_labels: u32,
+    /// Labels freed (engines had to delete a value).
+    pub freed_labels: u32,
+    /// Hardware memory write cycles: 2 rule-data cycles + 1 hash cycle
+    /// (§V.A) plus every structural/label-memory word written.
+    pub hw_write_cycles: u64,
+}
+
+/// An installed rule (controller bookkeeping).
+#[derive(Debug, Clone, Copy)]
+struct Installed {
+    rule: Rule,
+    key: u128,
+}
+
+/// The configurable label-based packet classifier.
+///
+/// ```
+/// use spc_core::{Classifier, ArchConfig};
+/// use spc_types::{Rule, Priority, PortRange, ProtoSpec, Action, Header};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cls = Classifier::new(ArchConfig::default());
+/// let web = Rule::builder(Priority(0))
+///     .dst_port(PortRange::exact(80))
+///     .proto(ProtoSpec::Exact(6))
+///     .action(Action::Forward(1))
+///     .build();
+/// let id = cls.insert(web)?.rule_id;
+/// let h = Header::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 999, 80, 6);
+/// let c = cls.classify(&h);
+/// assert_eq!(c.hit.unwrap().rule_id, id);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Classifier {
+    config: ArchConfig,
+    dims: Vec<DimUnit>,
+    rule_filter: RuleFilter,
+    rules: HashMap<u32, Installed>,
+    next_id: u32,
+}
+
+impl Classifier {
+    /// Builds an empty classifier for the given configuration.
+    pub fn new(config: ArchConfig) -> Self {
+        let dims = ALL_DIMS
+            .iter()
+            .map(|&dim| DimUnit {
+                dim,
+                engine: Self::make_engine(&config, dim),
+                store: Self::make_store(&config, dim),
+                table: LabelTable::new(Self::label_width(&config, dim)),
+            })
+            .collect();
+        let rule_filter =
+            RuleFilter::new(config.rule_filter_addr_bits, config.label_widths.key_bits());
+        Classifier { config, dims, rule_filter, rules: HashMap::new(), next_id: 0 }
+    }
+
+    fn label_width(config: &ArchConfig, dim: Dim) -> u8 {
+        match dim {
+            d if d.is_ip_segment() => config.label_widths.ip,
+            Dim::Proto => config.label_widths.proto,
+            _ => config.label_widths.port,
+        }
+    }
+
+    fn make_engine(config: &ArchConfig, dim: Dim) -> Box<dyn FieldEngine> {
+        match dim {
+            d if d.is_ip_segment() => match config.ip_alg {
+                IpAlg::Mbt => {
+                    Box::new(MultiBitTrie::new(MbtConfig::segment_paper(config.mbt_leaf_nodes)))
+                }
+                IpAlg::Bst => Box::new(RangeBst::new(config.bst_max_intervals)),
+            },
+            Dim::Proto => Box::new(ProtocolLut::new()),
+            _ => Box::new(PortRegisters::new(config.port_registers)),
+        }
+    }
+
+    fn make_store(config: &ArchConfig, dim: Dim) -> LabelStore {
+        let (cap, width) = match dim {
+            d if d.is_ip_segment() => (config.ip_label_entries, config.label_widths.ip),
+            Dim::Proto => (1usize << config.label_widths.proto, config.label_widths.proto),
+            _ => (config.port_label_entries, config.label_widths.port),
+        };
+        LabelStore::new(format!("{dim}/labels"), cap, width)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Installed rule count.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Live label count per dimension, in [`ALL_DIMS`] order (Table II's
+    /// unique-field counts as seen by the hardware).
+    pub fn live_labels(&self) -> [usize; 7] {
+        let mut out = [0; 7];
+        for (i, d) in self.dims.iter().enumerate() {
+            out[i] = d.table.len();
+        }
+        out
+    }
+
+    fn dim_order_entry(dim: Dim, label: Label, priority: Priority) -> LabelEntry {
+        // Engines that define their own list order (port registers,
+        // protocol LUT) recompute it internally; priority order is the
+        // default for IP dimensions (§IV.C.1).
+        let _ = dim;
+        LabelEntry::by_priority(label, priority)
+    }
+
+    /// Packs the seven dimension labels into the merged hash key
+    /// (68 bits in the paper configuration, §IV.C.1).
+    fn make_key(&self, labels: &[Label; 7]) -> u128 {
+        let w = self.config.label_widths;
+        let widths = [w.ip, w.ip, w.ip, w.ip, w.port, w.port, w.proto];
+        let mut key = 0u128;
+        for (label, width) in labels.iter().zip(widths) {
+            debug_assert!(u32::from(label.0) < (1u32 << width), "label exceeds width");
+            key = (key << width) | u128::from(label.0);
+        }
+        key
+    }
+
+    /// Installs a rule (Fig 4's incremental update).
+    ///
+    /// # Errors
+    ///
+    /// * [`ClassifierError::Capacity`] — an engine block, label space or
+    ///   label memory is full (the architecture's provisioning limit);
+    /// * [`ClassifierError::DuplicateKey`] — an identical 5-tuple is
+    ///   already installed;
+    /// * [`ClassifierError::RuleFilterFull`] — no rule slot left.
+    ///
+    /// On error the classifier state is rolled back.
+    pub fn insert(&mut self, rule: Rule) -> Result<UpdateReport, ClassifierError> {
+        self.insert_inner(rule, false)
+    }
+
+    /// Bulk-loads a rule set, deferring BST rebuilds to one final flush —
+    /// the software controller's batch programming path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Classifier::insert`]; already-installed rules stay installed.
+    pub fn load(&mut self, rules: &spc_types::RuleSet) -> Result<Vec<RuleId>, ClassifierError> {
+        let mut ids = Vec::with_capacity(rules.len());
+        for rule in rules.rules() {
+            ids.push(self.insert_inner(*rule, true)?.rule_id);
+        }
+        self.flush_engines()?;
+        Ok(ids)
+    }
+
+    fn insert_inner(&mut self, rule: Rule, defer: bool) -> Result<UpdateReport, ClassifierError> {
+        let id = RuleId(self.next_id);
+        let writes_before = self.write_cycles();
+        let dim_values = rule.dim_values();
+        let mut labels = [Label(0); 7];
+        let mut created = 0u32;
+        let mut completed = 0usize;
+        let mut result: Result<(), ClassifierError> = Ok(());
+        for (i, &dim) in ALL_DIMS.iter().enumerate() {
+            let unit = &mut self.dims[i];
+            let value = dim_values[i];
+            match unit.table.insert(value, rule.priority) {
+                Ok(InsertOutcome::Created { label }) => {
+                    let entry = Self::dim_order_entry(dim, label, rule.priority);
+                    if let Err(e) = unit.engine.insert(&mut unit.store, value, entry) {
+                        // Undo the table entry we just created.
+                        unit.table.remove(&value, rule.priority);
+                        result = Err(e.into());
+                        break;
+                    }
+                    created += 1;
+                    labels[i] = label;
+                }
+                Ok(InsertOutcome::Referenced { label, priority_improved }) => {
+                    if priority_improved {
+                        let best = unit.table.get(&value).expect("just inserted").best_priority();
+                        let entry = Self::dim_order_entry(dim, label, best);
+                        if let Err(e) = unit.engine.insert(&mut unit.store, value, entry) {
+                            unit.table.remove(&value, rule.priority);
+                            result = Err(e.into());
+                            break;
+                        }
+                    }
+                    labels[i] = label;
+                }
+                Err(e) => {
+                    result = Err(spc_lookup::EngineError::from(e).into());
+                    break;
+                }
+            }
+            completed = i + 1;
+        }
+        if let Err(e) = result {
+            self.rollback_dims(&dim_values, rule.priority, completed);
+            let _ = self.flush_engines();
+            return Err(e);
+        }
+        let key = self.make_key(&labels);
+        if let Err(e) = self.rule_filter.insert(key, id, rule) {
+            self.rollback_dims(&dim_values, rule.priority, 7);
+            let _ = self.flush_engines();
+            return Err(e);
+        }
+        if !defer {
+            if let Err(e) = self.flush_engines() {
+                let _ = self.rule_filter.remove(key, id);
+                self.rollback_dims(&dim_values, rule.priority, 7);
+                let _ = self.flush_engines();
+                return Err(e);
+            }
+        }
+        self.rules.insert(id.0, Installed { rule, key });
+        self.next_id += 1;
+        Ok(UpdateReport {
+            rule_id: id,
+            created_labels: created,
+            freed_labels: 0,
+            // 2 cycles rule data + 1 cycle hash (§V.A) + structural writes.
+            hw_write_cycles: 3 + (self.write_cycles() - writes_before),
+        })
+    }
+
+    fn rollback_dims(&mut self, dim_values: &[spc_types::DimValue; 7], priority: Priority, upto: usize) {
+        for i in 0..upto {
+            let unit = &mut self.dims[i];
+            let value = dim_values[i];
+            match unit.table.remove(&value, priority) {
+                Some(RemoveOutcome::Freed { label }) => {
+                    let _ = unit.engine.remove(&mut unit.store, value, label);
+                }
+                Some(RemoveOutcome::Dereferenced { label, new_best: Some(best) }) => {
+                    let entry = Self::dim_order_entry(unit.dim, label, best);
+                    let _ = unit.engine.insert(&mut unit.store, value, entry);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Removes an installed rule (Fig 4's deletion path: counters
+    /// decrement; a label leaves the hardware only at zero).
+    ///
+    /// # Errors
+    ///
+    /// [`ClassifierError::UnknownRule`] for an unknown id.
+    pub fn remove(&mut self, id: RuleId) -> Result<(Rule, UpdateReport), ClassifierError> {
+        let installed =
+            *self.rules.get(&id.0).ok_or(ClassifierError::UnknownRule { id: id.0 })?;
+        let writes_before = self.write_cycles();
+        self.rule_filter.remove(installed.key, id)?;
+        let dim_values = installed.rule.dim_values();
+        let mut freed = 0u32;
+        for i in 0..7 {
+            let unit = &mut self.dims[i];
+            let value = dim_values[i];
+            match unit.table.remove(&value, installed.rule.priority) {
+                Some(RemoveOutcome::Freed { label }) => {
+                    let _ = unit.engine.remove(&mut unit.store, value, label);
+                    freed += 1;
+                }
+                Some(RemoveOutcome::Dereferenced { label, new_best: Some(best) }) => {
+                    let entry = Self::dim_order_entry(unit.dim, label, best);
+                    let _ = unit.engine.insert(&mut unit.store, value, entry);
+                }
+                Some(RemoveOutcome::Dereferenced { .. }) => {}
+                None => unreachable!("installed rule must be in label tables"),
+            }
+        }
+        self.flush_engines()?;
+        self.rules.remove(&id.0);
+        Ok((
+            installed.rule,
+            UpdateReport {
+                rule_id: id,
+                created_labels: 0,
+                freed_labels: freed,
+                hw_write_cycles: 3 + (self.write_cycles() - writes_before),
+            },
+        ))
+    }
+
+    fn flush_engines(&mut self) -> Result<(), ClassifierError> {
+        for unit in &mut self.dims {
+            unit.engine.flush(&mut unit.store)?;
+        }
+        Ok(())
+    }
+
+    fn write_cycles(&self) -> u64 {
+        self.dims
+            .iter()
+            .map(|u| u.engine.access_counts().writes + u.store.access_counts().writes)
+            .sum::<u64>()
+            + self.rule_filter.access_counts().writes
+    }
+
+    /// Classifies a header through the 4-phase pipeline, returning the
+    /// HPMR (per the configured [`CombineStrategy`]) plus full accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if an engine reports pending updates — the
+    /// public update paths always flush, so this indicates internal misuse.
+    pub fn classify(&self, header: &Header) -> Classification {
+        // Phase 2: parallel single-field lookups.
+        let mut lists: Vec<LabelList> = Vec::with_capacity(7);
+        let mut engine_latency = 0u32;
+        let mut engine_ii = 1u32;
+        let mut engine_reads = 0u32;
+        let mut any_empty = false;
+        for (i, &dim) in ALL_DIMS.iter().enumerate() {
+            let unit = &self.dims[i];
+            let r = unit
+                .engine
+                .lookup(&unit.store, dim.query(header))
+                .expect("engines are flushed on every update path");
+            engine_latency = engine_latency.max(r.cycles);
+            if !unit.engine.is_pipelined() {
+                engine_ii = engine_ii.max(r.cycles);
+            }
+            engine_reads += r.mem_reads;
+            any_empty |= r.labels.is_empty();
+            lists.push(r.labels);
+        }
+        if any_empty {
+            // Some dimension matched nothing: no rule can match.
+            return Classification {
+                hit: None,
+                timing: LookupTiming::new(engine_latency, engine_ii, 0),
+                engine_reads,
+                rule_filter_reads: 0,
+                combos_probed: 0,
+            };
+        }
+        let lists: [LabelList; 7] = lists.try_into().expect("seven dimensions");
+        let (stored, rf_reads, combos) = match self.config.combine {
+            CombineStrategy::FirstLabel => {
+                let labels: [Label; 7] = std::array::from_fn(|i| {
+                    lists[i].head().expect("checked non-empty").label
+                });
+                let probe = self.rule_filter.probe(self.make_key(&labels));
+                (probe.hit, probe.reads, 1)
+            }
+            CombineStrategy::PriorityProbe => self.priority_probe(&lists),
+        };
+        let hit = stored.map(|s| {
+            debug_assert!(s.rule.matches(header), "label-key hit must match the header");
+            Hit { rule_id: s.id, rule: s.rule }
+        });
+        Classification {
+            hit,
+            timing: LookupTiming::new(engine_latency, engine_ii, rf_reads),
+            engine_reads,
+            rule_filter_reads: rf_reads,
+            combos_probed: combos,
+        }
+    }
+
+    /// Best-first search over label combinations (DESIGN.md §2).
+    ///
+    /// Each label's `priority` is the best priority among its user rules,
+    /// so `max` over a combination lower-bounds the priority of any rule
+    /// stored under that key — combinations are explored in bound order
+    /// and the search stops once the best hit beats every remaining bound.
+    fn priority_probe(&self, lists: &[LabelList; 7]) -> (Option<StoredRule>, u32, u32) {
+        // Sort each dimension by rule priority (port/protocol lists are
+        // hardware-ordered differently; the bound argument needs priority
+        // order).
+        let dims: Vec<Vec<LabelEntry>> = lists
+            .iter()
+            .map(|l| {
+                let mut v: Vec<LabelEntry> = l.entries().to_vec();
+                v.sort_by_key(|e| (e.priority, e.label.0));
+                v
+            })
+            .collect();
+        let bound = |idx: &[u8; 7]| -> u32 {
+            (0..7).map(|d| dims[d][idx[d] as usize].priority.0).max().expect("seven dims")
+        };
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, [u8; 7])>> = BinaryHeap::new();
+        let mut visited: HashSet<[u8; 7]> = HashSet::new();
+        let start = [0u8; 7];
+        heap.push(std::cmp::Reverse((bound(&start), start)));
+        visited.insert(start);
+        let mut best: Option<StoredRule> = None;
+        let mut rf_reads = 0u32;
+        let mut combos = 0u32;
+        while let Some(std::cmp::Reverse((b, idx))) = heap.pop() {
+            if let Some(s) = best {
+                if s.rule.priority.0 < b {
+                    break; // every remaining combo is provably worse
+                }
+            }
+            combos += 1;
+            let labels: [Label; 7] =
+                std::array::from_fn(|d| dims[d][idx[d] as usize].label);
+            let probe = self.rule_filter.probe(self.make_key(&labels));
+            rf_reads += probe.reads;
+            if let Some(s) = probe.hit {
+                let better = match best {
+                    None => true,
+                    Some(cur) => {
+                        (s.rule.priority, s.id.0) < (cur.rule.priority, cur.id.0)
+                    }
+                };
+                if better {
+                    best = Some(s);
+                }
+            }
+            for d in 0..7 {
+                if usize::from(idx[d]) + 1 < dims[d].len() {
+                    let mut nxt = idx;
+                    nxt[d] += 1;
+                    if visited.insert(nxt) {
+                        heap.push(std::cmp::Reverse((bound(&nxt), nxt)));
+                    }
+                }
+            }
+        }
+        (best, rf_reads, combos)
+    }
+
+    /// Switches the IP lookup algorithm at run time (the `IPalg_s`
+    /// signal): fresh engines are built for the four IP dimensions and
+    /// reloaded from the controller's label tables — label ids, the label
+    /// method and the Rule Filter are untouched (§IV.C.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ClassifierError::Capacity`] if the new structures don't fit; the
+    /// previous engines are restored in that case.
+    pub fn set_ip_alg(&mut self, alg: IpAlg) -> Result<(), ClassifierError> {
+        if alg == self.config.ip_alg {
+            return Ok(());
+        }
+        let old_alg = self.config.ip_alg;
+        self.config.ip_alg = alg;
+        match self.reload_ip_engines() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.config.ip_alg = old_alg;
+                self.reload_ip_engines().expect("previous configuration fitted before");
+                Err(e)
+            }
+        }
+    }
+
+    fn reload_ip_engines(&mut self) -> Result<(), ClassifierError> {
+        for &dim in &IP_SEG_DIMS {
+            let i = dim.index();
+            let mut engine = Self::make_engine(&self.config, dim);
+            let mut store = Self::make_store(&self.config, dim);
+            let unit = &mut self.dims[i];
+            for (value, state) in unit.table.iter() {
+                let entry = Self::dim_order_entry(dim, state.label, state.best_priority());
+                engine.insert(&mut store, *value, entry)?;
+            }
+            engine.flush(&mut store)?;
+            unit.engine = engine;
+            unit.store = store;
+        }
+        Ok(())
+    }
+
+    /// Memory inventory across every block of the architecture.
+    pub fn memory_report(&self) -> MemoryReport {
+        let mut blocks = Vec::new();
+        for unit in &self.dims {
+            blocks.push(BlockUsage {
+                name: format!("{}/engine", unit.dim),
+                provisioned_bits: unit.engine.provisioned_bits(),
+                used_bits: unit.engine.used_bits(),
+            });
+            blocks.push(BlockUsage {
+                name: unit.store.name().to_string(),
+                provisioned_bits: unit.store.provisioned_bits(),
+                used_bits: unit.store.used_bits(),
+            });
+        }
+        blocks.push(BlockUsage {
+            name: "rule_filter".to_string(),
+            provisioned_bits: self.rule_filter.provisioned_bits(),
+            used_bits: self.rule_filter.used_bits(),
+        });
+        MemoryReport { blocks }
+    }
+
+    /// The Fig 5 sharing report for this configuration.
+    pub fn sharing_report(&self) -> SharingReport {
+        let mbt: Box<dyn FieldEngine> =
+            Box::new(MultiBitTrie::new(MbtConfig::segment_paper(self.config.mbt_leaf_nodes)));
+        let bst: Box<dyn FieldEngine> = Box::new(RangeBst::new(self.config.bst_max_intervals));
+        let rule_word = u64::from(self.config.label_widths.key_bits()) + 48;
+        SharingReport::new(
+            4 * mbt.provisioned_bits(),
+            4 * bst.provisioned_bits(),
+            rule_word,
+        )
+    }
+
+    /// Aggregate engine+store+filter access counters.
+    pub fn access_counts(&self) -> spc_hwsim::AccessCounts {
+        self.dims
+            .iter()
+            .map(|u| u.engine.access_counts() + u.store.access_counts())
+            .sum::<spc_hwsim::AccessCounts>()
+            + self.rule_filter.access_counts()
+    }
+
+    /// Resets all access counters (e.g. between benchmark phases).
+    pub fn reset_access_counts(&self) {
+        for u in &self.dims {
+            u.engine.reset_access_counts();
+            u.store.reset_access_counts();
+        }
+        self.rule_filter.reset_access_counts();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_types::{Action, PortRange, Prefix, ProtoSpec};
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::default()
+    }
+
+    fn web_rule(p: u32) -> Rule {
+        Rule::builder(Priority(p))
+            .src_ip(Prefix::parse("10.0.0.0/8").unwrap())
+            .dst_port(PortRange::exact(80))
+            .proto(ProtoSpec::Exact(6))
+            .action(Action::Forward(1))
+            .build()
+    }
+
+    fn hdr(src: [u8; 4], dport: u16, proto: u8) -> Header {
+        Header::new(src.into(), [99, 99, 99, 99].into(), 5000, dport, proto)
+    }
+
+    #[test]
+    fn insert_classify_remove_roundtrip() {
+        let mut cls = Classifier::new(cfg());
+        let rep = cls.insert(web_rule(0)).unwrap();
+        assert_eq!(rep.created_labels, 7);
+        assert!(rep.hw_write_cycles >= 3);
+        let c = cls.classify(&hdr([10, 1, 1, 1], 80, 6));
+        assert_eq!(c.hit.unwrap().rule_id, rep.rule_id);
+        assert!(cls.classify(&hdr([11, 1, 1, 1], 80, 6)).hit.is_none());
+        assert!(cls.classify(&hdr([10, 1, 1, 1], 81, 6)).hit.is_none());
+        let (rule, drep) = cls.remove(rep.rule_id).unwrap();
+        assert_eq!(rule.action, Action::Forward(1));
+        assert_eq!(drep.freed_labels, 7);
+        assert!(cls.is_empty());
+        assert!(cls.classify(&hdr([10, 1, 1, 1], 80, 6)).hit.is_none());
+    }
+
+    #[test]
+    fn hpmr_priority_resolution() {
+        let mut cls = Classifier::new(cfg());
+        let broad = Rule::builder(Priority(5)).action(Action::Drop).build();
+        let narrow = web_rule(1);
+        let broad_id = cls.insert(broad).unwrap().rule_id;
+        let narrow_id = cls.insert(narrow).unwrap().rule_id;
+        // Narrow (priority 1) wins where both match.
+        let c = cls.classify(&hdr([10, 1, 1, 1], 80, 6));
+        assert_eq!(c.hit.unwrap().rule_id, narrow_id);
+        // Broad still catches the rest.
+        let c2 = cls.classify(&hdr([11, 1, 1, 1], 80, 6));
+        assert_eq!(c2.hit.unwrap().rule_id, broad_id);
+    }
+
+    #[test]
+    fn shared_labels_refcount() {
+        let mut cls = Classifier::new(cfg());
+        // Two rules differing only in dst_port share 6 of 7 labels.
+        let a = cls.insert(web_rule(0)).unwrap();
+        let mut r2 = web_rule(1);
+        r2.dst_port = PortRange::exact(443);
+        let b = cls.insert(r2).unwrap();
+        assert_eq!(a.created_labels, 7);
+        assert_eq!(b.created_labels, 1);
+        // Removing one keeps the shared labels alive.
+        let (_, rep) = cls.remove(a.rule_id).unwrap();
+        assert_eq!(rep.freed_labels, 1);
+        let c = cls.classify(&hdr([10, 2, 2, 2], 443, 6));
+        assert_eq!(c.hit.unwrap().rule_id, b.rule_id);
+    }
+
+    #[test]
+    fn duplicate_rule_rejected_and_rolled_back() {
+        let mut cls = Classifier::new(cfg());
+        cls.insert(web_rule(0)).unwrap();
+        let labels_before = cls.live_labels();
+        let e = cls.insert(web_rule(1));
+        assert!(matches!(e, Err(ClassifierError::DuplicateKey { .. })));
+        assert_eq!(cls.live_labels(), labels_before, "rollback must restore refcounts");
+        assert_eq!(cls.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_remove() {
+        let mut cls = Classifier::new(cfg());
+        assert!(matches!(cls.remove(RuleId(9)), Err(ClassifierError::UnknownRule { id: 9 })));
+    }
+
+    #[test]
+    fn mbt_mode_timing_matches_paper() {
+        let mut cls = Classifier::new(cfg());
+        cls.insert(web_rule(0)).unwrap();
+        let c = cls.classify(&hdr([10, 1, 1, 1], 80, 6));
+        // Engine phase = 6 cycles (MBT), II = 1 on a clean single probe.
+        assert_eq!(c.timing.phase_cycles[1], 6);
+        assert_eq!(c.timing.initiation_interval, 1);
+        let gbps = c.timing.throughput_gbps(cls.config().clock, 40);
+        assert!((gbps - 42.73).abs() < 0.02, "got {gbps}");
+    }
+
+    #[test]
+    fn bst_mode_agrees_with_mbt() {
+        let mut mbt = Classifier::new(cfg());
+        let mut bst = Classifier::new(cfg().with_ip_alg(IpAlg::Bst));
+        for p in 0..20u32 {
+            let mut r = web_rule(p);
+            r.src_ip = Prefix::masked(0x0a00_0000 | (p << 8), 24);
+            mbt.insert(r).unwrap();
+            bst.insert(r).unwrap();
+        }
+        for i in 0..20u8 {
+            let h = hdr([10, 0, i, 1], 80, 6);
+            assert_eq!(
+                mbt.classify(&h).hit.map(|x| x.rule_id),
+                bst.classify(&h).hit.map(|x| x.rule_id),
+                "disagreement at {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_ip_alg_switch_preserves_semantics() {
+        let mut cls = Classifier::new(cfg());
+        for p in 0..10u32 {
+            let mut r = web_rule(p);
+            r.src_ip = Prefix::masked(0x0a00_0000 | (p << 16), 16);
+            cls.insert(r).unwrap();
+        }
+        let h = hdr([10, 3, 0, 1], 80, 6);
+        let before = cls.classify(&h).hit.map(|x| x.rule_id);
+        cls.set_ip_alg(IpAlg::Bst).unwrap();
+        assert_eq!(cls.classify(&h).hit.map(|x| x.rule_id), before);
+        // BST mode is not pipelined: II grows.
+        assert!(cls.classify(&h).timing.initiation_interval > 1);
+        cls.set_ip_alg(IpAlg::Mbt).unwrap();
+        assert_eq!(cls.classify(&h).hit.map(|x| x.rule_id), before);
+        assert_eq!(cls.classify(&h).timing.initiation_interval, 1);
+    }
+
+    #[test]
+    fn miss_when_dimension_list_empty() {
+        let mut cls = Classifier::new(cfg());
+        cls.insert(web_rule(0)).unwrap();
+        let c = cls.classify(&hdr([10, 1, 1, 1], 80, 17)); // UDP: proto list empty
+        assert!(c.hit.is_none());
+        assert_eq!(c.rule_filter_reads, 0, "no probe needed on an empty dimension");
+    }
+
+    #[test]
+    fn first_label_vs_priority_probe() {
+        // Construct the fast path's blind spot: per-dimension heads that
+        // belong to different rules while a real match exists deeper.
+        let mut fast = Classifier::new(cfg().with_combine(CombineStrategy::FirstLabel));
+        let mut exact = Classifier::new(cfg().with_combine(CombineStrategy::PriorityProbe));
+        // r0: sip 10/8 (priority 0), dport ANY.
+        let r0 = Rule::builder(Priority(0))
+            .src_ip(Prefix::parse("10.0.0.0/8").unwrap())
+            .build();
+        // r1: sip ANY, dport exact 80 (priority 1).
+        let r1 = Rule::builder(Priority(1)).dst_port(PortRange::exact(80)).build();
+        for c in [&mut fast, &mut exact] {
+            c.insert(r0).unwrap();
+            c.insert(r1).unwrap();
+        }
+        // Header in 10/8 with dport 80: sip head -> r0's label; dport head ->
+        // exact-match label (r1's; Table IV ordering). Combined key names a
+        // rule that doesn't exist -> fast path misses, probe finds r0.
+        let h = hdr([10, 1, 1, 1], 80, 6);
+        let f = fast.classify(&h);
+        let e = exact.classify(&h);
+        assert_eq!(e.hit.unwrap().rule_id, RuleId(0));
+        assert!(e.combos_probed >= 1);
+        // The fast path either misses or finds something; it must never
+        // out-perform the oracle-correct strategy.
+        if let Some(hit) = f.hit {
+            assert!(hit.rule.matches(&h));
+        }
+        assert_eq!(f.combos_probed, 1);
+    }
+
+    #[test]
+    fn memory_report_structure() {
+        let mut cls = Classifier::new(cfg());
+        cls.insert(web_rule(0)).unwrap();
+        let rep = cls.memory_report();
+        assert_eq!(rep.blocks.len(), 7 * 2 + 1);
+        assert!(rep.total_used() > 0);
+        assert!(rep.total_provisioned() > rep.total_used());
+        assert!(rep.blocks.iter().any(|b| b.name == "rule_filter"));
+    }
+
+    #[test]
+    fn sharing_report_sane() {
+        let cls = Classifier::new(cfg());
+        let s = cls.sharing_report();
+        assert!(s.bst_bits <= s.physical_bits);
+        assert!(s.extra_rule_capacity > 0);
+    }
+
+    #[test]
+    fn load_bulk() {
+        let mut cls = Classifier::new(ArchConfig::large());
+        let rs: spc_types::RuleSet = (0..50u32)
+            .map(|p| {
+                Rule::builder(Priority(p))
+                    .src_ip(Prefix::masked(p << 20, 12))
+                    .dst_port(PortRange::exact(p as u16))
+                    .build()
+            })
+            .collect();
+        let ids = cls.load(&rs).unwrap();
+        assert_eq!(ids.len(), 50);
+        assert_eq!(cls.len(), 50);
+    }
+}

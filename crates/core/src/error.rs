@@ -1,0 +1,80 @@
+//! Error type of the configurable classifier.
+
+use spc_lookup::EngineError;
+use std::fmt;
+
+/// Error returned by [`crate::Classifier`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClassifierError {
+    /// A lookup engine or label memory ran out of provisioned capacity.
+    Capacity {
+        /// What overflowed.
+        what: String,
+    },
+    /// The Rule Filter memory could not accommodate the rule (hash region
+    /// full even after probing).
+    RuleFilterFull,
+    /// The rule id is not installed.
+    UnknownRule {
+        /// The offending id.
+        id: u32,
+    },
+    /// A rule identical in all seven label dimensions is already installed
+    /// at a different id (the architecture stores one rule per label key).
+    DuplicateKey {
+        /// The already-installed rule id.
+        existing: u32,
+    },
+    /// Internal engine failure.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ClassifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassifierError::Capacity { what } => write!(f, "capacity exhausted in {what}"),
+            ClassifierError::RuleFilterFull => write!(f, "rule filter memory is full"),
+            ClassifierError::UnknownRule { id } => write!(f, "rule r{id} is not installed"),
+            ClassifierError::DuplicateKey { existing } => {
+                write!(f, "identical rule already installed as r{existing}")
+            }
+            ClassifierError::Engine(e) => write!(f, "lookup engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassifierError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClassifierError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ClassifierError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Capacity { what } => ClassifierError::Capacity { what },
+            other => ClassifierError::Engine(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = ClassifierError::from(EngineError::NotFound);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("engine"));
+        assert!(ClassifierError::RuleFilterFull.to_string().contains("full"));
+        assert!(ClassifierError::UnknownRule { id: 3 }.to_string().contains("r3"));
+        let cap = ClassifierError::from(EngineError::Capacity { what: "x".into() });
+        assert!(matches!(cap, ClassifierError::Capacity { .. }));
+    }
+}

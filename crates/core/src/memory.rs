@@ -1,0 +1,178 @@
+//! Architecture-wide memory inventory (Tables V/VI) and the Fig 5
+//! memory-sharing report.
+
+use serde::{Deserialize, Serialize};
+use spc_hwsim::ResourceReport;
+use std::fmt;
+
+/// Usage of one named memory block or block group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockUsage {
+    /// Block name (e.g. `sip_hi/engine`, `rule_filter`).
+    pub name: String,
+    /// Provisioned bits (words × width).
+    pub provisioned_bits: u64,
+    /// Occupied bits.
+    pub used_bits: u64,
+}
+
+/// Memory inventory of the whole architecture.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Per-block usage, in architecture order.
+    pub blocks: Vec<BlockUsage>,
+}
+
+impl MemoryReport {
+    /// Total provisioned bits.
+    pub fn total_provisioned(&self) -> u64 {
+        self.blocks.iter().map(|b| b.provisioned_bits).sum()
+    }
+
+    /// Total occupied bits.
+    pub fn total_used(&self) -> u64 {
+        self.blocks.iter().map(|b| b.used_bits).sum()
+    }
+
+    /// Provisioned bits of blocks whose name matches a predicate.
+    pub fn provisioned_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.blocks.iter().filter(|b| pred(&b.name)).map(|b| b.provisioned_bits).sum()
+    }
+
+    /// Table V-style resource report (measured memory + quoted synthesis
+    /// constants).
+    pub fn resource_report(&self) -> ResourceReport {
+        ResourceReport::stratix_v_prototype(self.total_provisioned())
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<24} {:>14} {:>14}", "block", "provisioned(b)", "used(b)")?;
+        for b in &self.blocks {
+            writeln!(f, "{:<24} {:>14} {:>14}", b.name, b.provisioned_bits, b.used_bits)?;
+        }
+        write!(
+            f,
+            "{:<24} {:>14} {:>14}",
+            "TOTAL",
+            self.total_provisioned(),
+            self.total_used()
+        )
+    }
+}
+
+/// The Fig 5 sharing report for the four IP-segment dimensions.
+///
+/// In MBT mode the trie blocks hold trie nodes; in BST mode the same
+/// physical blocks hold the (much smaller) BST plus additional rule
+/// storage — which is how the BST configuration reaches a higher rule
+/// count in Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharingReport {
+    /// Physical bits of the shared region (all four IP dims).
+    pub physical_bits: u64,
+    /// Bits the MBT structures occupy in MBT mode.
+    pub mbt_bits: u64,
+    /// Bits the BST structures occupy in BST mode.
+    pub bst_bits: u64,
+    /// Bits freed for extra rule storage in BST mode.
+    pub freed_bits_bst_mode: u64,
+    /// Extra rules the freed bits can store (at the Rule Filter word size).
+    pub extra_rule_capacity: usize,
+    /// Bits a non-shared design would need (separate MBT + BST memories).
+    pub unshared_bits: u64,
+}
+
+impl SharingReport {
+    /// Builds the report from per-mode structural bits and the rule word
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the BST does not fit the shared region (`bst_bits >
+    /// physical_bits`), which would violate the Fig 5 geometry condition.
+    pub fn new(mbt_bits: u64, bst_bits: u64, rule_word_bits: u64) -> Self {
+        let physical_bits = mbt_bits;
+        assert!(
+            bst_bits <= physical_bits,
+            "BST ({bst_bits} bits) must fit the shared MBT region ({physical_bits} bits)"
+        );
+        let freed = physical_bits - bst_bits;
+        SharingReport {
+            physical_bits,
+            mbt_bits,
+            bst_bits,
+            freed_bits_bst_mode: freed,
+            extra_rule_capacity: (freed / rule_word_bits.max(1)) as usize,
+            unshared_bits: mbt_bits + bst_bits,
+        }
+    }
+
+    /// Bits saved by sharing versus provisioning both structures.
+    pub fn saved_bits(&self) -> u64 {
+        self.unshared_bits - self.physical_bits
+    }
+}
+
+impl fmt::Display for SharingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "shared region (4 IP dims):  {} bits", self.physical_bits)?;
+        writeln!(f, "  MBT mode occupies:        {} bits", self.mbt_bits)?;
+        writeln!(f, "  BST mode occupies:        {} bits", self.bst_bits)?;
+        writeln!(
+            f,
+            "  BST mode frees:           {} bits -> +{} rules",
+            self.freed_bits_bst_mode, self.extra_rule_capacity
+        )?;
+        write!(f, "  sharing saves:            {} bits vs unshared", self.saved_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_totals() {
+        let r = MemoryReport {
+            blocks: vec![
+                BlockUsage { name: "a".into(), provisioned_bits: 100, used_bits: 40 },
+                BlockUsage { name: "b".into(), provisioned_bits: 200, used_bits: 60 },
+            ],
+        };
+        assert_eq!(r.total_provisioned(), 300);
+        assert_eq!(r.total_used(), 100);
+        assert_eq!(r.provisioned_where(|n| n == "a"), 100);
+        let s = r.to_string();
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn sharing_arithmetic() {
+        let s = SharingReport::new(1000, 100, 200);
+        assert_eq!(s.freed_bits_bst_mode, 900);
+        assert_eq!(s.extra_rule_capacity, 4);
+        assert_eq!(s.saved_bits(), 100);
+        assert!(s.to_string().contains("+4 rules"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_bst_rejected() {
+        let _ = SharingReport::new(100, 200, 64);
+    }
+
+    #[test]
+    fn resource_report_uses_total() {
+        let r = MemoryReport {
+            blocks: vec![BlockUsage {
+                name: "x".into(),
+                provisioned_bits: 2_097_184,
+                used_bits: 0,
+            }],
+        };
+        let rr = r.resource_report();
+        assert_eq!(rr.mem_bits_used, 2_097_184);
+    }
+}

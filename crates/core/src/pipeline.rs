@@ -1,0 +1,108 @@
+//! Timing model of the 4-phase lookup pipeline (paper Fig 3, §V.B).
+//!
+//! * **Phase 1** (1 cycle): `Lookup_s` strobes; the header is split into
+//!   segments and steered to the selected engines.
+//! * **Phase 2** (engine-dependent): the seven single-field lookups run in
+//!   parallel; the phase's latency is the slowest engine (6 cycles for the
+//!   pipelined MBT, the tree depth for BST, 2 for port registers, 1 for
+//!   the protocol LUT).
+//! * **Phase 3** (1 cycle): the per-dimension HPMLs are combined into the
+//!   merged key ("one more cycle for the entire lookup process").
+//! * **Phase 4** (2 cycles + extra probes): hash and Rule Filter read.
+//!
+//! Throughput is governed by the **initiation interval** (II), not the
+//! latency: phases 1, 3 and 4 are pipelined, so II = 1 when every engine is
+//! pipelined (MBT mode ⇒ 133.51 M lookups/s) and II = the slowest
+//! non-pipelined engine otherwise (BST mode ⇒ ~16 cycles/packet).
+
+use serde::{Deserialize, Serialize};
+use spc_hwsim::ClockDomain;
+
+/// Cycle cost of phase 1 (header split + engine select).
+pub const PHASE1_CYCLES: u32 = 1;
+/// Cycle cost of phase 3 (label combination).
+pub const PHASE3_CYCLES: u32 = 1;
+/// Base cycle cost of phase 4 (hash + rule read, "two more cycles").
+pub const PHASE4_BASE_CYCLES: u32 = 2;
+
+/// Timing of one lookup through the 4-phase pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupTiming {
+    /// Cycles per phase: split, parallel field lookup, combination,
+    /// rule-filter access (including collision probes).
+    pub phase_cycles: [u32; 4],
+    /// Initiation interval — cycles between back-to-back packets.
+    pub initiation_interval: u32,
+}
+
+impl LookupTiming {
+    /// Builds the timing from the engine phase and rule-filter probing.
+    ///
+    /// `engine_latency` is the slowest engine's cycle count,
+    /// `engine_ii` the slowest engine's initiation interval, and
+    /// `rf_probe_reads` the Rule Filter words read in phase 4 (≥1 on any
+    /// completed lookup; collision probes and extra combination probes
+    /// lengthen the phase).
+    pub fn new(engine_latency: u32, engine_ii: u32, rf_probe_reads: u32) -> Self {
+        let phase4 = PHASE4_BASE_CYCLES + rf_probe_reads.saturating_sub(1);
+        LookupTiming {
+            phase_cycles: [PHASE1_CYCLES, engine_latency, PHASE3_CYCLES, phase4],
+            initiation_interval: engine_ii.max(rf_probe_reads.max(1)),
+        }
+    }
+
+    /// End-to-end latency in cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.phase_cycles.iter().sum()
+    }
+
+    /// Sustained throughput in Gbps at the given packet size.
+    pub fn throughput_gbps(&self, clock: ClockDomain, packet_bytes: u32) -> f64 {
+        clock.throughput_gbps(f64::from(self.initiation_interval), packet_bytes)
+    }
+
+    /// Sustained lookups per second.
+    pub fn lookups_per_sec(&self, clock: ClockDomain) -> f64 {
+        clock.lookups_per_sec(f64::from(self.initiation_interval))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_hwsim::MIN_PACKET_BYTES;
+
+    #[test]
+    fn mbt_mode_matches_paper() {
+        // MBT: 6-cycle engine latency, pipelined (II=1), single probe.
+        let t = LookupTiming::new(6, 1, 1);
+        assert_eq!(t.phase_cycles, [1, 6, 1, 2]);
+        assert_eq!(t.latency_cycles(), 10);
+        assert_eq!(t.initiation_interval, 1);
+        let gbps = t.throughput_gbps(ClockDomain::stratix_v(), MIN_PACKET_BYTES);
+        assert!((gbps - 42.73).abs() < 0.02, "got {gbps}");
+    }
+
+    #[test]
+    fn bst_mode_matches_paper() {
+        // BST: ~15-cycle engine, not pipelined -> II 16 incl. probe.
+        let t = LookupTiming::new(15, 15, 16);
+        assert_eq!(t.initiation_interval, 16);
+        let gbps = t.throughput_gbps(ClockDomain::stratix_v(), MIN_PACKET_BYTES);
+        assert!((gbps - 2.67).abs() < 0.01, "got {gbps}");
+    }
+
+    #[test]
+    fn collision_probes_stretch_phase4() {
+        let t = LookupTiming::new(6, 1, 3);
+        assert_eq!(t.phase_cycles[3], 4);
+        assert_eq!(t.initiation_interval, 3);
+    }
+
+    #[test]
+    fn zero_probe_lookup_never_underflows() {
+        let t = LookupTiming::new(6, 1, 0);
+        assert_eq!(t.phase_cycles[3], PHASE4_BASE_CYCLES);
+        assert_eq!(t.initiation_interval, 1);
+    }
+}

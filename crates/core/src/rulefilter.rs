@@ -1,0 +1,276 @@
+//! The Rule Filter memory block (paper §III.D, §IV.C.1).
+//!
+//! Rules live in a hash-addressed memory: the seven dimension labels are
+//! merged into a 68-bit key, folded by the hardware [`spc_hwsim::HashUnit`]
+//! into an address, and collisions are resolved by linear probing with the
+//! full key stored alongside the rule for rejection. The same unit serves
+//! update (rule insert = 2 data cycles + 1 hash cycle, §V.A) and lookup
+//! (phase 4).
+
+use crate::ClassifierError;
+use spc_hwsim::{HashUnit, MemoryBlock};
+use spc_types::{Rule, RuleId};
+
+/// One Rule Filter slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    Empty,
+    /// Deleted marker so probe chains stay intact.
+    Tombstone,
+    Occupied(StoredRule),
+}
+
+/// A stored rule with its label key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredRule {
+    /// Merged label key (up to 128 bits; 68 in the paper configuration).
+    pub key: u128,
+    /// The installed rule id.
+    pub id: RuleId,
+    /// The rule (including priority and action).
+    pub rule: Rule,
+}
+
+/// Result of a Rule Filter probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeResult {
+    /// The matching stored rule, if the key was present.
+    pub hit: Option<StoredRule>,
+    /// Memory words read while probing.
+    pub reads: u32,
+}
+
+/// The hash-addressed rule memory.
+///
+/// Word width model: key bits + rule body. The hardware word stores only
+/// what phase 4 needs — the full key for collision rejection, the rule's
+/// priority and its action/id (16+16+16 bits) — the 5-tuple itself stays
+/// in the software controller (a label-key hit already proves the match).
+#[derive(Debug)]
+pub struct RuleFilter {
+    slots: MemoryBlock<Slot>,
+    hash: HashUnit,
+    live: usize,
+    /// Longest probe sequence seen on insert (worst-case lookup cost).
+    max_probe: u32,
+}
+
+const RULE_BODY_BITS: u32 = 48;
+
+impl RuleFilter {
+    /// Creates a filter with `2^addr_bits` slots and a `key_bits`-wide key
+    /// field per word.
+    pub fn new(addr_bits: u32, key_bits: u32) -> Self {
+        let words = 1usize << addr_bits;
+        let mut slots = MemoryBlock::new("rule_filter", words, key_bits + RULE_BODY_BITS);
+        for _ in 0..words {
+            slots.alloc(Slot::Empty).expect("provisioned");
+        }
+        slots.reset_accesses();
+        RuleFilter { slots, hash: HashUnit::new(addr_bits), live: 0, max_probe: 0 }
+    }
+
+    /// Installed rule count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.words()
+    }
+
+    /// Longest insert-time probe chain observed.
+    pub fn max_probe(&self) -> u32 {
+        self.max_probe
+    }
+
+    /// Inserts a rule under its label key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClassifierError::DuplicateKey`] if the key is already installed;
+    /// [`ClassifierError::RuleFilterFull`] if no slot is free.
+    pub fn insert(&mut self, key: u128, id: RuleId, rule: Rule) -> Result<(), ClassifierError> {
+        let mut first_free: Option<usize> = None;
+        for i in 0..self.capacity() {
+            let addr = self.hash.probe(key, i);
+            match *self.slots.read(addr).expect("address in range") {
+                Slot::Empty => {
+                    let target = first_free.unwrap_or(addr);
+                    self.slots.write(target, Slot::Occupied(StoredRule { key, id, rule }))
+                        .expect("address in range");
+                    self.live += 1;
+                    self.max_probe = self.max_probe.max(i as u32 + 1);
+                    return Ok(());
+                }
+                Slot::Tombstone => {
+                    if first_free.is_none() {
+                        first_free = Some(addr);
+                    }
+                }
+                Slot::Occupied(s) if s.key == key => {
+                    return Err(ClassifierError::DuplicateKey { existing: s.id.0 });
+                }
+                Slot::Occupied(_) => {}
+            }
+        }
+        if let Some(addr) = first_free {
+            self.slots.write(addr, Slot::Occupied(StoredRule { key, id, rule }))
+                .expect("address in range");
+            self.live += 1;
+            self.max_probe = self.max_probe.max(self.capacity() as u32);
+            return Ok(());
+        }
+        Err(ClassifierError::RuleFilterFull)
+    }
+
+    /// Removes the rule stored under `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClassifierError::UnknownRule`] when the key is absent.
+    pub fn remove(&mut self, key: u128, id: RuleId) -> Result<Rule, ClassifierError> {
+        for i in 0..self.capacity() {
+            let addr = self.hash.probe(key, i);
+            match *self.slots.read(addr).expect("address in range") {
+                Slot::Empty => break,
+                Slot::Tombstone => continue,
+                Slot::Occupied(s) if s.key == key => {
+                    self.slots.write(addr, Slot::Tombstone).expect("address in range");
+                    self.live -= 1;
+                    return Ok(s.rule);
+                }
+                Slot::Occupied(_) => {}
+            }
+        }
+        Err(ClassifierError::UnknownRule { id: id.0 })
+    }
+
+    /// Probes for a key (phase 4 of the lookup pipeline).
+    pub fn probe(&self, key: u128) -> ProbeResult {
+        let mut reads = 0;
+        for i in 0..self.capacity() {
+            let addr = self.hash.probe(key, i);
+            reads += 1;
+            match *self.slots.read(addr).expect("address in range") {
+                Slot::Empty => break,
+                Slot::Tombstone => continue,
+                Slot::Occupied(s) if s.key == key => {
+                    return ProbeResult { hit: Some(s), reads };
+                }
+                Slot::Occupied(_) => {}
+            }
+        }
+        ProbeResult { hit: None, reads }
+    }
+
+    /// Provisioned bits of the rule memory.
+    pub fn provisioned_bits(&self) -> u64 {
+        self.slots.capacity_bits()
+    }
+
+    /// Bits occupied by live rules.
+    pub fn used_bits(&self) -> u64 {
+        self.live as u64 * u64::from(self.slots.width_bits())
+    }
+
+    /// Access counters.
+    pub fn access_counts(&self) -> spc_hwsim::AccessCounts {
+        self.slots.accesses()
+    }
+
+    /// Resets access counters.
+    pub fn reset_access_counts(&self) {
+        self.slots.reset_accesses();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_types::Priority;
+
+    fn rule(p: u32) -> Rule {
+        Rule::any(Priority(p))
+    }
+
+    #[test]
+    fn insert_probe_remove() {
+        let mut f = RuleFilter::new(6, 68);
+        f.insert(42, RuleId(0), rule(0)).unwrap();
+        let p = f.probe(42);
+        assert_eq!(p.hit.unwrap().id, RuleId(0));
+        assert!(p.reads >= 1);
+        assert!(f.probe(43).hit.is_none());
+        let r = f.remove(42, RuleId(0)).unwrap();
+        assert_eq!(r.priority, Priority(0));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut f = RuleFilter::new(6, 68);
+        f.insert(7, RuleId(0), rule(0)).unwrap();
+        assert!(matches!(
+            f.insert(7, RuleId(1), rule(1)),
+            Err(ClassifierError::DuplicateKey { existing: 0 })
+        ));
+    }
+
+    #[test]
+    fn collisions_probe_through() {
+        let mut f = RuleFilter::new(3, 68); // 8 slots force collisions
+        for k in 0..6u128 {
+            f.insert(k, RuleId(k as u32), rule(k as u32)).unwrap();
+        }
+        for k in 0..6u128 {
+            assert_eq!(f.probe(k).hit.unwrap().id, RuleId(k as u32), "key {k}");
+        }
+        assert!(f.max_probe() >= 1);
+    }
+
+    #[test]
+    fn full_filter_errors() {
+        let mut f = RuleFilter::new(2, 68);
+        for k in 0..4u128 {
+            f.insert(k, RuleId(k as u32), rule(0)).unwrap();
+        }
+        assert!(matches!(f.insert(99, RuleId(9), rule(0)), Err(ClassifierError::RuleFilterFull)));
+    }
+
+    #[test]
+    fn tombstones_keep_chains_intact() {
+        let mut f = RuleFilter::new(2, 68); // 4 slots: heavy collisions
+        for k in 0..4u128 {
+            f.insert(k, RuleId(k as u32), rule(0)).unwrap();
+        }
+        f.remove(0, RuleId(0)).unwrap();
+        // Keys displaced past key 0's slot must still be reachable.
+        for k in 1..4u128 {
+            assert!(f.probe(k).hit.is_some(), "key {k} lost after tombstoning");
+        }
+        // Tombstone is reused on insert.
+        f.insert(9, RuleId(9), rule(0)).unwrap();
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn remove_unknown() {
+        let mut f = RuleFilter::new(4, 68);
+        assert!(matches!(f.remove(5, RuleId(1)), Err(ClassifierError::UnknownRule { id: 1 })));
+    }
+
+    #[test]
+    fn bits_accounting() {
+        let f = RuleFilter::new(13, 68);
+        assert_eq!(f.capacity(), 8192);
+        assert_eq!(f.provisioned_bits(), 8192 * (68 + 48));
+        assert_eq!(f.used_bits(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Hardware substrate model for the SOCC 2014 classifier reproduction.
+//!
+//! The paper prototypes its architecture on an Altera Stratix V FPGA and
+//! reports memory bits, memory accesses per packet, clock frequency and the
+//! resulting line-rate throughput. This crate models exactly those
+//! quantities so the rest of the workspace can reproduce Tables V–VII
+//! without hardware:
+//!
+//! * [`MemoryBlock`] — a block RAM with fixed geometry (words × word width)
+//!   that stores the actual simulator data and counts every read/write;
+//! * [`ClockDomain`] — converts cycles/packet into lookups/s and Gbps the
+//!   same way the paper does (§V.C);
+//! * [`HashUnit`] — the hardware hash that folds the merged 68-bit label key
+//!   into a Rule Filter address (§IV.A, §IV.C.1);
+//! * [`SharedRegion`] — the Fig 5 memory-sharing multiplexer between the MBT
+//!   level-2 block and the BST node memory;
+//! * [`ResourceReport`] — the Table V synthesis summary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod hash;
+mod mem;
+mod resources;
+mod share;
+
+pub use clock::{ClockDomain, MIN_PACKET_BYTES, STRATIX_V_FMAX_MHZ};
+pub use hash::HashUnit;
+pub use mem::{AccessCounts, MemoryBlock, MemoryError};
+pub use resources::{
+    ResourceReport, STRATIX_V_MEM_BITS, STRATIX_V_TOTAL_ALMS, STRATIX_V_TOTAL_PINS,
+};
+pub use share::{ShareSelect, SharedRegion};

@@ -1,0 +1,308 @@
+//! Block-RAM model: fixed geometry, real storage, access counting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error from memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemoryError {
+    /// Address beyond the block's word capacity.
+    OutOfBounds {
+        /// Block name.
+        block: String,
+        /// Offending address.
+        addr: usize,
+        /// Word capacity.
+        words: usize,
+    },
+    /// The block is full (allocation-style writes only).
+    Full {
+        /// Block name.
+        block: String,
+        /// Word capacity.
+        words: usize,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfBounds { block, addr, words } => {
+                write!(f, "address {addr} out of bounds for block '{block}' ({words} words)")
+            }
+            MemoryError::Full { block, words } => {
+                write!(f, "memory block '{block}' is full ({words} words)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Read/write counters of a block (or an aggregate over blocks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// Number of word reads.
+    pub reads: u64,
+    /// Number of word writes.
+    pub writes: u64,
+}
+
+impl AccessCounts {
+    /// Total accesses (reads + writes).
+    pub fn total(self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::ops::Add for AccessCounts {
+    type Output = AccessCounts;
+    fn add(self, rhs: AccessCounts) -> AccessCounts {
+        AccessCounts { reads: self.reads + rhs.reads, writes: self.writes + rhs.writes }
+    }
+}
+
+impl std::iter::Sum for AccessCounts {
+    fn sum<I: Iterator<Item = AccessCounts>>(iter: I) -> Self {
+        iter.fold(AccessCounts::default(), |a, b| a + b)
+    }
+}
+
+/// A block RAM of `words` words, each `width_bits` wide, storing values of
+/// type `T` (one per word) and counting every access.
+///
+/// The element type `T` is the *semantic* content of a word (a trie node, a
+/// label list pointer, ...); `width_bits` is what the word costs in hardware
+/// and is used for the Table V/VI memory inventories. Keeping the two
+/// together means the simulator cannot silently use more state than the
+/// hardware it models provisions.
+///
+/// Reads use interior mutability (atomic counters) so lookup paths can stay
+/// `&self`, matching read-only data-plane access.
+///
+/// ```
+/// use spc_hwsim::MemoryBlock;
+/// let mut m: MemoryBlock<u32> = MemoryBlock::new("l1", 32, 24);
+/// let addr = m.alloc(7).unwrap();
+/// assert_eq!(*m.read(addr).unwrap(), 7);
+/// assert_eq!(m.accesses().reads, 1);
+/// assert_eq!(m.capacity_bits(), 32 * 24);
+/// ```
+#[derive(Debug)]
+pub struct MemoryBlock<T> {
+    name: String,
+    words: usize,
+    width_bits: u32,
+    data: Vec<T>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl<T> MemoryBlock<T> {
+    /// Creates an empty block with the given geometry.
+    pub fn new(name: impl Into<String>, words: usize, width_bits: u32) -> Self {
+        MemoryBlock {
+            name: name.into(),
+            words,
+            width_bits,
+            data: Vec::new(),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Block name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Word capacity.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Word width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    /// Provisioned capacity in bits (`words × width`).
+    pub fn capacity_bits(&self) -> u64 {
+        self.words as u64 * u64::from(self.width_bits)
+    }
+
+    /// Bits actually occupied (`used words × width`).
+    pub fn used_bits(&self) -> u64 {
+        self.data.len() as u64 * u64::from(self.width_bits)
+    }
+
+    /// Number of words currently allocated.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no words are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Remaining free words.
+    pub fn free_words(&self) -> usize {
+        self.words - self.data.len()
+    }
+
+    /// Appends a word, returning its address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Full`] when the block is at capacity.
+    pub fn alloc(&mut self, value: T) -> Result<usize, MemoryError> {
+        if self.data.len() >= self.words {
+            return Err(MemoryError::Full { block: self.name.clone(), words: self.words });
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.data.push(value);
+        Ok(self.data.len() - 1)
+    }
+
+    /// Reads the word at `addr`, charging one read access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfBounds`] for unallocated addresses.
+    pub fn read(&self, addr: usize) -> Result<&T, MemoryError> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.data.get(addr).ok_or_else(|| MemoryError::OutOfBounds {
+            block: self.name.clone(),
+            addr,
+            words: self.words,
+        })
+    }
+
+    /// Overwrites the word at `addr`, charging one write access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::OutOfBounds`] for unallocated addresses.
+    pub fn write(&mut self, addr: usize, value: T) -> Result<(), MemoryError> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        match self.data.get_mut(addr) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(MemoryError::OutOfBounds {
+                block: self.name.clone(),
+                addr,
+                words: self.words,
+            }),
+        }
+    }
+
+    /// Mutable access to a word *without* charging an access — for software
+    /// (controller-side) restructuring that happens off the data path.
+    pub fn get_mut_untracked(&mut self, addr: usize) -> Option<&mut T> {
+        self.data.get_mut(addr)
+    }
+
+    /// Read without charging an access — controller-side inspection.
+    pub fn get_untracked(&self, addr: usize) -> Option<&T> {
+        self.data.get(addr)
+    }
+
+    /// Clears content (e.g. software rebuild), keeping geometry and counters.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Current access counters.
+    pub fn accesses(&self) -> AccessCounts {
+        AccessCounts {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the access counters (e.g. between benchmark phases).
+    pub fn reset_accesses(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_and_capacity() {
+        let m: MemoryBlock<u8> = MemoryBlock::new("b", 1024, 36);
+        assert_eq!(m.capacity_bits(), 36864);
+        assert_eq!(m.words(), 1024);
+        assert_eq!(m.width_bits(), 36);
+        assert!(m.is_empty());
+        assert_eq!(m.free_words(), 1024);
+    }
+
+    #[test]
+    fn alloc_read_write_count() {
+        let mut m: MemoryBlock<u32> = MemoryBlock::new("b", 4, 8);
+        let a0 = m.alloc(10).unwrap();
+        let a1 = m.alloc(11).unwrap();
+        assert_eq!((a0, a1), (0, 1));
+        assert_eq!(*m.read(a1).unwrap(), 11);
+        m.write(a0, 20).unwrap();
+        assert_eq!(*m.read(a0).unwrap(), 20);
+        let c = m.accesses();
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 3); // 2 allocs + 1 write
+        assert_eq!(c.total(), 5);
+        assert_eq!(m.used_bits(), 16);
+    }
+
+    #[test]
+    fn full_and_oob_errors() {
+        let mut m: MemoryBlock<u32> = MemoryBlock::new("tiny", 1, 8);
+        m.alloc(1).unwrap();
+        assert!(matches!(m.alloc(2), Err(MemoryError::Full { .. })));
+        assert!(matches!(m.read(5), Err(MemoryError::OutOfBounds { addr: 5, .. })));
+        assert!(matches!(m.write(5, 0), Err(MemoryError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn untracked_access_does_not_count() {
+        let mut m: MemoryBlock<u32> = MemoryBlock::new("b", 4, 8);
+        m.alloc(1).unwrap();
+        m.reset_accesses();
+        assert_eq!(*m.get_untracked(0).unwrap(), 1);
+        *m.get_mut_untracked(0).unwrap() = 9;
+        assert_eq!(m.accesses(), AccessCounts::default());
+        assert_eq!(*m.read(0).unwrap(), 9);
+    }
+
+    #[test]
+    fn clear_keeps_geometry() {
+        let mut m: MemoryBlock<u32> = MemoryBlock::new("b", 4, 8);
+        m.alloc(1).unwrap();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.words(), 4);
+    }
+
+    #[test]
+    fn counts_sum_and_add() {
+        let a = AccessCounts { reads: 1, writes: 2 };
+        let b = AccessCounts { reads: 3, writes: 4 };
+        assert_eq!((a + b).total(), 10);
+        let s: AccessCounts = [a, b].into_iter().sum();
+        assert_eq!(s, AccessCounts { reads: 4, writes: 6 });
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MemoryError::Full { block: "x".into(), words: 4 };
+        assert!(e.to_string().contains("full"));
+    }
+}

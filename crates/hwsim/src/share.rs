@@ -1,0 +1,149 @@
+//! Memory sharing between the two IP lookup algorithms (paper Fig 5).
+//!
+//! Both MBT and BST structures are synthesised, but the paper avoids paying
+//! for both memories: the MBT **level-2** block has the same geometry
+//! (dimension, input and output width) as the BST node memory, so one
+//! physical block stores *Data 1* (MBT level-2 nodes) or *Data 2* (BST
+//! nodes) depending on the `IPalg_s` select signal. The remaining MBT blocks
+//! are then free in BST mode and store *Data 3* (additional rule
+//! information) or more BST nodes — which is how the BST configuration
+//! reaches 12K rules where MBT holds 8K (Table VI).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The `IPalg_s` configuration signal selecting the IP lookup algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ShareSelect {
+    /// Multi-bit trie: fast lookup (1 packet/cycle pipelined).
+    #[default]
+    Mbt,
+    /// Binary search tree: memory-lean, higher rule capacity.
+    Bst,
+}
+
+impl fmt::Display for ShareSelect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShareSelect::Mbt => f.write_str("MBT"),
+            ShareSelect::Bst => f.write_str("BST"),
+        }
+    }
+}
+
+/// The Fig 5 shared-memory multiplexer for one segmented IP field.
+///
+/// Capacity arithmetic only — the actual node storage lives in the lookup
+/// engines' [`crate::MemoryBlock`]s; this type answers "how many words of
+/// which block does configuration X get", and validates the geometry
+/// condition the paper states (level-2 and BST memories must share
+/// dimension and word size).
+///
+/// ```
+/// use spc_hwsim::{SharedRegion, ShareSelect};
+/// let sh = SharedRegion::new(1024, 36, 2048, 36);
+/// assert_eq!(sh.bst_node_words(), 1024 + 2048); // BST mode claims both
+/// assert_eq!(sh.extra_words(ShareSelect::Mbt), 0);
+/// assert_eq!(sh.extra_words(ShareSelect::Bst), 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedRegion {
+    level2_words: usize,
+    level2_width: u32,
+    rest_words: usize,
+    rest_width: u32,
+}
+
+impl SharedRegion {
+    /// Creates the shared region.
+    ///
+    /// `level2_*` describes the dual-use block (MBT level 2 / BST nodes);
+    /// `rest_*` the remaining MBT memory reusable in BST mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the level-2 width differs from the rest width, which would
+    /// violate the paper's sharing condition (a BST node must fit either
+    /// block unchanged).
+    pub fn new(level2_words: usize, level2_width: u32, rest_words: usize, rest_width: u32) -> Self {
+        assert_eq!(
+            level2_width, rest_width,
+            "shared blocks must have one word geometry (paper §IV.C.2)"
+        );
+        SharedRegion { level2_words, level2_width, rest_words, rest_width }
+    }
+
+    /// Words available to MBT level 2 in MBT mode.
+    pub fn mbt_level2_words(self) -> usize {
+        self.level2_words
+    }
+
+    /// Total words available to BST nodes in BST mode (level-2 block plus
+    /// the reclaimed rest).
+    pub fn bst_node_words(self) -> usize {
+        self.level2_words + self.rest_words
+    }
+
+    /// Words left over for extra rule storage under the given select.
+    pub fn extra_words(self, select: ShareSelect) -> usize {
+        match select {
+            ShareSelect::Mbt => 0,
+            ShareSelect::Bst => self.rest_words,
+        }
+    }
+
+    /// Physical bits of the whole region (what synthesis must provision —
+    /// the same in either mode, which is the point of sharing).
+    pub fn physical_bits(self) -> u64 {
+        (self.level2_words as u64 + self.rest_words as u64) * u64::from(self.level2_width)
+    }
+
+    /// Bits that would be needed *without* sharing (separate MBT and BST
+    /// memories); the saving is the difference.
+    pub fn unshared_bits(self) -> u64 {
+        // Without sharing: the full MBT memory plus a dedicated BST memory
+        // of level-2 geometry.
+        self.physical_bits() + self.level2_words as u64 * u64::from(self.level2_width)
+    }
+
+    /// Word width shared by both blocks.
+    pub fn width_bits(self) -> u32 {
+        self.level2_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_display_and_default() {
+        assert_eq!(ShareSelect::Mbt.to_string(), "MBT");
+        assert_eq!(ShareSelect::Bst.to_string(), "BST");
+        assert_eq!(ShareSelect::default(), ShareSelect::Mbt);
+    }
+
+    #[test]
+    #[should_panic(expected = "one word geometry")]
+    fn mismatched_width_rejected() {
+        let _ = SharedRegion::new(8, 36, 8, 40);
+    }
+
+    #[test]
+    fn capacity_arithmetic() {
+        let sh = SharedRegion::new(1024, 32, 512, 32);
+        assert_eq!(sh.mbt_level2_words(), 1024);
+        assert_eq!(sh.bst_node_words(), 1536);
+        assert_eq!(sh.extra_words(ShareSelect::Bst), 512);
+        assert_eq!(sh.extra_words(ShareSelect::Mbt), 0);
+        assert_eq!(sh.physical_bits(), 1536 * 32);
+        assert!(sh.unshared_bits() > sh.physical_bits());
+        assert_eq!(sh.width_bits(), 32);
+    }
+
+    #[test]
+    fn sharing_saves_level2_duplicate() {
+        let sh = SharedRegion::new(1000, 36, 3000, 36);
+        assert_eq!(sh.unshared_bits() - sh.physical_bits(), 1000 * 36);
+    }
+}

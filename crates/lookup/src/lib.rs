@@ -1,0 +1,42 @@
+//! Single-field lookup engines with the DCFL label method.
+//!
+//! This crate implements phase 2 of the SOCC 2014 architecture: the
+//! per-dimension lookup algorithms that map a 16-bit header segment to a
+//! priority-sorted list of labels.
+//!
+//! * [`MultiBitTrie`] — fixed-stride trie with prefix expansion (5/5/6 for
+//!   a segment; also the 32-bit "Option 1/2" tries of Table I);
+//! * [`RangeBst`] — balanced BST over elementary intervals, software
+//!   rebuilt on update (memory-lean IP algorithm);
+//! * [`SegmentTrie`] — multi-level trie with canonical range decomposition
+//!   (port engine of the Table I options);
+//! * [`PortRegisters`] — parallel match registers with Table IV's
+//!   exact-then-tightest label ordering;
+//! * [`ProtocolLut`] — single-cycle direct table.
+//!
+//! Engines share a contract ([`FieldEngine`]) and are deliberately split
+//! from the per-dimension label memory ([`LabelStore`]) so the `IPalg_s`
+//! select signal can swap algorithms without touching label storage
+//! (§IV.C.2), and from label allocation, which belongs to the software
+//! controller (Fig 4, implemented in `spc-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bst;
+mod engine;
+mod label;
+mod mbt;
+mod portregs;
+mod protolut;
+mod segtrie;
+mod store;
+
+pub use bst::RangeBst;
+pub use engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+pub use label::{Label, LabelAllocator, LabelEntry, LabelError, LabelList, LabelWidths};
+pub use mbt::{MbtConfig, MultiBitTrie};
+pub use portregs::PortRegisters;
+pub use protolut::ProtocolLut;
+pub use segtrie::{SegTrieConfig, SegmentTrie};
+pub use store::{LabelStore, ListPtr, StoreError};

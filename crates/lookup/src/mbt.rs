@@ -1,0 +1,576 @@
+//! Multi-bit trie (MBT) — the paper's fast IP lookup engine (§IV.B–C).
+//!
+//! A fixed-stride multi-bit trie with prefix expansion. The prototype
+//! configuration for a 16-bit IP segment uses three levels of 5, 5 and 6
+//! bits; each level is its own memory block so the three node reads (plus
+//! three label-list reads) pipeline into a 6-cycle latency with an
+//! initiation interval of one packet per cycle (§V.B).
+//!
+//! The trie is *width-generic*: the same type implements the 32-bit,
+//! 5-level tries evaluated as "Option 1/2" in Table I.
+
+use crate::engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+use crate::label::{Label, LabelEntry, LabelList};
+use crate::store::{LabelStore, ListPtr};
+use spc_hwsim::{AccessCounts, MemoryBlock};
+use spc_types::DimValue;
+
+/// Geometry of a [`MultiBitTrie`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MbtConfig {
+    /// Key width in bits (16 for segment dimensions, 32 for full IP).
+    pub key_bits: u8,
+    /// Per-level strides; must sum to `key_bits`.
+    pub strides: Vec<u8>,
+    /// Provisioned node capacity per level (level 0 is the single root).
+    pub level_nodes: Vec<usize>,
+    /// Width charged per slot for the label-list pointer.
+    pub list_ptr_bits: u8,
+}
+
+impl MbtConfig {
+    /// Validated constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strides don't sum to `key_bits`, lengths mismatch, or
+    /// level 0 capacity is not exactly 1.
+    pub fn new(key_bits: u8, strides: Vec<u8>, level_nodes: Vec<usize>) -> Self {
+        assert_eq!(
+            strides.iter().map(|s| u32::from(*s)).sum::<u32>(),
+            u32::from(key_bits),
+            "strides must sum to key width"
+        );
+        assert!(strides.iter().all(|s| (1..=12).contains(s)), "strides must be 1..=12");
+        assert_eq!(strides.len(), level_nodes.len(), "one capacity per level");
+        assert_eq!(level_nodes[0], 1, "level 0 is the single root node");
+        MbtConfig { key_bits, strides, level_nodes, list_ptr_bits: 13 }
+    }
+
+    /// The paper's 16-bit segment trie: strides 5/5/6 (§IV.C).
+    ///
+    /// `leaf_nodes` provisions level 2 (the big block); level 1 is fully
+    /// provisioned (32 nodes).
+    pub fn segment_paper(leaf_nodes: usize) -> Self {
+        MbtConfig::new(16, vec![5, 5, 6], vec![1, 32, leaf_nodes])
+    }
+
+    /// A 5-level trie over full 32-bit IP fields (Table I "Option 1").
+    pub fn ip32_5level(per_level_nodes: usize) -> Self {
+        MbtConfig::new(
+            32,
+            vec![7, 7, 6, 6, 6],
+            vec![1, 128, per_level_nodes, per_level_nodes, per_level_nodes],
+        )
+    }
+
+    /// A 4-level trie over full 32-bit IP fields (Table I "Option 2").
+    pub fn ip32_4level(per_level_nodes: usize) -> Self {
+        MbtConfig::new(
+            32,
+            vec![8, 8, 8, 8],
+            vec![1, 256, per_level_nodes, per_level_nodes],
+        )
+    }
+
+    fn cum(&self) -> Vec<u8> {
+        let mut acc = 0;
+        self.strides
+            .iter()
+            .map(|s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    }
+
+    fn child_ptr_bits(&self, level: usize) -> u32 {
+        if level + 1 >= self.level_nodes.len() {
+            0
+        } else {
+            (self.level_nodes[level + 1].max(2) as u64).next_power_of_two().trailing_zeros()
+        }
+    }
+
+    /// Slot word width at a level: child pointer + valid bit + list pointer
+    /// + valid bit.
+    pub fn slot_width_bits(&self, level: usize) -> u32 {
+        self.child_ptr_bits(level) + 1 + u32::from(self.list_ptr_bits) + 1
+    }
+}
+
+/// One trie slot (a word of a level memory block).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Slot {
+    child: Option<u32>,
+    list: Option<ListPtr>,
+}
+
+/// The multi-bit trie engine.
+///
+/// ```
+/// use spc_lookup::{MultiBitTrie, MbtConfig, LabelStore, LabelEntry, Label, FieldEngine};
+/// use spc_types::{DimValue, SegPrefix, Priority};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = LabelStore::new("sip_hi", 1024, 13);
+/// let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(64));
+/// mbt.insert(
+///     &mut store,
+///     DimValue::Seg(SegPrefix::masked(0x0a00, 8)),
+///     LabelEntry::by_priority(Label(0), Priority(0)),
+/// )?;
+/// let hit = mbt.lookup(&store, 0x0aff)?;
+/// assert_eq!(hit.labels.head().unwrap().label, Label(0));
+/// assert!(mbt.lookup(&store, 0x0bff)?.labels.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MultiBitTrie {
+    config: MbtConfig,
+    cum: Vec<u8>,
+    levels: Vec<MemoryBlock<Slot>>,
+    nodes_per_level: Vec<u32>,
+    wildcard: Option<ListPtr>,
+}
+
+impl MultiBitTrie {
+    /// Creates an empty trie with the given geometry (root pre-allocated).
+    pub fn new(config: MbtConfig) -> Self {
+        let cum = config.cum();
+        let mut levels: Vec<MemoryBlock<Slot>> = config
+            .strides
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                MemoryBlock::new(
+                    format!("mbt_l{k}"),
+                    config.level_nodes[k] << s,
+                    config.slot_width_bits(k),
+                )
+            })
+            .collect();
+        // Allocate the root node.
+        for _ in 0..(1usize << config.strides[0]) {
+            levels[0].alloc(Slot::default()).expect("root fits by construction");
+        }
+        let nodes_per_level = {
+            let mut v = vec![0u32; config.strides.len()];
+            v[0] = 1;
+            v
+        };
+        MultiBitTrie { config, cum, levels, nodes_per_level, wildcard: None }
+    }
+
+    /// The trie geometry.
+    pub fn config(&self) -> &MbtConfig {
+        &self.config
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.config.strides.len()
+    }
+
+    /// Fixed pipeline latency: one node read plus one list read per level.
+    pub fn latency_cycles(&self) -> u32 {
+        2 * self.num_levels() as u32
+    }
+
+    /// Nodes allocated per level.
+    pub fn node_counts(&self) -> &[u32] {
+        &self.nodes_per_level
+    }
+
+    fn chunk(&self, value: u32, level: usize) -> usize {
+        let shift = u32::from(self.config.key_bits) - u32::from(self.cum[level]);
+        ((value >> shift) as usize) & ((1 << self.config.strides[level]) - 1)
+    }
+
+    fn alloc_node(&mut self, level: usize) -> Result<u32, EngineError> {
+        let slots = 1usize << self.config.strides[level];
+        if self.levels[level].free_words() < slots {
+            return Err(EngineError::Capacity { what: format!("mbt_l{level} nodes") });
+        }
+        let base = self.levels[level].len();
+        for _ in 0..slots {
+            self.levels[level].alloc(Slot::default())?;
+        }
+        let idx = (base >> self.config.strides[level]) as u32;
+        self.nodes_per_level[level] += 1;
+        Ok(idx)
+    }
+
+    fn slot_addr(&self, level: usize, node: u32, idx: usize) -> usize {
+        ((node as usize) << self.config.strides[level]) + idx
+    }
+
+    /// Level index whose cumulative stride first covers `len`.
+    fn target_level(&self, len: u8) -> usize {
+        self.cum.iter().position(|c| len <= *c).expect("len <= key_bits")
+    }
+
+    /// Inserts a `(value, len)` prefix with the given label entry.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Capacity`] when a level block or the label store is
+    /// full.
+    pub fn insert_prefix(
+        &mut self,
+        store: &mut LabelStore,
+        value: u32,
+        len: u8,
+        entry: LabelEntry,
+    ) -> Result<(), EngineError> {
+        assert!(len <= self.config.key_bits, "prefix longer than key");
+        if len == 0 {
+            let ptr = match self.wildcard {
+                Some(p) => p,
+                None => {
+                    let p = store.alloc_list()?;
+                    self.wildcard = Some(p);
+                    p
+                }
+            };
+            store.insert(ptr, entry)?;
+            return Ok(());
+        }
+        let target = self.target_level(len);
+        let mut node = 0u32;
+        for level in 0..target {
+            let idx = self.chunk(value, level);
+            let addr = self.slot_addr(level, node, idx);
+            let mut slot = *self.levels[level].read(addr)?;
+            let child = match slot.child {
+                Some(c) => c,
+                None => {
+                    let c = self.alloc_node(level + 1)?;
+                    slot.child = Some(c);
+                    self.levels[level].write(addr, slot)?;
+                    c
+                }
+            };
+            node = child;
+        }
+        // Prefix expansion at the target level.
+        let fill = 1usize << (self.cum[target] - len);
+        let base = self.chunk(value, target) & !(fill - 1);
+        for i in 0..fill {
+            let addr = self.slot_addr(target, node, base + i);
+            let mut slot = *self.levels[target].read(addr)?;
+            let ptr = match slot.list {
+                Some(p) => p,
+                None => {
+                    let p = store.alloc_list()?;
+                    slot.list = Some(p);
+                    self.levels[target].write(addr, slot)?;
+                    p
+                }
+            };
+            store.insert(ptr, entry)?;
+        }
+        Ok(())
+    }
+
+    /// Removes a `(value, len, label)` binding.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NotFound`] when the prefix/label is absent.
+    pub fn remove_prefix(
+        &mut self,
+        store: &mut LabelStore,
+        value: u32,
+        len: u8,
+        label: Label,
+    ) -> Result<(), EngineError> {
+        assert!(len <= self.config.key_bits, "prefix longer than key");
+        if len == 0 {
+            let ptr = self.wildcard.ok_or(EngineError::NotFound)?;
+            if !store.remove(ptr, label)? {
+                return Err(EngineError::NotFound);
+            }
+            return Ok(());
+        }
+        let target = self.target_level(len);
+        let mut node = 0u32;
+        for level in 0..target {
+            let idx = self.chunk(value, level);
+            let addr = self.slot_addr(level, node, idx);
+            let slot = *self.levels[level].read(addr)?;
+            node = slot.child.ok_or(EngineError::NotFound)?;
+        }
+        let fill = 1usize << (self.cum[target] - len);
+        let base = self.chunk(value, target) & !(fill - 1);
+        let mut removed_any = false;
+        for i in 0..fill {
+            let addr = self.slot_addr(target, node, base + i);
+            let slot = *self.levels[target].read(addr)?;
+            if let Some(ptr) = slot.list {
+                removed_any |= store.remove(ptr, label)?;
+            }
+        }
+        if removed_any {
+            Ok(())
+        } else {
+            Err(EngineError::NotFound)
+        }
+    }
+
+    /// Looks up a full-width key, collecting label lists along the path.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for in-range keys; `Result` mirrors the trait.
+    pub fn lookup_key(&self, store: &LabelStore, key: u32) -> Result<LookupResult, EngineError> {
+        let mut reads = 0u32;
+        let mut labels = LabelList::new();
+        if let Some(ptr) = self.wildcard {
+            if store.len_untracked(ptr)? > 0 {
+                let l = store.read_all(ptr)?;
+                reads += l.len() as u32;
+                labels = labels.merged(&l);
+            }
+        }
+        let mut node = 0u32;
+        for level in 0..self.num_levels() {
+            let idx = self.chunk(key, level);
+            let addr = self.slot_addr(level, node, idx);
+            let slot = *self.levels[level].read(addr)?;
+            reads += 1;
+            if let Some(ptr) = slot.list {
+                let l = store.read_all(ptr)?;
+                reads += l.len() as u32;
+                labels = labels.merged(&l);
+            }
+            match slot.child {
+                Some(c) => node = c,
+                None => break,
+            }
+        }
+        Ok(LookupResult { labels, mem_reads: reads, cycles: self.latency_cycles() })
+    }
+}
+
+impl FieldEngine for MultiBitTrie {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Mbt
+    }
+
+    fn insert(
+        &mut self,
+        store: &mut LabelStore,
+        value: DimValue,
+        entry: LabelEntry,
+    ) -> Result<(), EngineError> {
+        let DimValue::Seg(seg) = value else {
+            return Err(EngineError::ValueKind { expected: "Seg" });
+        };
+        debug_assert_eq!(self.config.key_bits, 16, "segment engine must be 16-bit");
+        self.insert_prefix(store, u32::from(seg.value()), seg.len(), entry)
+    }
+
+    fn remove(
+        &mut self,
+        store: &mut LabelStore,
+        value: DimValue,
+        label: Label,
+    ) -> Result<(), EngineError> {
+        let DimValue::Seg(seg) = value else {
+            return Err(EngineError::ValueKind { expected: "Seg" });
+        };
+        self.remove_prefix(store, u32::from(seg.value()), seg.len(), label)
+    }
+
+    fn lookup(&self, store: &LabelStore, query: u16) -> Result<LookupResult, EngineError> {
+        self.lookup_key(store, u32::from(query))
+    }
+
+    fn provisioned_bits(&self) -> u64 {
+        self.levels.iter().map(|b| b.capacity_bits()).sum()
+    }
+
+    fn used_bits(&self) -> u64 {
+        self.levels.iter().map(|b| b.used_bits()).sum()
+    }
+
+    fn access_counts(&self) -> AccessCounts {
+        self.levels.iter().map(|b| b.accesses()).sum()
+    }
+
+    fn reset_access_counts(&self) {
+        for b in &self.levels {
+            b.reset_accesses();
+        }
+    }
+
+    fn is_pipelined(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_types::{Priority, SegPrefix};
+
+    fn store() -> LabelStore {
+        LabelStore::new("test", 4096, 13)
+    }
+
+    fn entry(id: u16, p: u32) -> LabelEntry {
+        LabelEntry::by_priority(Label(id), Priority(p))
+    }
+
+    #[test]
+    fn empty_lookup_is_empty() {
+        let s = store();
+        let mbt = MultiBitTrie::new(MbtConfig::segment_paper(16));
+        let r = mbt.lookup(&s, 0x1234).unwrap();
+        assert!(r.labels.is_empty());
+        assert_eq!(r.cycles, 6); // paper §V.B: 6-cycle MBT latency
+        assert!(r.mem_reads >= 1);
+    }
+
+    #[test]
+    fn exact_and_nested_prefixes_collect() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(64));
+        // /4, /9 and /16 nested prefixes all matching 0xa234.
+        mbt.insert_prefix(&mut s, 0xa000, 4, entry(1, 10)).unwrap();
+        mbt.insert_prefix(&mut s, 0xa200, 9, entry(2, 5)).unwrap();
+        mbt.insert_prefix(&mut s, 0xa234, 16, entry(3, 20)).unwrap();
+        let r = mbt.lookup_key(&s, 0xa234).unwrap();
+        let ids: Vec<u16> = r.labels.iter().map(|e| e.label.0).collect();
+        assert_eq!(ids, vec![2, 1, 3]); // sorted by priority 5,10,20
+        // Non-matching key sees only the /4.
+        let r2 = mbt.lookup_key(&s, 0xa900).unwrap();
+        let ids2: Vec<u16> = r2.labels.iter().map(|e| e.label.0).collect();
+        assert_eq!(ids2, vec![1]);
+    }
+
+    #[test]
+    fn wildcard_prefix_matches_everything() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(8));
+        mbt.insert_prefix(&mut s, 0, 0, entry(9, 1)).unwrap();
+        for q in [0u32, 0xffff, 0x8000] {
+            let r = mbt.lookup_key(&s, q).unwrap();
+            assert!(r.labels.contains(Label(9)));
+        }
+    }
+
+    #[test]
+    fn expansion_covers_whole_range() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(8));
+        // /7 prefix expands into 2^(10-7)=8 level-1 slots... check the
+        // boundary values all match and neighbours don't.
+        let p = SegPrefix::masked(0x4600, 7);
+        mbt.insert_prefix(&mut s, u32::from(p.value()), 7, entry(4, 0)).unwrap();
+        assert!(mbt.lookup_key(&s, u32::from(p.first())).unwrap().labels.contains(Label(4)));
+        assert!(mbt.lookup_key(&s, u32::from(p.last())).unwrap().labels.contains(Label(4)));
+        assert!(!mbt
+            .lookup_key(&s, u32::from(p.first().wrapping_sub(1)))
+            .unwrap()
+            .labels
+            .contains(Label(4)));
+        assert!(!mbt
+            .lookup_key(&s, u32::from(p.last().wrapping_add(1)))
+            .unwrap()
+            .labels
+            .contains(Label(4)));
+    }
+
+    #[test]
+    fn remove_prefix_clears_labels() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(8));
+        mbt.insert_prefix(&mut s, 0xa000, 4, entry(1, 1)).unwrap();
+        mbt.remove_prefix(&mut s, 0xa000, 4, Label(1)).unwrap();
+        assert!(mbt.lookup_key(&s, 0xa000).unwrap().labels.is_empty());
+        assert!(matches!(
+            mbt.remove_prefix(&mut s, 0xa000, 4, Label(1)),
+            Err(EngineError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn capacity_error_on_leaf_exhaustion() {
+        let mut s = store();
+        // Only 1 leaf node: two distinct level-2 paths can't both fit.
+        let mut mbt = MultiBitTrie::new(MbtConfig::new(16, vec![5, 5, 6], vec![1, 32, 1]));
+        mbt.insert_prefix(&mut s, 0x0000, 16, entry(1, 1)).unwrap();
+        let err = mbt.insert_prefix(&mut s, 0xffff, 16, entry(2, 2));
+        assert!(matches!(err, Err(EngineError::Capacity { .. })));
+    }
+
+    #[test]
+    fn upsert_reorders_priority() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(8));
+        mbt.insert_prefix(&mut s, 0xa000, 8, entry(1, 50)).unwrap();
+        mbt.insert_prefix(&mut s, 0xa000, 4, entry(2, 10)).unwrap();
+        assert_eq!(mbt.lookup_key(&s, 0xa0ff).unwrap().labels.head().unwrap().label, Label(2));
+        // Label 1's value gains a higher-priority user.
+        mbt.insert_prefix(&mut s, 0xa000, 8, entry(1, 1)).unwrap();
+        assert_eq!(mbt.lookup_key(&s, 0xa0ff).unwrap().labels.head().unwrap().label, Label(1));
+    }
+
+    #[test]
+    fn trait_rejects_wrong_value_kind() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(8));
+        let err = FieldEngine::insert(
+            &mut mbt,
+            &mut s,
+            DimValue::Port(spc_types::PortRange::ANY),
+            entry(1, 1),
+        );
+        assert!(matches!(err, Err(EngineError::ValueKind { expected: "Seg" })));
+    }
+
+    #[test]
+    fn access_counting_increases_on_lookup() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(8));
+        mbt.insert_prefix(&mut s, 0xa000, 8, entry(1, 1)).unwrap();
+        mbt.reset_access_counts();
+        s.reset_access_counts();
+        let r = mbt.lookup_key(&s, 0xa0ff).unwrap();
+        let struct_reads = mbt.access_counts().reads;
+        let list_reads = s.access_counts().reads;
+        assert_eq!(struct_reads + list_reads, u64::from(r.mem_reads));
+    }
+
+    #[test]
+    fn ip32_lookup() {
+        let mut s = LabelStore::new("ip32", 4096, 13);
+        let mut mbt = MultiBitTrie::new(MbtConfig::ip32_5level(256));
+        mbt.insert_prefix(&mut s, 0x0a000000, 8, entry(1, 1)).unwrap();
+        mbt.insert_prefix(&mut s, 0x0a0b0c00, 24, entry(2, 2)).unwrap();
+        let r = mbt.lookup_key(&s, 0x0a0b0c0d).unwrap();
+        assert_eq!(r.labels.len(), 2);
+        assert_eq!(r.cycles, 10); // 5 levels * 2
+        let r2 = mbt.lookup_key(&s, 0x0b000000).unwrap();
+        assert!(r2.labels.is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_monotone() {
+        let mut s = store();
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(64));
+        let before = mbt.used_bits();
+        mbt.insert_prefix(&mut s, 0x1234, 16, entry(1, 1)).unwrap();
+        assert!(mbt.used_bits() > before);
+        assert!(mbt.provisioned_bits() >= mbt.used_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "strides must sum")]
+    fn bad_strides_rejected() {
+        let _ = MbtConfig::new(16, vec![5, 5], vec![1, 32]);
+    }
+}

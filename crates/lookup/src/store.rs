@@ -1,0 +1,319 @@
+//! The per-dimension *Labels memory block* (paper §III.D).
+//!
+//! Every unique rule-field value owns a priority-sorted list of labels...
+//! more precisely, every *lookup structure node* points at a list stored in
+//! this block. The store is deliberately separate from the lookup engines:
+//! §IV.C.2 requires that "the Label memory block for one field can also be
+//! stored without any effect on the chosen algorithm combination", which is
+//! what lets `IPalg_s` swap MBT for BST without touching label storage.
+//!
+//! Accounting model: a list of `n` labels occupies `n` words of
+//! `label_bits` each (priority is implied by list order in hardware).
+//! Reading the head costs one access; reading the whole list costs its
+//! length; inserting into / removing from a sorted list rewrites it, which
+//! is charged as `new length` writes.
+
+use crate::label::{Label, LabelEntry, LabelList};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pointer to a label list inside a [`LabelStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ListPtr(pub u32);
+
+impl fmt::Display for ListPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Error from label-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The store's provisioned entry capacity is exhausted.
+    Full {
+        /// Store name.
+        store: String,
+        /// Entry capacity.
+        capacity: usize,
+    },
+    /// A dangling list pointer was dereferenced.
+    BadPtr {
+        /// Store name.
+        store: String,
+        /// The pointer.
+        ptr: u32,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Full { store, capacity } => {
+                write!(f, "label store '{store}' is full ({capacity} entries)")
+            }
+            StoreError::BadPtr { store, ptr } => {
+                write!(f, "dangling list pointer {ptr} in label store '{store}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The Labels memory block of one dimension.
+#[derive(Debug)]
+pub struct LabelStore {
+    name: String,
+    label_bits: u8,
+    capacity_entries: usize,
+    lists: Vec<LabelList>,
+    entries_used: usize,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl LabelStore {
+    /// Creates a store provisioned for `capacity_entries` label entries of
+    /// `label_bits` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label_bits` is 0 or `capacity_entries` is 0.
+    pub fn new(name: impl Into<String>, capacity_entries: usize, label_bits: u8) -> Self {
+        assert!(label_bits > 0, "label width must be positive");
+        assert!(capacity_entries > 0, "store capacity must be positive");
+        LabelStore {
+            name: name.into(),
+            label_bits,
+            capacity_entries,
+            lists: Vec::new(),
+            entries_used: 0,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Store name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Label width in bits.
+    pub fn label_bits(&self) -> u8 {
+        self.label_bits
+    }
+
+    /// Allocates a new, empty list.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today (lists are cheap; entries are the bounded
+    /// resource) but returns `Result` for future-proofing of the pointer
+    /// namespace.
+    pub fn alloc_list(&mut self) -> Result<ListPtr, StoreError> {
+        self.lists.push(LabelList::new());
+        Ok(ListPtr(self.lists.len() as u32 - 1))
+    }
+
+    fn list_mut(&mut self, ptr: ListPtr) -> Result<&mut LabelList, StoreError> {
+        let name = self.name.clone();
+        self.lists
+            .get_mut(ptr.0 as usize)
+            .ok_or(StoreError::BadPtr { store: name, ptr: ptr.0 })
+    }
+
+    fn list(&self, ptr: ListPtr) -> Result<&LabelList, StoreError> {
+        self.lists
+            .get(ptr.0 as usize)
+            .ok_or_else(|| StoreError::BadPtr { store: self.name.clone(), ptr: ptr.0 })
+    }
+
+    /// Inserts (or repositions) an entry in the list at `ptr`, charging a
+    /// rewrite of the list.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Full`] if the store's entry capacity would be
+    /// exceeded; [`StoreError::BadPtr`] on a dangling pointer.
+    pub fn insert(&mut self, ptr: ListPtr, entry: LabelEntry) -> Result<(), StoreError> {
+        let (cap, used) = (self.capacity_entries, self.entries_used);
+        let list = self.list_mut(ptr)?;
+        let grows = !list.contains(entry.label);
+        if grows && used >= cap {
+            return Err(StoreError::Full { store: self.name.clone(), capacity: cap });
+        }
+        list.insert(entry);
+        let n = list.len() as u64;
+        if grows {
+            self.entries_used += 1;
+        }
+        self.writes.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Removes a label from the list at `ptr`; charges a rewrite. Returns
+    /// whether the label was present.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadPtr`] on a dangling pointer.
+    pub fn remove(&mut self, ptr: ListPtr, label: Label) -> Result<bool, StoreError> {
+        let list = self.list_mut(ptr)?;
+        let removed = list.remove(label);
+        let n = list.len() as u64;
+        if removed {
+            self.entries_used -= 1;
+            self.writes.fetch_add(n.max(1), Ordering::Relaxed);
+        }
+        Ok(removed)
+    }
+
+    /// Reads the head (HPML) of a list: one memory access.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadPtr`] on a dangling pointer.
+    pub fn read_head(&self, ptr: ListPtr) -> Result<Option<LabelEntry>, StoreError> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(self.list(ptr)?.head().copied())
+    }
+
+    /// Reads a whole list: `len` accesses (minimum 1 — the hardware must
+    /// read the head to learn the list is empty).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadPtr`] on a dangling pointer.
+    pub fn read_all(&self, ptr: ListPtr) -> Result<LabelList, StoreError> {
+        let list = self.list(ptr)?.clone();
+        self.reads.fetch_add((list.len() as u64).max(1), Ordering::Relaxed);
+        Ok(list)
+    }
+
+    /// Length of a list without charging an access (controller-side).
+    pub fn len_untracked(&self, ptr: ListPtr) -> Result<usize, StoreError> {
+        Ok(self.list(ptr)?.len())
+    }
+
+    /// Clears every list (BST software rebuild). Keeps counters.
+    pub fn clear(&mut self) {
+        self.lists.clear();
+        self.entries_used = 0;
+    }
+
+    /// Total label entries currently stored.
+    pub fn entries_used(&self) -> usize {
+        self.entries_used
+    }
+
+    /// Provisioned capacity in bits.
+    pub fn provisioned_bits(&self) -> u64 {
+        self.capacity_entries as u64 * u64::from(self.label_bits)
+    }
+
+    /// Bits currently occupied.
+    pub fn used_bits(&self) -> u64 {
+        self.entries_used as u64 * u64::from(self.label_bits)
+    }
+
+    /// Access counters as a [`spc_hwsim::AccessCounts`].
+    pub fn access_counts(&self) -> spc_hwsim::AccessCounts {
+        spc_hwsim::AccessCounts {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the access counters.
+    pub fn reset_access_counts(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_types::Priority;
+
+    fn entry(id: u16, p: u32) -> LabelEntry {
+        LabelEntry::by_priority(Label(id), Priority(p))
+    }
+
+    #[test]
+    fn alloc_insert_read() {
+        let mut s = LabelStore::new("sip_hi", 100, 13);
+        let p = s.alloc_list().unwrap();
+        s.insert(p, entry(2, 20)).unwrap();
+        s.insert(p, entry(1, 10)).unwrap();
+        assert_eq!(s.read_head(p).unwrap().unwrap().label, Label(1));
+        let all = s.read_all(p).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(s.entries_used(), 2);
+        assert_eq!(s.used_bits(), 26);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut s = LabelStore::new("tiny", 1, 7);
+        let p = s.alloc_list().unwrap();
+        s.insert(p, entry(1, 1)).unwrap();
+        assert!(matches!(s.insert(p, entry(2, 2)), Err(StoreError::Full { .. })));
+        // Re-inserting the same label (priority change) is not growth.
+        s.insert(p, entry(1, 0)).unwrap();
+    }
+
+    #[test]
+    fn remove_frees_entries() {
+        let mut s = LabelStore::new("x", 10, 7);
+        let p = s.alloc_list().unwrap();
+        s.insert(p, entry(1, 1)).unwrap();
+        assert!(s.remove(p, Label(1)).unwrap());
+        assert!(!s.remove(p, Label(1)).unwrap());
+        assert_eq!(s.entries_used(), 0);
+        assert!(s.read_head(p).unwrap().is_none());
+    }
+
+    #[test]
+    fn accounting_charges_rewrites() {
+        let mut s = LabelStore::new("x", 10, 7);
+        let p = s.alloc_list().unwrap();
+        s.insert(p, entry(1, 1)).unwrap(); // 1 write
+        s.insert(p, entry(2, 2)).unwrap(); // list len 2 -> 2 writes
+        let c = s.access_counts();
+        assert_eq!(c.writes, 3);
+        s.read_head(p).unwrap(); // 1 read
+        s.read_all(p).unwrap(); // 2 reads
+        assert_eq!(s.access_counts().reads, 3);
+        s.reset_access_counts();
+        assert_eq!(s.access_counts().reads, 0);
+    }
+
+    #[test]
+    fn empty_list_read_costs_one() {
+        let mut s = LabelStore::new("x", 10, 7);
+        let p = s.alloc_list().unwrap();
+        let l = s.read_all(p).unwrap();
+        assert!(l.is_empty());
+        assert_eq!(s.access_counts().reads, 1);
+    }
+
+    #[test]
+    fn bad_ptr_reported() {
+        let s = LabelStore::new("x", 10, 7);
+        assert!(matches!(s.read_head(ListPtr(3)), Err(StoreError::BadPtr { ptr: 3, .. })));
+    }
+
+    #[test]
+    fn clear_resets_usage() {
+        let mut s = LabelStore::new("x", 10, 7);
+        let p = s.alloc_list().unwrap();
+        s.insert(p, entry(1, 1)).unwrap();
+        s.clear();
+        assert_eq!(s.entries_used(), 0);
+        assert!(s.read_head(p).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests: every single-field engine must agree with a naive
+//! reference on arbitrary workloads — the matching-label set of a query is
+//! exactly the set of inserted values containing it.
+
+use proptest::prelude::*;
+use spc_lookup::{
+    FieldEngine, Label, LabelEntry, LabelStore, MbtConfig, MultiBitTrie, PortRegisters,
+    ProtocolLut, RangeBst, SegTrieConfig, SegmentTrie,
+};
+use spc_types::{DimValue, PortRange, Priority, ProtoSpec, SegPrefix};
+use std::collections::BTreeSet;
+
+fn arb_seg() -> impl Strategy<Value = SegPrefix> {
+    (any::<u16>(), 0u8..=16).prop_map(|(v, l)| SegPrefix::masked(v, l))
+}
+
+fn arb_ranges() -> impl Strategy<Value = Vec<PortRange>> {
+    prop::collection::vec(
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| PortRange::new(a.min(b), a.max(b)).unwrap()),
+        1..12,
+    )
+}
+
+/// Reference: which of the (deduplicated) values match the query.
+fn expected_labels<T: Copy>(values: &[T], q: u16, matches: impl Fn(T, u16) -> bool) -> BTreeSet<u16> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| matches(**v, q))
+        .map(|(i, _)| i as u16)
+        .collect()
+}
+
+fn got_labels(list: &spc_lookup::LabelList) -> BTreeSet<u16> {
+    list.iter().map(|e| e.label.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mbt_matches_reference(segs in prop::collection::vec(arb_seg(), 1..12), qs in prop::collection::vec(any::<u16>(), 8)) {
+        let mut dedup: Vec<SegPrefix> = Vec::new();
+        for s in segs {
+            if !dedup.contains(&s) {
+                dedup.push(s);
+            }
+        }
+        let mut store = LabelStore::new("t", 1 << 14, 13);
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(2048));
+        for (i, s) in dedup.iter().enumerate() {
+            mbt.insert(&mut store, DimValue::Seg(*s), LabelEntry::by_priority(Label(i as u16), Priority(i as u32))).unwrap();
+        }
+        let mut queries = qs;
+        queries.extend(dedup.iter().map(|s| s.first()));
+        for q in queries {
+            let r = mbt.lookup(&store, q).unwrap();
+            prop_assert_eq!(
+                got_labels(&r.labels),
+                expected_labels(&dedup, q, |s: SegPrefix, q| s.matches(q)),
+                "q={:#x}", q
+            );
+            prop_assert_eq!(r.cycles, 6);
+        }
+    }
+
+    #[test]
+    fn bst_matches_mbt(segs in prop::collection::vec(arb_seg(), 1..12), qs in prop::collection::vec(any::<u16>(), 8)) {
+        let mut dedup: Vec<SegPrefix> = Vec::new();
+        for s in segs {
+            if !dedup.contains(&s) {
+                dedup.push(s);
+            }
+        }
+        let mut s1 = LabelStore::new("a", 1 << 14, 13);
+        let mut s2 = LabelStore::new("b", 1 << 14, 13);
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(2048));
+        let mut bst = RangeBst::new(4096);
+        for (i, s) in dedup.iter().enumerate() {
+            let e = LabelEntry::by_priority(Label(i as u16), Priority(i as u32));
+            mbt.insert(&mut s1, DimValue::Seg(*s), e).unwrap();
+            bst.insert(&mut s2, DimValue::Seg(*s), e).unwrap();
+        }
+        bst.flush(&mut s2).unwrap();
+        for q in qs {
+            let a = mbt.lookup(&s1, q).unwrap();
+            let b = bst.lookup(&s2, q).unwrap();
+            // Same label sets AND same head (both priority-ordered).
+            prop_assert_eq!(got_labels(&a.labels), got_labels(&b.labels), "q={:#x}", q);
+            prop_assert_eq!(a.labels.head().map(|e| e.label), b.labels.head().map(|e| e.label));
+        }
+    }
+
+    #[test]
+    fn segment_trie_matches_registers(ranges in arb_ranges(), qs in prop::collection::vec(any::<u16>(), 8)) {
+        let mut dedup: Vec<PortRange> = Vec::new();
+        for r in ranges {
+            if !dedup.contains(&r) {
+                dedup.push(r);
+            }
+        }
+        let mut s1 = LabelStore::new("a", 1 << 14, 13);
+        let mut s2 = LabelStore::new("b", 16, 7);
+        let mut st = SegmentTrie::new(SegTrieConfig::four_level(4096));
+        let mut regs = PortRegisters::new(64);
+        for (i, r) in dedup.iter().enumerate() {
+            let e = LabelEntry::by_priority(Label(i as u16), Priority(i as u32));
+            st.insert(&mut s1, DimValue::Port(*r), e).unwrap();
+            regs.insert(&mut s2, DimValue::Port(*r), e).unwrap();
+        }
+        let mut queries = qs;
+        queries.extend(dedup.iter().flat_map(|r| [r.lo(), r.hi()]));
+        for q in queries {
+            let a = st.lookup(&s1, q).unwrap();
+            let b = regs.lookup(&s2, q).unwrap();
+            prop_assert_eq!(got_labels(&a.labels), got_labels(&b.labels), "q={}", q);
+            prop_assert_eq!(
+                got_labels(&a.labels),
+                expected_labels(&dedup, q, |r: PortRange, q| r.contains(q))
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_lut_matches_reference(protos in prop::collection::vec(prop_oneof![(0u8..=40).prop_map(Some), Just(None)], 1..6), q in 0u8..=45) {
+        let mut dedup: Vec<Option<u8>> = Vec::new();
+        for p in protos {
+            if !dedup.contains(&p) {
+                dedup.push(p);
+            }
+        }
+        let mut store = LabelStore::new("p", 8, 2);
+        let mut lut = ProtocolLut::new();
+        for (i, p) in dedup.iter().enumerate() {
+            let spec = match p {
+                Some(v) => ProtoSpec::Exact(*v),
+                None => ProtoSpec::Any,
+            };
+            lut.insert(&mut store, DimValue::Proto(spec), LabelEntry::by_priority(Label(i as u16), Priority(i as u32))).unwrap();
+        }
+        let r = lut.lookup(&store, u16::from(q)).unwrap();
+        let want = expected_labels(&dedup, u16::from(q), |p: Option<u8>, q| match p {
+            Some(v) => u16::from(v) == q,
+            None => true,
+        });
+        prop_assert_eq!(got_labels(&r.labels), want);
+    }
+
+    #[test]
+    fn mbt_remove_is_inverse_of_insert(segs in prop::collection::vec(arb_seg(), 1..10), q in any::<u16>()) {
+        let mut dedup: Vec<SegPrefix> = Vec::new();
+        for s in segs {
+            if !dedup.contains(&s) {
+                dedup.push(s);
+            }
+        }
+        let mut store = LabelStore::new("t", 1 << 14, 13);
+        let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(2048));
+        for (i, s) in dedup.iter().enumerate() {
+            mbt.insert(&mut store, DimValue::Seg(*s), LabelEntry::by_priority(Label(i as u16), Priority(i as u32))).unwrap();
+        }
+        // Remove all but the first value; only its label may remain.
+        for (i, s) in dedup.iter().enumerate().skip(1) {
+            mbt.remove(&mut store, DimValue::Seg(*s), Label(i as u16)).unwrap();
+        }
+        let r = mbt.lookup(&store, q).unwrap();
+        let want = expected_labels(&dedup[..1], q, |s: SegPrefix, q| s.matches(q));
+        prop_assert_eq!(got_labels(&r.labels), want);
+    }
+}

@@ -1,0 +1,58 @@
+//! OpenFlow-style flow actions attached to classification rules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The action executed for packets whose highest-priority matching rule is
+/// this rule (paper §I: forwarding, modification, redirection to a group
+/// table, etc.).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Action {
+    /// Drop the packet. This is the default action for security filter sets.
+    #[default]
+    Drop,
+    /// Forward out of the given switch port.
+    Forward(u16),
+    /// Send to the SDN controller (packet-in).
+    ToController,
+    /// Redirect to an OpenFlow group table entry.
+    Group(u32),
+    /// Rewrite the destination and forward (simplified set-field + output).
+    Modify {
+        /// Output port after modification.
+        port: u16,
+    },
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Drop => write!(f, "drop"),
+            Action::Forward(p) => write!(f, "fwd:{p}"),
+            Action::ToController => write!(f, "controller"),
+            Action::Group(g) => write!(f, "group:{g}"),
+            Action::Modify { port } => write!(f, "modify->fwd:{port}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert_eq!(Action::Drop.to_string(), "drop");
+        assert_eq!(Action::Forward(3).to_string(), "fwd:3");
+        assert_eq!(Action::ToController.to_string(), "controller");
+        assert_eq!(Action::Group(9).to_string(), "group:9");
+        assert_eq!(Action::Modify { port: 2 }.to_string(), "modify->fwd:2");
+    }
+
+    #[test]
+    fn default_is_drop() {
+        assert_eq!(Action::default(), Action::Drop);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for parsing and validation.
+
+use std::fmt;
+
+/// Error returned by constructors and parsers in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TypeError {
+    /// A prefix length was outside the valid range for its width.
+    InvalidPrefixLen {
+        /// The offending length.
+        len: u8,
+        /// The maximum allowed length (32 for IPv4, 16 for segments).
+        max: u8,
+    },
+    /// A prefix had non-zero bits below its mask.
+    UnmaskedBits {
+        /// The offending value.
+        value: u32,
+        /// The prefix length.
+        len: u8,
+    },
+    /// A port range had `lo > hi`.
+    EmptyRange {
+        /// Lower bound.
+        lo: u16,
+        /// Upper bound.
+        hi: u16,
+    },
+    /// A textual rule line could not be parsed.
+    Parse {
+        /// 1-based line number, 0 when unknown.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidPrefixLen { len, max } => {
+                write!(f, "prefix length {len} exceeds maximum {max}")
+            }
+            TypeError::UnmaskedBits { value, len } => {
+                write!(f, "prefix value {value:#x} has bits set below /{len} mask")
+            }
+            TypeError::EmptyRange { lo, hi } => {
+                write!(f, "port range [{lo}, {hi}] is empty (lo > hi)")
+            }
+            TypeError::Parse { line, msg } => {
+                if *line == 0 {
+                    write!(f, "parse error: {msg}")
+                } else {
+                    write!(f, "parse error at line {line}: {msg}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TypeError::InvalidPrefixLen { len: 40, max: 32 },
+            TypeError::UnmaskedBits { value: 1, len: 0 },
+            TypeError::EmptyRange { lo: 5, hi: 1 },
+            TypeError::Parse { line: 3, msg: "bad token".into() },
+            TypeError::Parse { line: 0, msg: "bad token".into() },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TypeError>();
+    }
+}

@@ -1,0 +1,190 @@
+//! Read/write the ClassBench filter text format.
+//!
+//! Each rule is one line:
+//!
+//! ```text
+//! @<sip>/<len>  <dip>/<len>  <lo> : <hi>  <lo> : <hi>  <proto>/<mask>
+//! ```
+//!
+//! e.g. `@192.168.0.0/16 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF`.
+//! Priorities are assigned by position (first line = highest priority), the
+//! ACL convention used by the paper's filter sets [12].
+
+use crate::{Action, PortRange, Prefix, Priority, ProtoSpec, Rule, RuleSet, TypeError};
+use std::fmt::Write as _;
+
+/// Parses a ClassBench-format filter text into a [`RuleSet`].
+///
+/// Blank lines and lines starting with `#` are ignored. Priorities are
+/// assigned by position.
+///
+/// # Errors
+///
+/// Returns [`TypeError::Parse`] (with a 1-based line number) on any
+/// malformed line.
+///
+/// ```
+/// use spc_types::parse_ruleset;
+/// # fn main() -> Result<(), spc_types::TypeError> {
+/// let rs = parse_ruleset("@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF\n")?;
+/// assert_eq!(rs.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_ruleset(text: &str) -> Result<RuleSet, TypeError> {
+    let mut rules = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        rules.push(parse_rule_line(line, line_no)?);
+    }
+    Ok(RuleSet::from_rules_reprioritized(rules))
+}
+
+fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, TypeError> {
+    let err = |msg: &str| TypeError::Parse { line: line_no, msg: msg.to_string() };
+    let body = line.strip_prefix('@').ok_or_else(|| err("rule line must start with '@'"))?;
+    let tokens: Vec<&str> = body.split_whitespace().collect();
+    // sip dip lo : hi lo : hi proto/mask  => 2 + 3 + 3 + 1 = 9 tokens
+    if tokens.len() != 9 {
+        return Err(err(&format!("expected 9 tokens, found {}", tokens.len())));
+    }
+    let with_line = |e: TypeError| match e {
+        TypeError::Parse { msg, .. } => TypeError::Parse { line: line_no, msg },
+        other => other,
+    };
+    let src_ip = Prefix::parse(tokens[0]).map_err(with_line)?;
+    let dst_ip = Prefix::parse(tokens[1]).map_err(with_line)?;
+    let src_port = parse_range(tokens[2], tokens[3], tokens[4], line_no)?;
+    let dst_port = parse_range(tokens[5], tokens[6], tokens[7], line_no)?;
+    let proto = parse_proto(tokens[8], line_no)?;
+    Ok(Rule {
+        priority: Priority(0), // overwritten by reprioritize
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        proto,
+        action: Action::Drop,
+    })
+}
+
+fn parse_range(lo: &str, colon: &str, hi: &str, line_no: usize) -> Result<PortRange, TypeError> {
+    let err = |msg: &str| TypeError::Parse { line: line_no, msg: msg.to_string() };
+    if colon != ":" {
+        return Err(err("expected ':' between range bounds"));
+    }
+    let lo: u16 = lo.parse().map_err(|_| err("invalid range lower bound"))?;
+    let hi: u16 = hi.parse().map_err(|_| err("invalid range upper bound"))?;
+    PortRange::new(lo, hi)
+}
+
+fn parse_proto(tok: &str, line_no: usize) -> Result<ProtoSpec, TypeError> {
+    let err = |msg: &str| TypeError::Parse { line: line_no, msg: msg.to_string() };
+    let (val, mask) = tok.split_once('/').ok_or_else(|| err("protocol must be value/mask"))?;
+    let parse_hex = |s: &str| -> Result<u8, TypeError> {
+        let s = s.trim();
+        let digits = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        u8::from_str_radix(digits, 16).map_err(|_| err("invalid protocol byte"))
+    };
+    let v = parse_hex(val)?;
+    let m = parse_hex(mask)?;
+    match m {
+        0x00 => Ok(ProtoSpec::Any),
+        0xff => Ok(ProtoSpec::Exact(v)),
+        _ => Err(err("protocol mask must be 0x00 or 0xFF")),
+    }
+}
+
+/// Serialises a rule set in ClassBench format (priorities are implied by
+/// line order, so rules are emitted sorted by priority).
+///
+/// ```
+/// use spc_types::{parse_ruleset, write_ruleset};
+/// # fn main() -> Result<(), spc_types::TypeError> {
+/// let text = "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF\n";
+/// let rs = parse_ruleset(text)?;
+/// let out = write_ruleset(&rs);
+/// assert_eq!(parse_ruleset(&out)?, rs);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_ruleset(rs: &RuleSet) -> String {
+    let mut rules: Vec<&Rule> = rs.rules().iter().collect();
+    rules.sort_by_key(|r| r.priority);
+    let mut out = String::new();
+    for r in rules {
+        let _ = writeln!(
+            out,
+            "@{}\t{}\t{}\t{}\t{}",
+            r.src_ip, r.dst_ip, r.src_port, r.dst_port, r.proto
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a comment
+@192.168.0.0/16 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xFF
+
+@0.0.0.0/0 0.0.0.0/0 1024 : 2047 0 : 65535 0x00/0x00
+";
+
+    #[test]
+    fn parse_sample() {
+        let rs = parse_ruleset(SAMPLE).unwrap();
+        assert_eq!(rs.len(), 2);
+        let r0 = &rs.rules()[0];
+        assert_eq!(r0.src_ip, Prefix::parse("192.168.0.0/16").unwrap());
+        assert_eq!(r0.dst_port, PortRange::exact(80));
+        assert_eq!(r0.proto, ProtoSpec::Exact(6));
+        assert_eq!(r0.priority, Priority(0));
+        let r1 = &rs.rules()[1];
+        assert_eq!(r1.proto, ProtoSpec::Any);
+        assert_eq!(r1.src_port, PortRange::new(1024, 2047).unwrap());
+        assert_eq!(r1.priority, Priority(1));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rs = parse_ruleset(SAMPLE).unwrap();
+        let text = write_ruleset(&rs);
+        assert_eq!(parse_ruleset(&text).unwrap(), rs);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF\n@oops\n";
+        match parse_ruleset(bad) {
+            Err(TypeError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        for bad in [
+            "10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF", // missing @
+            "@10.0.0.0/8 0.0.0.0/0 0 ; 65535 80 : 80 0x06/0xFF", // bad colon
+            "@10.0.0.0/8 0.0.0.0/0 99999 : 65535 80 : 80 0x06/0xFF", // bad port
+            "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0x0F", // bad mask
+            "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06",      // no mask
+            "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80",           // short
+        ] {
+            assert!(parse_ruleset(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn range_error_from_port_bounds() {
+        let bad = "@0.0.0.0/0 0.0.0.0/0 10 : 5 0 : 65535 0x00/0x00";
+        assert!(matches!(parse_ruleset(bad), Err(TypeError::EmptyRange { lo: 10, hi: 5 })));
+    }
+}

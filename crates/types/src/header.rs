@@ -1,0 +1,88 @@
+//! Packet headers (the classification 5-tuple).
+
+use crate::Ipv4;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The layer 3–4 header fields used for classification (paper §I): source
+/// and destination IPv4 addresses, source and destination transport ports,
+/// and the IP protocol number.
+///
+/// ```
+/// use spc_types::Header;
+/// let h = Header::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), 1234, 80, 6);
+/// assert_eq!(h.dst_port, 80);
+/// assert_eq!(h.sip_hi(), 0x0a00);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Header {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// IP protocol number (6 = TCP, 17 = UDP, ...).
+    pub proto: u8,
+}
+
+impl Header {
+    /// Creates a header from the five tuple fields.
+    pub fn new(src_ip: Ipv4, dst_ip: Ipv4, src_port: u16, dst_port: u16, proto: u8) -> Self {
+        Header { src_ip, dst_ip, src_port, dst_port, proto }
+    }
+
+    /// High 16 bits of the source address (segment dimension `SipHi`).
+    pub fn sip_hi(&self) -> u16 {
+        self.src_ip.hi16()
+    }
+
+    /// Low 16 bits of the source address (segment dimension `SipLo`).
+    pub fn sip_lo(&self) -> u16 {
+        self.src_ip.lo16()
+    }
+
+    /// High 16 bits of the destination address (segment dimension `DipHi`).
+    pub fn dip_hi(&self) -> u16 {
+        self.dst_ip.hi16()
+    }
+
+    /// Low 16 bits of the destination address (segment dimension `DipLo`).
+    pub fn dip_lo(&self) -> u16 {
+        self.dst_ip.lo16()
+    }
+}
+
+impl fmt::Display for Header {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto {}",
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments() {
+        let h = Header::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 9, 10, 11);
+        assert_eq!(h.sip_hi(), 0x0102);
+        assert_eq!(h.sip_lo(), 0x0304);
+        assert_eq!(h.dip_hi(), 0x0506);
+        assert_eq!(h.dip_lo(), 0x0708);
+    }
+
+    #[test]
+    fn display() {
+        let h = Header::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 9, 10, 11);
+        assert_eq!(h.to_string(), "1.2.3.4:9 -> 5.6.7.8:10 proto 11");
+    }
+}

@@ -1,0 +1,475 @@
+//! IPv4 addresses and prefixes, including the 16-bit *segment* prefixes used
+//! by the segmented label architecture.
+
+use crate::TypeError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An IPv4 address stored as a host-order `u32`.
+///
+/// A thin newtype so that addresses, prefix values and plain integers cannot
+/// be confused (C-NEWTYPE).
+///
+/// ```
+/// use spc_types::Ipv4;
+/// let a: Ipv4 = [10, 0, 0, 1].into();
+/// assert_eq!(a.octets(), [10, 0, 0, 1]);
+/// assert_eq!(a.to_string(), "10.0.0.1");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// Returns the four octets, most significant first.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// The high 16 bits of the address.
+    pub fn hi16(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low 16 bits of the address.
+    pub fn lo16(self) -> u16 {
+        (self.0 & 0xffff) as u16
+    }
+}
+
+impl From<[u8; 4]> for Ipv4 {
+    fn from(o: [u8; 4]) -> Self {
+        Ipv4(u32::from_be_bytes(o))
+    }
+}
+
+impl From<u32> for Ipv4 {
+    fn from(v: u32) -> Self {
+        Ipv4(v)
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// An IPv4 prefix: a value and a prefix length in `0..=32`.
+///
+/// Invariant: all bits of `value` below the mask are zero. Constructors
+/// enforce this ([`Prefix::new`] returns an error, [`Prefix::masked`]
+/// truncates).
+///
+/// ```
+/// use spc_types::Prefix;
+/// # fn main() -> Result<(), spc_types::TypeError> {
+/// let p = Prefix::parse("192.168.0.0/16")?;
+/// assert!(p.contains([192, 168, 55, 1].into()));
+/// assert!(!p.contains([192, 169, 0, 0].into()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    value: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The full wildcard prefix `0.0.0.0/0`.
+    pub const ANY: Prefix = Prefix { value: 0, len: 0 };
+
+    /// Creates a prefix, validating length and mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidPrefixLen`] if `len > 32` and
+    /// [`TypeError::UnmaskedBits`] if `value` has bits set below the mask.
+    pub fn new(value: u32, len: u8) -> Result<Self, TypeError> {
+        if len > 32 {
+            return Err(TypeError::InvalidPrefixLen { len, max: 32 });
+        }
+        let masked = mask32(value, len);
+        if masked != value {
+            return Err(TypeError::UnmaskedBits { value, len });
+        }
+        Ok(Prefix { value, len })
+    }
+
+    /// Creates a prefix, silently masking away bits below the prefix length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn masked(value: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} exceeds 32");
+        Prefix { value: mask32(value, len), len }
+    }
+
+    /// A host prefix (`/32`) for a single address.
+    pub fn host(addr: Ipv4) -> Self {
+        Prefix { value: addr.0, len: 32 }
+    }
+
+    /// Parses dotted-quad `a.b.c.d/len` syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::Parse`] on malformed input, or the validation
+    /// errors of [`Prefix::new`].
+    pub fn parse(s: &str) -> Result<Self, TypeError> {
+        let bad = |msg: &str| TypeError::Parse { line: 0, msg: msg.to_string() };
+        let (addr, len) = s.split_once('/').ok_or_else(|| bad("missing '/' in prefix"))?;
+        let len: u8 = len.trim().parse().map_err(|_| bad("invalid prefix length"))?;
+        let mut octets = [0u8; 4];
+        let mut it = addr.trim().split('.');
+        for o in &mut octets {
+            *o = it
+                .next()
+                .ok_or_else(|| bad("too few octets"))?
+                .parse()
+                .map_err(|_| bad("invalid octet"))?;
+        }
+        if it.next().is_some() {
+            return Err(bad("too many octets"));
+        }
+        Prefix::new(u32::from_be_bytes(octets), len)
+    }
+
+    /// The (masked) prefix value.
+    pub fn value(self) -> u32 {
+        self.value
+    }
+
+    /// The prefix length.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length wildcard.
+    pub fn is_any(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(self, addr: Ipv4) -> bool {
+        mask32(addr.0, self.len) == self.value
+    }
+
+    /// Whether `self` covers `other` (every address of `other` is in `self`).
+    pub fn covers(self, other: Prefix) -> bool {
+        self.len <= other.len && mask32(other.value, self.len) == self.value
+    }
+
+    /// First address of the prefix.
+    pub fn first(self) -> Ipv4 {
+        Ipv4(self.value)
+    }
+
+    /// Last address of the prefix.
+    pub fn last(self) -> Ipv4 {
+        Ipv4(self.value | !mask_bits32(self.len))
+    }
+
+    /// Splits into the two 16-bit segment prefixes used by the architecture.
+    ///
+    /// A `/len` prefix with `len <= 16` constrains only the high segment; the
+    /// low segment becomes the segment wildcard. With `len > 16` the high
+    /// segment is exact (`/16`) and the residue constrains the low segment.
+    ///
+    /// ```
+    /// use spc_types::Prefix;
+    /// # fn main() -> Result<(), spc_types::TypeError> {
+    /// let p = Prefix::parse("10.1.128.0/20")?;
+    /// let (hi, lo) = p.segments();
+    /// assert_eq!((hi.value(), hi.len()), (0x0a01, 16));
+    /// assert_eq!((lo.value(), lo.len()), (0x8000, 4));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn segments(self) -> (SegPrefix, SegPrefix) {
+        if self.len <= 16 {
+            (SegPrefix::masked((self.value >> 16) as u16, self.len), SegPrefix::ANY)
+        } else {
+            (
+                SegPrefix::masked((self.value >> 16) as u16, 16),
+                SegPrefix::masked((self.value & 0xffff) as u16, self.len - 16),
+            )
+        }
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4(self.value), self.len)
+    }
+}
+
+impl Default for Prefix {
+    fn default() -> Self {
+        Prefix::ANY
+    }
+}
+
+/// A prefix over a 16-bit header *segment*: value plus length in `0..=16`.
+///
+/// Segments are the unit the label method operates on — the packet header is
+/// split into equal 16-bit pieces so any single-field algorithm can be
+/// plugged into a dimension (paper §III.D condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegPrefix {
+    value: u16,
+    len: u8,
+}
+
+impl SegPrefix {
+    /// The segment-wide wildcard `*/0`.
+    pub const ANY: SegPrefix = SegPrefix { value: 0, len: 0 };
+
+    /// Creates a segment prefix, validating length and mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TypeError::InvalidPrefixLen`] if `len > 16` and
+    /// [`TypeError::UnmaskedBits`] if `value` has bits set below the mask.
+    pub fn new(value: u16, len: u8) -> Result<Self, TypeError> {
+        if len > 16 {
+            return Err(TypeError::InvalidPrefixLen { len, max: 16 });
+        }
+        let masked = mask16(value, len);
+        if masked != value {
+            return Err(TypeError::UnmaskedBits { value: value as u32, len });
+        }
+        Ok(SegPrefix { value, len })
+    }
+
+    /// Creates a segment prefix, masking away low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 16`.
+    pub fn masked(value: u16, len: u8) -> Self {
+        assert!(len <= 16, "segment prefix length {len} exceeds 16");
+        SegPrefix { value: mask16(value, len), len }
+    }
+
+    /// An exact (`/16`) segment value.
+    pub fn exact(value: u16) -> Self {
+        SegPrefix { value, len: 16 }
+    }
+
+    /// The (masked) segment value.
+    pub fn value(self) -> u16 {
+        self.value
+    }
+
+    /// The prefix length.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the segment wildcard.
+    pub fn is_any(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the 16-bit query value matches this prefix.
+    pub fn matches(self, v: u16) -> bool {
+        mask16(v, self.len) == self.value
+    }
+
+    /// Whether `self` covers `other`.
+    pub fn covers(self, other: SegPrefix) -> bool {
+        self.len <= other.len && mask16(other.value, self.len) == self.value
+    }
+
+    /// First 16-bit value of the covered range.
+    pub fn first(self) -> u16 {
+        self.value
+    }
+
+    /// Last 16-bit value of the covered range.
+    pub fn last(self) -> u16 {
+        self.value | !mask_bits16(self.len)
+    }
+}
+
+impl fmt::Display for SegPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#06x}/{}", self.value, self.len)
+    }
+}
+
+impl Default for SegPrefix {
+    fn default() -> Self {
+        SegPrefix::ANY
+    }
+}
+
+fn mask_bits32(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+fn mask32(v: u32, len: u8) -> u32 {
+    v & mask_bits32(len)
+}
+
+fn mask_bits16(len: u8) -> u16 {
+    if len == 0 {
+        0
+    } else {
+        u16::MAX << (16 - len)
+    }
+}
+
+fn mask16(v: u16, len: u8) -> u16 {
+    v & mask_bits16(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let a: Ipv4 = [1, 2, 3, 4].into();
+        assert_eq!(a.0, 0x0102_0304);
+        assert_eq!(a.hi16(), 0x0102);
+        assert_eq!(a.lo16(), 0x0304);
+        assert_eq!(a.to_string(), "1.2.3.4");
+    }
+
+    #[test]
+    fn prefix_new_validates() {
+        assert!(Prefix::new(0, 33).is_err());
+        assert!(Prefix::new(0x0000_0001, 16).is_err());
+        assert!(Prefix::new(0x0a00_0000, 8).is_ok());
+    }
+
+    #[test]
+    fn prefix_masked_truncates() {
+        let p = Prefix::masked(0x0a01_ffff, 16);
+        assert_eq!(p.value(), 0x0a01_0000);
+        assert_eq!(p.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 32")]
+    fn prefix_masked_panics_on_bad_len() {
+        let _ = Prefix::masked(0, 40);
+    }
+
+    #[test]
+    fn prefix_contains() {
+        let p = Prefix::parse("192.168.0.0/16").unwrap();
+        assert!(p.contains([192, 168, 0, 0].into()));
+        assert!(p.contains([192, 168, 255, 255].into()));
+        assert!(!p.contains([192, 167, 255, 255].into()));
+        assert!(Prefix::ANY.contains([255, 255, 255, 255].into()));
+    }
+
+    #[test]
+    fn prefix_covers_is_reflexive_and_nesting() {
+        let a = Prefix::parse("10.0.0.0/8").unwrap();
+        let b = Prefix::parse("10.1.0.0/16").unwrap();
+        assert!(a.covers(a));
+        assert!(a.covers(b));
+        assert!(!b.covers(a));
+    }
+
+    #[test]
+    fn prefix_first_last() {
+        let p = Prefix::parse("10.1.0.0/16").unwrap();
+        assert_eq!(p.first().to_string(), "10.1.0.0");
+        assert_eq!(p.last().to_string(), "10.1.255.255");
+        assert_eq!(Prefix::ANY.last().to_string(), "255.255.255.255");
+        let host = Prefix::host([1, 2, 3, 4].into());
+        assert_eq!(host.first(), host.last());
+    }
+
+    #[test]
+    fn prefix_parse_rejects_garbage() {
+        for s in ["10.0.0.0", "10.0.0/8", "10.0.0.0.0/8", "a.b.c.d/8", "10.0.0.0/x", "10.0.0.0/40"] {
+            assert!(Prefix::parse(s).is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn prefix_display_roundtrips_via_parse() {
+        let p = Prefix::parse("172.16.32.0/19").unwrap();
+        assert_eq!(Prefix::parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn segments_short_prefix() {
+        let p = Prefix::parse("10.0.0.0/8").unwrap();
+        let (hi, lo) = p.segments();
+        assert_eq!((hi.value(), hi.len()), (0x0a00, 8));
+        assert!(lo.is_any());
+    }
+
+    #[test]
+    fn segments_exact_16() {
+        let p = Prefix::parse("10.1.0.0/16").unwrap();
+        let (hi, lo) = p.segments();
+        assert_eq!((hi.value(), hi.len()), (0x0a01, 16));
+        assert!(lo.is_any());
+    }
+
+    #[test]
+    fn segments_long_prefix() {
+        let p = Prefix::parse("10.1.2.3/32").unwrap();
+        let (hi, lo) = p.segments();
+        assert_eq!((hi.value(), hi.len()), (0x0a01, 16));
+        assert_eq!((lo.value(), lo.len()), (0x0203, 16));
+    }
+
+    #[test]
+    fn segments_wildcard() {
+        let (hi, lo) = Prefix::ANY.segments();
+        assert!(hi.is_any());
+        assert!(lo.is_any());
+    }
+
+    #[test]
+    fn seg_prefix_matches() {
+        let s = SegPrefix::masked(0x8000, 4);
+        assert!(s.matches(0x8abc));
+        assert!(!s.matches(0x7abc));
+        assert!(SegPrefix::ANY.matches(0xffff));
+        assert!(SegPrefix::exact(42).matches(42));
+        assert!(!SegPrefix::exact(42).matches(43));
+    }
+
+    #[test]
+    fn seg_prefix_bounds() {
+        let s = SegPrefix::masked(0x8000, 4);
+        assert_eq!(s.first(), 0x8000);
+        assert_eq!(s.last(), 0x8fff);
+        assert_eq!(SegPrefix::ANY.last(), 0xffff);
+    }
+
+    #[test]
+    fn seg_prefix_new_validates() {
+        assert!(SegPrefix::new(0, 17).is_err());
+        assert!(SegPrefix::new(1, 8).is_err());
+        assert!(SegPrefix::new(0x0100, 8).is_ok());
+    }
+
+    #[test]
+    fn seg_prefix_covers() {
+        let a = SegPrefix::masked(0x8000, 1);
+        let b = SegPrefix::masked(0xc000, 2);
+        assert!(a.covers(b));
+        assert!(!b.covers(a));
+        assert!(SegPrefix::ANY.covers(a));
+    }
+}

@@ -1,0 +1,95 @@
+//! Protocol field specification (exact value or wildcard).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rule's protocol field: either any protocol or one exact 8-bit value.
+///
+/// ClassBench expresses this as `value/mask` where the mask is `0x00`
+/// (wildcard) or `0xFF` (exact); real filter sets use no other masks, and
+/// the paper's protocol dimension is a 256-entry exact-match LUT, so the
+/// two-variant enum captures the full domain.
+///
+/// ```
+/// use spc_types::ProtoSpec;
+/// assert!(ProtoSpec::Any.matches(17));
+/// assert!(ProtoSpec::Exact(6).matches(6));
+/// assert!(!ProtoSpec::Exact(6).matches(17));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum ProtoSpec {
+    /// Matches every protocol value.
+    #[default]
+    Any,
+    /// Matches exactly this protocol number (e.g. 6 = TCP, 17 = UDP).
+    Exact(u8),
+}
+
+impl ProtoSpec {
+    /// Whether the header protocol value matches.
+    pub fn matches(self, proto: u8) -> bool {
+        match self {
+            ProtoSpec::Any => true,
+            ProtoSpec::Exact(v) => v == proto,
+        }
+    }
+
+    /// Whether `self` covers `other` (matches a superset of values).
+    pub fn covers(self, other: ProtoSpec) -> bool {
+        match (self, other) {
+            (ProtoSpec::Any, _) => true,
+            (ProtoSpec::Exact(a), ProtoSpec::Exact(b)) => a == b,
+            (ProtoSpec::Exact(_), ProtoSpec::Any) => false,
+        }
+    }
+
+    /// Whether this is the wildcard.
+    pub fn is_any(self) -> bool {
+        self == ProtoSpec::Any
+    }
+}
+
+impl fmt::Display for ProtoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoSpec::Any => write!(f, "0x00/0x00"),
+            ProtoSpec::Exact(v) => write!(f, "{v:#04x}/0xFF"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_semantics() {
+        assert!(ProtoSpec::Any.matches(0));
+        assert!(ProtoSpec::Any.matches(255));
+        assert!(ProtoSpec::Exact(6).matches(6));
+        assert!(!ProtoSpec::Exact(6).matches(7));
+    }
+
+    #[test]
+    fn covers_lattice() {
+        assert!(ProtoSpec::Any.covers(ProtoSpec::Exact(6)));
+        assert!(ProtoSpec::Any.covers(ProtoSpec::Any));
+        assert!(!ProtoSpec::Exact(6).covers(ProtoSpec::Any));
+        assert!(ProtoSpec::Exact(6).covers(ProtoSpec::Exact(6)));
+        assert!(!ProtoSpec::Exact(6).covers(ProtoSpec::Exact(17)));
+    }
+
+    #[test]
+    fn display_classbench_style() {
+        assert_eq!(ProtoSpec::Any.to_string(), "0x00/0x00");
+        assert_eq!(ProtoSpec::Exact(6).to_string(), "0x06/0xFF");
+        assert_eq!(ProtoSpec::Exact(17).to_string(), "0x11/0xFF");
+    }
+
+    #[test]
+    fn default_is_any() {
+        assert_eq!(ProtoSpec::default(), ProtoSpec::Any);
+    }
+}

@@ -1,0 +1,281 @@
+//! Classification rules: 5-tuple filters with priority and action.
+
+use crate::{Action, Dim, DimValue, Header, PortRange, Prefix, ProtoSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Rule priority. **Smaller numeric value = higher priority**, matching the
+/// ACL convention where the first listed rule wins; the Highest Priority
+/// Matching Rule (HPMR) is the matching rule with the minimum `Priority`.
+///
+/// ```
+/// use spc_types::Priority;
+/// assert!(Priority(0).beats(Priority(1)));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// Whether `self` outranks `other` (strictly higher priority).
+    pub fn beats(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a rule inside a [`crate::RuleSet`] (its index).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct RuleId(pub u32);
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A 5-tuple classification rule.
+///
+/// ```
+/// use spc_types::{Rule, Priority, Prefix, PortRange, ProtoSpec, Action, Header};
+/// # fn main() -> Result<(), spc_types::TypeError> {
+/// let r = Rule::builder(Priority(3))
+///     .src_ip(Prefix::parse("10.0.0.0/8")?)
+///     .dst_ip(Prefix::parse("192.168.1.0/24")?)
+///     .dst_port(PortRange::exact(22))
+///     .proto(ProtoSpec::Exact(6))
+///     .action(Action::Drop)
+///     .build();
+/// let h = Header::new([10, 9, 9, 9].into(), [192, 168, 1, 77].into(), 50000, 22, 6);
+/// assert!(r.matches(&h));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// Rule priority (smaller = higher).
+    pub priority: Priority,
+    /// Source IP prefix.
+    pub src_ip: Prefix,
+    /// Destination IP prefix.
+    pub dst_ip: Prefix,
+    /// Source port range.
+    pub src_port: PortRange,
+    /// Destination port range.
+    pub dst_port: PortRange,
+    /// Protocol spec.
+    pub proto: ProtoSpec,
+    /// Action applied on match.
+    pub action: Action,
+}
+
+impl Rule {
+    /// Starts building a rule with the given priority; all fields default to
+    /// wildcards and the action to [`Action::Drop`].
+    pub fn builder(priority: Priority) -> RuleBuilder {
+        RuleBuilder { rule: Rule::any(priority) }
+    }
+
+    /// The match-everything rule at the given priority.
+    pub fn any(priority: Priority) -> Self {
+        Rule {
+            priority,
+            src_ip: Prefix::ANY,
+            dst_ip: Prefix::ANY,
+            src_port: PortRange::ANY,
+            dst_port: PortRange::ANY,
+            proto: ProtoSpec::Any,
+            action: Action::Drop,
+        }
+    }
+
+    /// Whether the header matches all five fields.
+    pub fn matches(&self, h: &Header) -> bool {
+        self.src_ip.contains(h.src_ip)
+            && self.dst_ip.contains(h.dst_ip)
+            && self.src_port.contains(h.src_port)
+            && self.dst_port.contains(h.dst_port)
+            && self.proto.matches(h.proto)
+    }
+
+    /// Projects the rule onto one of the seven lookup dimensions.
+    pub fn dim_value(&self, dim: Dim) -> DimValue {
+        match dim {
+            Dim::SipHi => DimValue::Seg(self.src_ip.segments().0),
+            Dim::SipLo => DimValue::Seg(self.src_ip.segments().1),
+            Dim::DipHi => DimValue::Seg(self.dst_ip.segments().0),
+            Dim::DipLo => DimValue::Seg(self.dst_ip.segments().1),
+            Dim::SrcPort => DimValue::Port(self.src_port),
+            Dim::DstPort => DimValue::Port(self.dst_port),
+            Dim::Proto => DimValue::Proto(self.proto),
+        }
+    }
+
+    /// All seven dimension projections in canonical order.
+    pub fn dim_values(&self) -> [DimValue; 7] {
+        crate::ALL_DIMS.map(|d| self.dim_value(d))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} -> {} sport {} dport {} proto {} => {}",
+            self.priority,
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            self.proto,
+            self.action
+        )
+    }
+}
+
+/// Builder for [`Rule`] (C-BUILDER, non-consuming terminal).
+#[derive(Debug, Clone)]
+pub struct RuleBuilder {
+    rule: Rule,
+}
+
+impl RuleBuilder {
+    /// Sets the source IP prefix.
+    pub fn src_ip(mut self, p: Prefix) -> Self {
+        self.rule.src_ip = p;
+        self
+    }
+
+    /// Sets the destination IP prefix.
+    pub fn dst_ip(mut self, p: Prefix) -> Self {
+        self.rule.dst_ip = p;
+        self
+    }
+
+    /// Sets the source port range.
+    pub fn src_port(mut self, r: PortRange) -> Self {
+        self.rule.src_port = r;
+        self
+    }
+
+    /// Sets the destination port range.
+    pub fn dst_port(mut self, r: PortRange) -> Self {
+        self.rule.dst_port = r;
+        self
+    }
+
+    /// Sets the protocol spec.
+    pub fn proto(mut self, p: ProtoSpec) -> Self {
+        self.rule.proto = p;
+        self
+    }
+
+    /// Sets the action.
+    pub fn action(mut self, a: Action) -> Self {
+        self.rule.action = a;
+        self
+    }
+
+    /// Finishes the rule.
+    pub fn build(self) -> Rule {
+        self.rule
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ALL_DIMS;
+
+    fn sample_rule() -> Rule {
+        Rule::builder(Priority(1))
+            .src_ip(Prefix::parse("10.0.0.0/8").unwrap())
+            .dst_ip(Prefix::parse("192.168.1.0/24").unwrap())
+            .src_port(PortRange::new(1024, 65535).unwrap())
+            .dst_port(PortRange::exact(80))
+            .proto(ProtoSpec::Exact(6))
+            .action(Action::Forward(7))
+            .build()
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority(0).beats(Priority(10)));
+        assert!(!Priority(10).beats(Priority(0)));
+        assert!(!Priority(5).beats(Priority(5)));
+    }
+
+    #[test]
+    fn any_rule_matches_everything() {
+        let r = Rule::any(Priority(0));
+        for h in [
+            Header::default(),
+            Header::new([255; 4].into(), [0; 4].into(), 0, 65535, 255),
+        ] {
+            assert!(r.matches(&h));
+        }
+    }
+
+    #[test]
+    fn matches_requires_all_fields() {
+        let r = sample_rule();
+        let ok = Header::new([10, 1, 1, 1].into(), [192, 168, 1, 9].into(), 2000, 80, 6);
+        assert!(r.matches(&ok));
+        let mut h = ok;
+        h.src_ip = [11, 1, 1, 1].into();
+        assert!(!r.matches(&h));
+        let mut h = ok;
+        h.dst_ip = [192, 168, 2, 9].into();
+        assert!(!r.matches(&h));
+        let mut h = ok;
+        h.src_port = 80;
+        assert!(!r.matches(&h));
+        let mut h = ok;
+        h.dst_port = 81;
+        assert!(!r.matches(&h));
+        let mut h = ok;
+        h.proto = 17;
+        assert!(!r.matches(&h));
+    }
+
+    #[test]
+    fn dim_projection_consistency() {
+        // A header matches the rule iff it matches every dimension projection.
+        let r = sample_rule();
+        let h = Header::new([10, 1, 1, 1].into(), [192, 168, 1, 9].into(), 2000, 80, 6);
+        assert!(r.matches(&h));
+        for d in ALL_DIMS {
+            assert!(r.dim_value(d).matches(d.query(&h)), "dim {d} should match");
+        }
+        let miss = Header::new([10, 1, 1, 1].into(), [192, 168, 1, 9].into(), 2000, 81, 6);
+        assert!(!r.matches(&miss));
+        assert!(ALL_DIMS.iter().any(|d| !r.dim_value(*d).matches(d.query(&miss))));
+    }
+
+    #[test]
+    fn dim_values_order_matches_all_dims() {
+        let r = sample_rule();
+        let vs = r.dim_values();
+        for (i, d) in ALL_DIMS.iter().enumerate() {
+            assert_eq!(vs[i], r.dim_value(*d));
+        }
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = sample_rule().to_string();
+        assert!(s.contains("10.0.0.0/8"));
+        assert!(s.contains("80 : 80"));
+        assert!(s.contains("fwd:7"));
+    }
+}

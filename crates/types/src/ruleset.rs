@@ -1,0 +1,243 @@
+//! Ordered rule sets (filters).
+
+use crate::{Dim, DimValue, Header, Priority, Rule, RuleId, ALL_DIMS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// An ordered collection of rules — a *filter* in ClassBench terminology.
+///
+/// Rules are stored in priority order is **not** required; the HPMR is always
+/// resolved through [`Priority`] values. [`RuleSet::from_rules_reprioritized`]
+/// assigns priorities by position for ACL-style inputs.
+///
+/// ```
+/// use spc_types::{Rule, RuleSet, Priority, Header};
+/// let rs: RuleSet = vec![Rule::any(Priority(0))].into_iter().collect();
+/// assert_eq!(rs.len(), 1);
+/// assert!(rs.classify(&Header::default()).is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> Self {
+        RuleSet { rules: Vec::new() }
+    }
+
+    /// Wraps existing rules, keeping their priorities.
+    pub fn from_rules(rules: Vec<Rule>) -> Self {
+        RuleSet { rules }
+    }
+
+    /// Wraps rules, overwriting priorities with list position (first rule =
+    /// highest priority), the ACL convention.
+    pub fn from_rules_reprioritized(mut rules: Vec<Rule>) -> Self {
+        for (i, r) in rules.iter_mut().enumerate() {
+            r.priority = Priority(i as u32);
+        }
+        RuleSet { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules as a slice.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Returns the rule with the given id, if present.
+    pub fn get(&self, id: RuleId) -> Option<&Rule> {
+        self.rules.get(id.0 as usize)
+    }
+
+    /// Appends a rule, returning its id.
+    pub fn push(&mut self, rule: Rule) -> RuleId {
+        self.rules.push(rule);
+        RuleId(self.rules.len() as u32 - 1)
+    }
+
+    /// Iterates `(RuleId, &Rule)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules.iter().enumerate().map(|(i, r)| (RuleId(i as u32), r))
+    }
+
+    /// Reference linear-search classification: the Highest Priority Matching
+    /// Rule for `h`, or `None` when nothing matches.
+    ///
+    /// This is the semantic oracle every classifier in the workspace is
+    /// tested against.
+    pub fn classify(&self, h: &Header) -> Option<(RuleId, &Rule)> {
+        self.iter()
+            .filter(|(_, r)| r.matches(h))
+            .min_by_key(|(id, r)| (r.priority, id.0))
+    }
+
+    /// Number of unique field values per dimension (paper Table II).
+    pub fn unique_dim_values(&self, dim: Dim) -> usize {
+        let set: HashSet<DimValue> = self.rules.iter().map(|r| r.dim_value(dim)).collect();
+        set.len()
+    }
+
+    /// Unique field counts for all seven dimensions, in [`ALL_DIMS`] order.
+    pub fn unique_counts(&self) -> [usize; 7] {
+        ALL_DIMS.map(|d| self.unique_dim_values(d))
+    }
+
+    /// Number of unique *full 32-bit* source-IP prefixes (Table II reports
+    /// unique counts per 5-tuple field, before segmentation).
+    pub fn unique_field_counts(&self) -> FieldUniques {
+        FieldUniques {
+            src_ip: self.rules.iter().map(|r| r.src_ip).collect::<HashSet<_>>().len(),
+            dst_ip: self.rules.iter().map(|r| r.dst_ip).collect::<HashSet<_>>().len(),
+            src_port: self.rules.iter().map(|r| r.src_port).collect::<HashSet<_>>().len(),
+            dst_port: self.rules.iter().map(|r| r.dst_port).collect::<HashSet<_>>().len(),
+            proto: self.rules.iter().map(|r| r.proto).collect::<HashSet<_>>().len(),
+        }
+    }
+}
+
+/// Unique value counts per 5-tuple field (paper Table II rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldUniques {
+    /// Unique source IP prefixes.
+    pub src_ip: usize,
+    /// Unique destination IP prefixes.
+    pub dst_ip: usize,
+    /// Unique source port ranges.
+    pub src_port: usize,
+    /// Unique destination port ranges.
+    pub dst_port: usize,
+    /// Unique protocol specs.
+    pub proto: usize,
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
+        RuleSet { rules: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Rule> for RuleSet {
+    fn extend<T: IntoIterator<Item = Rule>>(&mut self, iter: T) {
+        self.rules.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a RuleSet {
+    type Item = &'a Rule;
+    type IntoIter = std::slice::Iter<'a, Rule>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.iter()
+    }
+}
+
+impl IntoIterator for RuleSet {
+    type Item = Rule;
+    type IntoIter = std::vec::IntoIter<Rule>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rules.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, PortRange, Prefix, ProtoSpec};
+
+    fn two_rule_set() -> RuleSet {
+        let hi = Rule::builder(Priority(0))
+            .dst_port(PortRange::exact(80))
+            .action(Action::Forward(1))
+            .build();
+        let lo = Rule::builder(Priority(1)).action(Action::Drop).build();
+        RuleSet::from_rules(vec![hi, lo])
+    }
+
+    #[test]
+    fn classify_prefers_higher_priority() {
+        let rs = two_rule_set();
+        let h80 = Header::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 5, 80, 6);
+        let h81 = Header::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 5, 81, 6);
+        assert_eq!(rs.classify(&h80).unwrap().0, RuleId(0));
+        assert_eq!(rs.classify(&h81).unwrap().0, RuleId(1));
+    }
+
+    #[test]
+    fn classify_ties_break_by_id() {
+        let a = Rule::any(Priority(7));
+        let b = Rule::any(Priority(7));
+        let rs = RuleSet::from_rules(vec![a, b]);
+        assert_eq!(rs.classify(&Header::default()).unwrap().0, RuleId(0));
+    }
+
+    #[test]
+    fn classify_none_when_empty_or_miss() {
+        assert!(RuleSet::new().classify(&Header::default()).is_none());
+        let only80 = RuleSet::from_rules(vec![Rule::builder(Priority(0))
+            .dst_port(PortRange::exact(80))
+            .build()]);
+        let h = Header::new([0; 4].into(), [0; 4].into(), 0, 81, 6);
+        assert!(only80.classify(&h).is_none());
+    }
+
+    #[test]
+    fn reprioritize_by_position() {
+        let rs = RuleSet::from_rules_reprioritized(vec![
+            Rule::any(Priority(99)),
+            Rule::any(Priority(3)),
+        ]);
+        assert_eq!(rs.rules()[0].priority, Priority(0));
+        assert_eq!(rs.rules()[1].priority, Priority(1));
+    }
+
+    #[test]
+    fn unique_counts_dedup_shared_fields() {
+        let mk = |dst: u16| {
+            Rule::builder(Priority(0))
+                .src_ip(Prefix::parse("10.0.0.0/8").unwrap())
+                .dst_port(PortRange::exact(dst))
+                .proto(ProtoSpec::Exact(6))
+                .build()
+        };
+        let rs = RuleSet::from_rules(vec![mk(80), mk(443), mk(80)]);
+        let u = rs.unique_field_counts();
+        assert_eq!(u.src_ip, 1);
+        assert_eq!(u.dst_port, 2);
+        assert_eq!(u.proto, 1);
+        assert_eq!(u.src_port, 1);
+        // Segment dims: /8 prefix -> hi seg unique 1, lo seg wildcard unique 1.
+        assert_eq!(rs.unique_dim_values(Dim::SipHi), 1);
+        assert_eq!(rs.unique_dim_values(Dim::SipLo), 1);
+    }
+
+    #[test]
+    fn push_get_iter() {
+        let mut rs = RuleSet::new();
+        let id = rs.push(Rule::any(Priority(0)));
+        assert_eq!(id, RuleId(0));
+        assert!(rs.get(id).is_some());
+        assert!(rs.get(RuleId(5)).is_none());
+        assert_eq!(rs.iter().count(), 1);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut rs: RuleSet = std::iter::once(Rule::any(Priority(0))).collect();
+        rs.extend(std::iter::once(Rule::any(Priority(1))));
+        assert_eq!(rs.len(), 2);
+        let back: Vec<Rule> = rs.clone().into_iter().collect();
+        assert_eq!(back.len(), 2);
+        assert_eq!((&rs).into_iter().count(), 2);
+    }
+}

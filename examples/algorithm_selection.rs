@@ -1,0 +1,66 @@
+//! Algorithm selection by application class (paper §III.A): the SDN
+//! controller picks the lookup algorithm per the application's critical
+//! parameter — speed for a multi-end videoconference, rule capacity for a
+//! dense IoT policy — using the same hardware.
+//!
+//! Run with `cargo run --release --example algorithm_selection`.
+
+use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc::core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
+
+struct AppProfile {
+    name: &'static str,
+    alg: IpAlg,
+    rules: usize,
+    why: &'static str,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let apps = [
+        AppProfile {
+            name: "multi-end videoconferencing",
+            alg: IpAlg::Mbt,
+            rules: 1500,
+            why: "real-time: lookup speed is the critical parameter [11]",
+        },
+        AppProfile {
+            name: "IoT micro-segmentation",
+            alg: IpAlg::Bst,
+            rules: 6000,
+            why: "large granular rule filter: density matters, latency doesn't",
+        },
+    ];
+    for app in apps {
+        let rules = RuleSetGenerator::new(FilterKind::Acl, app.rules).seed(31).generate();
+        let mut cfg = ArchConfig::large()
+            .with_ip_alg(app.alg)
+            .with_combine(CombineStrategy::FirstLabel);
+        cfg.rule_filter_addr_bits = 14;
+        let mut cls = Classifier::new(cfg);
+        cls.load(&rules)?;
+        let trace = TraceGenerator::new().seed(8).generate(&rules, 5_000);
+        let mut ii = 0f64;
+        for h in &trace {
+            ii += f64::from(cls.classify(h).timing.initiation_interval);
+        }
+        ii /= trace.len() as f64;
+        let clock = cls.config().clock;
+        let rep = cls.memory_report();
+        println!("== {} ==", app.name);
+        println!("   controller choice: {}  ({})", app.alg, app.why);
+        println!("   rules installed:   {}", cls.len());
+        println!(
+            "   throughput:        {:.2} Gbps @40 B ({:.1} M lookups/s)",
+            clock.throughput_gbps(ii, 40),
+            clock.lookups_per_sec(ii) / 1e6
+        );
+        println!(
+            "   IP engine memory:  {:.0} Kbits used\n",
+            rep.provisioned_where(|n| n.ends_with("/engine")
+                && (n.starts_with("sip") || n.starts_with("dip"))) as f64
+                / 1000.0
+        );
+    }
+    println!("Same silicon, one select signal — the paper's configurability claim.");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Umbrella crate for the SOCC 2014 configurable packet classification
+//! architecture reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`types`] — rules, headers, prefixes, ranges ([`spc_types`])
+//! * [`classbench`] — seeded ACL/FW/IPC rule-set and trace generators
+//! * [`hwsim`] — memory-block / cycle / throughput hardware model
+//! * [`lookup`] — single-field lookup engines with the DCFL label method
+//! * [`core`] — the configurable classifier architecture itself
+//! * [`baselines`] — linear search, HyperCuts, RFC, DCFL comparators
+//!
+//! # Quickstart
+//!
+//! ```
+//! use spc::core::{Classifier, ArchConfig, IpAlg};
+//! use spc::types::{Rule, Priority, Prefix, PortRange, ProtoSpec, Action, Header};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cls = Classifier::new(ArchConfig::default().with_ip_alg(IpAlg::Mbt));
+//! let rule = Rule::builder(Priority(0))
+//!     .src_ip(Prefix::parse("10.0.0.0/8")?)
+//!     .dst_port(PortRange::exact(80))
+//!     .proto(ProtoSpec::Exact(6))
+//!     .action(Action::Forward(1))
+//!     .build();
+//! let id = cls.insert(rule)?.rule_id;
+//! let hdr = Header::new([10, 1, 2, 3].into(), [1, 2, 3, 4].into(), 999, 80, 6);
+//! let hit = cls.classify(&hdr).hit.expect("should match");
+//! assert_eq!(hit.rule_id, id);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use spc_baselines as baselines;
+pub use spc_classbench as classbench;
+pub use spc_core as core;
+pub use spc_hwsim as hwsim;
+pub use spc_lookup as lookup;
+pub use spc_types as types;

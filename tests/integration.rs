@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the configurable classifier against the
+//! linear-search oracle and the baseline classifiers, across filter
+//! families, algorithms and update sequences.
+
+use spc::baselines::{Baseline, Dcfl, HyperCuts, LinearSearch, Rfc};
+use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc::core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
+use spc::types::{Header, RuleId, RuleSet};
+
+fn gen(kind: FilterKind, n: usize, seed: u64) -> RuleSet {
+    RuleSetGenerator::new(kind, n).seed(seed).generate()
+}
+
+fn trace(rules: &RuleSet, n: usize) -> Vec<Header> {
+    TraceGenerator::new().seed(17).match_fraction(0.85).generate(rules, n)
+}
+
+fn classifier(alg: IpAlg) -> Classifier {
+    let mut cfg = ArchConfig::large().with_ip_alg(alg);
+    cfg.rule_filter_addr_bits = 14;
+    Classifier::new(cfg)
+}
+
+#[test]
+fn classifier_matches_oracle_all_kinds_both_algs() {
+    for kind in [FilterKind::Acl, FilterKind::Fw, FilterKind::Ipc] {
+        let rules = gen(kind, 700, 5);
+        for alg in [IpAlg::Mbt, IpAlg::Bst] {
+            let mut cls = classifier(alg);
+            cls.load(&rules).unwrap();
+            for h in trace(&rules, 400) {
+                assert_eq!(
+                    cls.classify(&h).hit.map(|x| x.rule_id),
+                    rules.classify(&h).map(|(id, _)| id),
+                    "kind {kind} alg {alg} header {h}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_baselines_agree_on_one_trace() {
+    let rules = gen(FilterKind::Acl, 500, 9);
+    let oracle = LinearSearch::build(&rules);
+    let hc = HyperCuts::build(&rules, Default::default());
+    let rfc = Rfc::build(&rules, 1 << 26).unwrap();
+    let dcfl = Dcfl::build(&rules);
+    let mut cls = classifier(IpAlg::Mbt);
+    cls.load(&rules).unwrap();
+    for h in trace(&rules, 400) {
+        let want = oracle.classify(&h).rule;
+        assert_eq!(hc.classify(&h).rule, want, "hypercuts@{h}");
+        assert_eq!(rfc.classify(&h).rule, want, "rfc@{h}");
+        assert_eq!(dcfl.classify(&h).rule, want, "dcfl@{h}");
+        assert_eq!(cls.classify(&h).hit.map(|x| x.rule_id), want, "spc@{h}");
+    }
+}
+
+#[test]
+fn incremental_removal_tracks_oracle() {
+    let rules = gen(FilterKind::Acl, 400, 3);
+    let mut cls = classifier(IpAlg::Mbt);
+    let ids = cls.load(&rules).unwrap();
+    // Remove every third rule; the oracle is the filtered rule set.
+    let mut kept: Vec<(RuleId, spc::types::Rule)> = Vec::new();
+    for (i, (id, r)) in ids.iter().zip(rules.rules()).enumerate() {
+        if i % 3 == 0 {
+            cls.remove(*id).unwrap();
+        } else {
+            kept.push((*id, *r));
+        }
+    }
+    let t = trace(&rules, 300);
+    for h in &t {
+        let want = kept
+            .iter()
+            .filter(|(_, r)| r.matches(h))
+            .min_by_key(|(id, r)| (r.priority, id.0))
+            .map(|(id, _)| *id);
+        assert_eq!(cls.classify(h).hit.map(|x| x.rule_id), want, "header {h}");
+    }
+    // Reinsert the removed rules; behaviour must return to the full set.
+    for (i, r) in rules.rules().iter().enumerate() {
+        if i % 3 == 0 {
+            cls.insert(*r).unwrap();
+        }
+    }
+    for h in &t {
+        assert_eq!(
+            cls.classify(h).hit.map(|x| x.rule.priority),
+            rules.classify(h).map(|(_, r)| r.priority),
+            "after reinsertion, header {h}"
+        );
+    }
+}
+
+#[test]
+fn runtime_reconfiguration_is_transparent() {
+    let rules = gen(FilterKind::Ipc, 500, 13);
+    let mut cls = classifier(IpAlg::Mbt);
+    cls.load(&rules).unwrap();
+    let t = trace(&rules, 200);
+    let before: Vec<_> = t.iter().map(|h| cls.classify(h).hit.map(|x| x.rule_id)).collect();
+    cls.set_ip_alg(IpAlg::Bst).unwrap();
+    let mid: Vec<_> = t.iter().map(|h| cls.classify(h).hit.map(|x| x.rule_id)).collect();
+    cls.set_ip_alg(IpAlg::Mbt).unwrap();
+    let after: Vec<_> = t.iter().map(|h| cls.classify(h).hit.map(|x| x.rule_id)).collect();
+    assert_eq!(before, mid);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn fast_path_hits_are_always_valid_matches() {
+    // FirstLabel may return a sub-optimal rule but never an invalid one.
+    let rules = gen(FilterKind::Acl, 600, 21);
+    let mut cfg = ArchConfig::large().with_combine(CombineStrategy::FirstLabel);
+    cfg.rule_filter_addr_bits = 14;
+    let mut cls = Classifier::new(cfg);
+    cls.load(&rules).unwrap();
+    for h in trace(&rules, 500) {
+        if let Some(hit) = cls.classify(&h).hit {
+            assert!(hit.rule.matches(&h), "fast-path hit must match: {h}");
+        }
+    }
+}
+
+#[test]
+fn label_counts_return_to_zero_after_full_teardown() {
+    let rules = gen(FilterKind::Fw, 300, 2);
+    let mut cls = classifier(IpAlg::Mbt);
+    let ids = cls.load(&rules).unwrap();
+    assert!(cls.live_labels().iter().sum::<usize>() > 0);
+    for id in ids {
+        cls.remove(id).unwrap();
+    }
+    assert!(cls.is_empty());
+    assert_eq!(cls.live_labels(), [0; 7], "refcounts must drain completely");
+    // The classifier remains usable.
+    cls.load(&rules).unwrap();
+    assert_eq!(cls.len(), rules.len());
+}
+
+#[test]
+fn update_costs_are_small_and_reported() {
+    let rules = gen(FilterKind::Acl, 200, 4);
+    let mut cls = classifier(IpAlg::Mbt);
+    let mut max_cycles = 0u64;
+    for r in rules.rules() {
+        let rep = cls.insert(*r).unwrap();
+        assert!(rep.hw_write_cycles >= 3, "at least 2 data + 1 hash cycle (§V.A)");
+        max_cycles = max_cycles.max(rep.hw_write_cycles);
+    }
+    // Label sharing keeps the worst insert far below a structure rebuild.
+    assert!(max_cycles < 2_000, "worst insert cost {max_cycles} cycles");
+}

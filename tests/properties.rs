@@ -1,0 +1,171 @@
+//! Property-based tests: the architecture against the semantic oracle on
+//! arbitrary rule sets and headers, plus structural invariants.
+
+use proptest::prelude::*;
+use spc::core::{ArchConfig, Classifier, IpAlg};
+use spc::types::{
+    Action, Header, PortRange, Prefix, Priority, ProtoSpec, Rule, RuleSet, SegPrefix,
+};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(v, l)| Prefix::masked(v, l))
+}
+
+fn arb_range() -> impl Strategy<Value = PortRange> {
+    (any::<u16>(), any::<u16>())
+        .prop_map(|(a, b)| PortRange::new(a.min(b), a.max(b)).expect("ordered"))
+}
+
+fn arb_proto() -> impl Strategy<Value = ProtoSpec> {
+    prop_oneof![
+        3 => (0u8..=30).prop_map(ProtoSpec::Exact),
+        1 => Just(ProtoSpec::Any),
+    ]
+}
+
+fn arb_rule(priority: u32) -> impl Strategy<Value = Rule> {
+    (arb_prefix(), arb_prefix(), arb_range(), arb_range(), arb_proto()).prop_map(
+        move |(s, d, sp, dp, pr)| {
+            Rule::builder(Priority(priority))
+                .src_ip(s)
+                .dst_ip(d)
+                .src_port(sp)
+                .dst_port(dp)
+                .proto(pr)
+                .action(Action::Forward(priority as u16))
+                .build()
+        },
+    )
+}
+
+fn arb_ruleset(max: usize) -> impl Strategy<Value = RuleSet> {
+    prop::collection::vec(any::<u32>(), 1..max).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_rule(i as u32))
+            .collect::<Vec<_>>()
+            .prop_map(RuleSet::from_rules)
+    })
+}
+
+fn arb_header() -> impl Strategy<Value = Header> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), 0u8..=35)
+        .prop_map(|(s, d, sp, dp, pr)| Header::new(s.into(), d.into(), sp, dp, pr))
+}
+
+/// Headers biased to actually hit rules: derived from a rule's region.
+fn biased_header(rules: &RuleSet, sel: u64, jitter: u32) -> Header {
+    let r = &rules.rules()[(sel as usize) % rules.len()];
+    Header::new(
+        (r.src_ip.value() | (jitter & !u32_mask(r.src_ip.len()))).into(),
+        (r.dst_ip.value() | (jitter.rotate_left(7) & !u32_mask(r.dst_ip.len()))).into(),
+        r.src_port.lo(),
+        r.dst_port.hi(),
+        match r.proto {
+            ProtoSpec::Exact(v) => v,
+            ProtoSpec::Any => (jitter % 40) as u8,
+        },
+    )
+}
+
+fn u32_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn classifier_equals_oracle_mbt(rules in arb_ruleset(24), hs in prop::collection::vec(arb_header(), 12), sel in any::<u64>(), jit in any::<u32>()) {
+        let mut cls = Classifier::new(ArchConfig::large());
+        // Duplicate 5-tuples are rejected by design; skip those inputs.
+        let mut installed = RuleSet::new();
+        for r in rules.rules() {
+            if cls.insert(*r).is_ok() {
+                installed.push(*r);
+            }
+        }
+        let mut headers = hs;
+        headers.push(biased_header(&rules, sel, jit));
+        for h in &headers {
+            let want = installed.classify(h).map(|(_, r)| r.priority);
+            let got = cls.classify(h).hit.map(|x| x.rule.priority);
+            prop_assert_eq!(got, want, "header {}", h);
+        }
+    }
+
+    #[test]
+    fn classifier_equals_oracle_bst(rules in arb_ruleset(16), sel in any::<u64>(), jit in any::<u32>()) {
+        let mut cls = Classifier::new(ArchConfig::large().with_ip_alg(IpAlg::Bst));
+        let mut installed = RuleSet::new();
+        for r in rules.rules() {
+            if cls.insert(*r).is_ok() {
+                installed.push(*r);
+            }
+        }
+        let h = biased_header(&rules, sel, jit);
+        let want = installed.classify(&h).map(|(_, r)| r.priority);
+        let got = cls.classify(&h).hit.map(|x| x.rule.priority);
+        prop_assert_eq!(got, want, "header {}", h);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_restores_behaviour(rules in arb_ruleset(12), h in arb_header()) {
+        let mut cls = Classifier::new(ArchConfig::large());
+        let mut ids = Vec::new();
+        for r in rules.rules() {
+            if let Ok(rep) = cls.insert(*r) {
+                ids.push(rep.rule_id);
+            }
+        }
+        let before = cls.classify(&h).hit.map(|x| x.rule.priority);
+        // Remove everything, confirm empty semantics, reinstall.
+        for id in &ids {
+            cls.remove(*id).unwrap();
+        }
+        prop_assert!(cls.classify(&h).hit.is_none());
+        prop_assert_eq!(cls.live_labels(), [0usize; 7]);
+        for r in rules.rules() {
+            let _ = cls.insert(*r);
+        }
+        prop_assert_eq!(cls.classify(&h).hit.map(|x| x.rule.priority), before);
+    }
+
+    #[test]
+    fn prefix_segments_partition_matches(v in any::<u32>(), l in 0u8..=32, q in any::<u32>()) {
+        // A 32-bit prefix match decomposes exactly into its two 16-bit
+        // segment matches — the foundation of the architecture.
+        let p = Prefix::masked(v, l);
+        let (hi, lo) = p.segments();
+        let header_matches = p.contains(q.into());
+        let seg_matches = hi.matches((q >> 16) as u16) && lo.matches((q & 0xffff) as u16);
+        prop_assert_eq!(header_matches, seg_matches);
+    }
+
+    #[test]
+    fn segprefix_bounds_consistent(v in any::<u16>(), l in 0u8..=16) {
+        let s = SegPrefix::masked(v, l);
+        prop_assert!(s.matches(s.first()));
+        prop_assert!(s.matches(s.last()));
+        if s.first() > 0 {
+            prop_assert!(!s.matches(s.first() - 1));
+        }
+        if s.last() < u16::MAX {
+            prop_assert!(!s.matches(s.last() + 1));
+        }
+    }
+
+    #[test]
+    fn portrange_covers_iff_both_bounds(a in arb_range(), b in arb_range()) {
+        prop_assert_eq!(a.covers(b), a.lo() <= b.lo() && b.hi() <= a.hi());
+        if a.overlaps(b) {
+            let lo = a.lo().max(b.lo());
+            prop_assert!(a.contains(lo) && b.contains(lo));
+        }
+    }
+}
