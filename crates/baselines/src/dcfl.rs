@@ -104,55 +104,64 @@ impl Dcfl {
 
         for (id, r) in rules.iter() {
             let next_sip = sip_labels.len();
-            let ls = *sip_labels.entry((r.src_ip.value(), r.src_ip.len())).or_insert_with(|| {
-                let l = next_sip as u16;
-                sip.insert_prefix(
-                    &mut sip_store,
-                    r.src_ip.value(),
-                    r.src_ip.len(),
-                    LabelEntry::by_priority(Label(l), Priority(0)),
-                )
-                .expect("dcfl sip trie sized for the rule set");
-                l
-            });
+            let ls = *sip_labels
+                .entry((r.src_ip.value(), r.src_ip.len()))
+                .or_insert_with(|| {
+                    let l = next_sip as u16;
+                    sip.insert_prefix(
+                        &mut sip_store,
+                        r.src_ip.value(),
+                        r.src_ip.len(),
+                        LabelEntry::by_priority(Label(l), Priority(0)),
+                    )
+                    .expect("dcfl sip trie sized for the rule set");
+                    l
+                });
             let next_dip = dip_labels.len();
-            let ld = *dip_labels.entry((r.dst_ip.value(), r.dst_ip.len())).or_insert_with(|| {
-                let l = next_dip as u16;
-                dip.insert_prefix(
-                    &mut dip_store,
-                    r.dst_ip.value(),
-                    r.dst_ip.len(),
-                    LabelEntry::by_priority(Label(l), Priority(0)),
-                )
-                .expect("dcfl dip trie sized for the rule set");
-                l
-            });
+            let ld = *dip_labels
+                .entry((r.dst_ip.value(), r.dst_ip.len()))
+                .or_insert_with(|| {
+                    let l = next_dip as u16;
+                    dip.insert_prefix(
+                        &mut dip_store,
+                        r.dst_ip.value(),
+                        r.dst_ip.len(),
+                        LabelEntry::by_priority(Label(l), Priority(0)),
+                    )
+                    .expect("dcfl dip trie sized for the rule set");
+                    l
+                });
             let next_sport = sport_labels.len();
-            let lsp = *sport_labels.entry((r.src_port.lo(), r.src_port.hi())).or_insert_with(|| {
-                let l = next_sport as u16;
-                sport
-                    .insert_range(
-                        &mut sport_store,
-                        r.src_port,
-                        LabelEntry::by_priority(Label(l), Priority(0)),
-                    )
-                    .expect("dcfl sport trie sized for the rule set");
-                l
-            });
+            let lsp = *sport_labels
+                .entry((r.src_port.lo(), r.src_port.hi()))
+                .or_insert_with(|| {
+                    let l = next_sport as u16;
+                    sport
+                        .insert_range(
+                            &mut sport_store,
+                            r.src_port,
+                            LabelEntry::by_priority(Label(l), Priority(0)),
+                        )
+                        .expect("dcfl sport trie sized for the rule set");
+                    l
+                });
             let next_dport = dport_labels.len();
-            let ldp = *dport_labels.entry((r.dst_port.lo(), r.dst_port.hi())).or_insert_with(|| {
-                let l = next_dport as u16;
-                dport
-                    .insert_range(
-                        &mut dport_store,
-                        r.dst_port,
-                        LabelEntry::by_priority(Label(l), Priority(0)),
-                    )
-                    .expect("dcfl dport trie sized for the rule set");
-                l
-            });
+            let ldp = *dport_labels
+                .entry((r.dst_port.lo(), r.dst_port.hi()))
+                .or_insert_with(|| {
+                    let l = next_dport as u16;
+                    dport
+                        .insert_range(
+                            &mut dport_store,
+                            r.dst_port,
+                            LabelEntry::by_priority(Label(l), Priority(0)),
+                        )
+                        .expect("dcfl dport trie sized for the rule set");
+                    l
+                });
             let next_proto = proto_labels.len();
-            let lpr = *proto_labels.entry(match r.proto {
+            let lpr = *proto_labels
+                .entry(match r.proto {
                     ProtoSpec::Any => None,
                     ProtoSpec::Exact(v) => Some(v),
                 })
@@ -170,7 +179,9 @@ impl Dcfl {
             let m1 = ag1.intern((u32::from(ls), u32::from(ld)));
             let m2 = ag2.intern((m1, u32::from(lsp)));
             let m3 = ag3.intern((m2, u32::from(ldp)));
-            let slot = final_map.entry((m3, u32::from(lpr))).or_insert((r.priority, id));
+            let slot = final_map
+                .entry((m3, u32::from(lpr)))
+                .or_insert((r.priority, id));
             if (r.priority, id) < *slot {
                 *slot = (r.priority, id);
             }
@@ -208,11 +219,26 @@ impl Baseline for Dcfl {
     fn classify(&self, h: &Header) -> BaselineResult {
         let mut accesses = 0u32;
         // Parallel field searches returning full label sets.
-        let rs = self.sip.lookup_key(&self.sip_store, h.src_ip.0).expect("in range");
-        let rd = self.dip.lookup_key(&self.dip_store, h.dst_ip.0).expect("in range");
-        let rsp = self.sport.lookup(&self.sport_store, h.src_port).expect("in range");
-        let rdp = self.dport.lookup(&self.dport_store, h.dst_port).expect("in range");
-        let rpr = self.proto.lookup(&self.proto_store, u16::from(h.proto)).expect("in range");
+        let rs = self
+            .sip
+            .lookup_key(&self.sip_store, h.src_ip.0)
+            .expect("in range");
+        let rd = self
+            .dip
+            .lookup_key(&self.dip_store, h.dst_ip.0)
+            .expect("in range");
+        let rsp = self
+            .sport
+            .lookup(&self.sport_store, h.src_port)
+            .expect("in range");
+        let rdp = self
+            .dport
+            .lookup(&self.dport_store, h.dst_port)
+            .expect("in range");
+        let rpr = self
+            .proto
+            .lookup(&self.proto_store, u16::from(h.proto))
+            .expect("in range");
         accesses += rs.mem_reads + rd.mem_reads + rsp.mem_reads + rdp.mem_reads + rpr.mem_reads;
         // Aggregation network: each candidate pair costs one probe.
         let mut m1 = Vec::new();
@@ -247,13 +273,16 @@ impl Baseline for Dcfl {
             for p in rpr.labels.iter() {
                 accesses += 1;
                 if let Some(&cand) = self.final_map.get(&(m, u32::from(p.label.0))) {
-                    if best.map_or(true, |b| cand < b) {
+                    if best.is_none_or(|b| cand < b) {
                         best = Some(cand);
                     }
                 }
             }
         }
-        BaselineResult { rule: best.map(|(_, id)| id), accesses }
+        BaselineResult {
+            rule: best.map(|(_, id)| id),
+            accesses,
+        }
     }
 
     fn memory_bits(&self) -> u64 {

@@ -23,7 +23,11 @@ pub struct HyperCutsConfig {
 
 impl Default for HyperCutsConfig {
     fn default() -> Self {
-        HyperCutsConfig { binth: 16, spfac: 4.0, max_depth: 32 }
+        HyperCutsConfig {
+            binth: 16,
+            spfac: 4.0,
+            max_depth: 32,
+        }
     }
 }
 
@@ -101,8 +105,13 @@ impl HyperCuts {
             rule_count: all.len(),
             replicated_rules: 0,
         };
-        let region: [(u64, u64); DIMS] =
-            [(0, u64::from(u32::MAX)), (0, u64::from(u32::MAX)), (0, 65535), (0, 65535), (0, 255)];
+        let region: [(u64, u64); DIMS] = [
+            (0, u64::from(u32::MAX)),
+            (0, u64::from(u32::MAX)),
+            (0, 65535),
+            (0, 65535),
+            (0, 255),
+        ];
         hc.root = hc.build_node(all, region, 0, &config);
         hc
     }
@@ -166,7 +175,12 @@ impl HyperCuts {
             .map(|(&d, &b)| {
                 let n = 1u64 << b;
                 let span = region[d].1 - region[d].0 + 1;
-                Cut { dim: d, lo: region[d].0, cell: (span / n).max(1), cuts: n as u32 }
+                Cut {
+                    dim: d,
+                    lo: region[d].0,
+                    cell: (span / n).max(1),
+                    cuts: n as u32,
+                }
             })
             .collect();
         let total_children: usize = cuts.iter().map(|c| c.cuts as usize).product();
@@ -219,7 +233,10 @@ impl HyperCuts {
             return self.push_leaf(rules);
         }
         let node_idx = self.nodes.len() as u32;
-        self.nodes.push(Node::Inner { cuts: cuts.clone(), children: Vec::new() });
+        self.nodes.push(Node::Inner {
+            cuts: cuts.clone(),
+            children: Vec::new(),
+        });
         let mut children = Vec::with_capacity(total_children);
         for (flat, bucket) in buckets.into_iter().enumerate() {
             // Child region.
@@ -287,10 +304,16 @@ impl Baseline for HyperCuts {
                     for (id, rule) in rules {
                         accesses += crate::linear::RULE_WORDS;
                         if rule.matches(h) {
-                            return BaselineResult { rule: Some(*id), accesses };
+                            return BaselineResult {
+                                rule: Some(*id),
+                                accesses,
+                            };
                         }
                     }
-                    return BaselineResult { rule: None, accesses };
+                    return BaselineResult {
+                        rule: None,
+                        accesses,
+                    };
                 }
             }
         }
@@ -354,7 +377,13 @@ mod tests {
     #[test]
     fn binth_one_allowed() {
         let rs = small_set();
-        let hc = HyperCuts::build(&rs, HyperCutsConfig { binth: 1, ..Default::default() });
+        let hc = HyperCuts::build(
+            &rs,
+            HyperCutsConfig {
+                binth: 1,
+                ..Default::default()
+            },
+        );
         let ls = LinearSearch::build(&rs);
         for h in trace(&rs, 100) {
             assert_eq!(hc.classify(&h).rule, ls.classify(&h).rule);

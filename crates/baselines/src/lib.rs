@@ -61,7 +61,10 @@ pub trait Baseline {
         if trace.is_empty() {
             return 0.0;
         }
-        let total: u64 = trace.iter().map(|h| u64::from(self.classify(h).accesses)).sum();
+        let total: u64 = trace
+            .iter()
+            .map(|h| u64::from(self.classify(h).accesses))
+            .sum();
         total as f64 / trace.len() as f64
     }
 }
@@ -72,14 +75,21 @@ pub(crate) mod testutil {
     use spc_types::{Header, RuleSet};
 
     pub fn small_set() -> RuleSet {
-        RuleSetGenerator::new(FilterKind::Acl, 300).seed(21).generate()
+        RuleSetGenerator::new(FilterKind::Acl, 300)
+            .seed(21)
+            .generate()
     }
 
     pub fn fw_set() -> RuleSet {
-        RuleSetGenerator::new(FilterKind::Fw, 250).seed(22).generate()
+        RuleSetGenerator::new(FilterKind::Fw, 250)
+            .seed(22)
+            .generate()
     }
 
     pub fn trace(rules: &RuleSet, n: usize) -> Vec<Header> {
-        TraceGenerator::new().seed(5).match_fraction(0.8).generate(rules, n)
+        TraceGenerator::new()
+            .seed(5)
+            .match_fraction(0.8)
+            .generate(rules, n)
     }
 }

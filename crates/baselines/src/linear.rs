@@ -59,10 +59,16 @@ impl Baseline for LinearSearch {
         for (id, rule) in &self.rules {
             accesses += RULE_WORDS;
             if rule.matches(h) {
-                return BaselineResult { rule: Some(*id), accesses };
+                return BaselineResult {
+                    rule: Some(*id),
+                    accesses,
+                };
             }
         }
-        BaselineResult { rule: None, accesses }
+        BaselineResult {
+            rule: None,
+            accesses,
+        }
     }
 
     fn memory_bits(&self) -> u64 {

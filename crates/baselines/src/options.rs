@@ -78,12 +78,14 @@ impl OptionClassifier {
     pub fn build(rules: &RuleSet, kind: OptionKind) -> Self {
         let cap = (rules.len() + 64).next_power_of_two();
         let (mbt_cfg, seg_cfg) = match kind {
-            OptionKind::One => {
-                (MbtConfig::ip32_5level(cap), SegTrieConfig::four_level(cap.min(4096)))
-            }
-            OptionKind::Two => {
-                (MbtConfig::ip32_4level(cap), SegTrieConfig::five_level(cap.min(4096)))
-            }
+            OptionKind::One => (
+                MbtConfig::ip32_5level(cap),
+                SegTrieConfig::four_level(cap.min(4096)),
+            ),
+            OptionKind::Two => (
+                MbtConfig::ip32_4level(cap),
+                SegTrieConfig::five_level(cap.min(4096)),
+            ),
         };
         let mut me = OptionClassifier {
             kind,
@@ -98,7 +100,10 @@ impl OptionClassifier {
             proto: ProtocolLut::new(),
             proto_store: LabelStore::new("opt/proto", 16, 4),
             filter: RuleFilter::new(
-                ((rules.len().max(64) * 2).next_power_of_two().trailing_zeros()).max(6),
+                ((rules.len().max(64) * 2)
+                    .next_power_of_two()
+                    .trailing_zeros())
+                .max(6),
                 56,
             ),
         };
@@ -110,49 +115,66 @@ impl OptionClassifier {
         for (id, r) in rules.iter() {
             let p = r.priority;
             let next_sip = sip_labels.len();
-            let ls = *sip_labels.entry((r.src_ip.value(), r.src_ip.len())).or_insert_with(|| {
-                let l = Label(next_sip as u16);
-                me.sip
-                    .insert_prefix(
-                        &mut me.sip_store,
-                        r.src_ip.value(),
-                        r.src_ip.len(),
-                        LabelEntry::by_priority(l, p),
-                    )
-                    .expect("option sip trie sized for the rule set");
-                l
-            });
+            let ls = *sip_labels
+                .entry((r.src_ip.value(), r.src_ip.len()))
+                .or_insert_with(|| {
+                    let l = Label(next_sip as u16);
+                    me.sip
+                        .insert_prefix(
+                            &mut me.sip_store,
+                            r.src_ip.value(),
+                            r.src_ip.len(),
+                            LabelEntry::by_priority(l, p),
+                        )
+                        .expect("option sip trie sized for the rule set");
+                    l
+                });
             let next_dip = dip_labels.len();
-            let ld = *dip_labels.entry((r.dst_ip.value(), r.dst_ip.len())).or_insert_with(|| {
-                let l = Label(next_dip as u16);
-                me.dip
-                    .insert_prefix(
-                        &mut me.dip_store,
-                        r.dst_ip.value(),
-                        r.dst_ip.len(),
-                        LabelEntry::by_priority(l, p),
-                    )
-                    .expect("option dip trie sized for the rule set");
-                l
-            });
+            let ld = *dip_labels
+                .entry((r.dst_ip.value(), r.dst_ip.len()))
+                .or_insert_with(|| {
+                    let l = Label(next_dip as u16);
+                    me.dip
+                        .insert_prefix(
+                            &mut me.dip_store,
+                            r.dst_ip.value(),
+                            r.dst_ip.len(),
+                            LabelEntry::by_priority(l, p),
+                        )
+                        .expect("option dip trie sized for the rule set");
+                    l
+                });
             let next_sport = sport_labels.len();
-            let lsp = *sport_labels.entry((r.src_port.lo(), r.src_port.hi())).or_insert_with(|| {
-                let l = Label(next_sport as u16);
-                me.sport
-                    .insert_range(&mut me.sport_store, r.src_port, LabelEntry::by_priority(l, p))
-                    .expect("option sport trie sized for the rule set");
-                l
-            });
+            let lsp = *sport_labels
+                .entry((r.src_port.lo(), r.src_port.hi()))
+                .or_insert_with(|| {
+                    let l = Label(next_sport as u16);
+                    me.sport
+                        .insert_range(
+                            &mut me.sport_store,
+                            r.src_port,
+                            LabelEntry::by_priority(l, p),
+                        )
+                        .expect("option sport trie sized for the rule set");
+                    l
+                });
             let next_dport = dport_labels.len();
-            let ldp = *dport_labels.entry((r.dst_port.lo(), r.dst_port.hi())).or_insert_with(|| {
-                let l = Label(next_dport as u16);
-                me.dport
-                    .insert_range(&mut me.dport_store, r.dst_port, LabelEntry::by_priority(l, p))
-                    .expect("option dport trie sized for the rule set");
-                l
-            });
+            let ldp = *dport_labels
+                .entry((r.dst_port.lo(), r.dst_port.hi()))
+                .or_insert_with(|| {
+                    let l = Label(next_dport as u16);
+                    me.dport
+                        .insert_range(
+                            &mut me.dport_store,
+                            r.dst_port,
+                            LabelEntry::by_priority(l, p),
+                        )
+                        .expect("option dport trie sized for the rule set");
+                    l
+                });
             let next_proto = proto_labels.len();
-            let lpr = *proto_labels.entry(match r.proto {
+            let lpr = *proto_labels
+                .entry(match r.proto {
                     ProtoSpec::Any => None,
                     ProtoSpec::Exact(v) => Some(v),
                 })
@@ -190,11 +212,26 @@ impl Baseline for OptionClassifier {
 
     fn classify(&self, h: &Header) -> BaselineResult {
         let mut accesses = 0u32;
-        let rs = self.sip.lookup_key(&self.sip_store, h.src_ip.0).expect("in range");
-        let rd = self.dip.lookup_key(&self.dip_store, h.dst_ip.0).expect("in range");
-        let rsp = self.sport.lookup(&self.sport_store, h.src_port).expect("in range");
-        let rdp = self.dport.lookup(&self.dport_store, h.dst_port).expect("in range");
-        let rpr = self.proto.lookup(&self.proto_store, u16::from(h.proto)).expect("in range");
+        let rs = self
+            .sip
+            .lookup_key(&self.sip_store, h.src_ip.0)
+            .expect("in range");
+        let rd = self
+            .dip
+            .lookup_key(&self.dip_store, h.dst_ip.0)
+            .expect("in range");
+        let rsp = self
+            .sport
+            .lookup(&self.sport_store, h.src_port)
+            .expect("in range");
+        let rdp = self
+            .dport
+            .lookup(&self.dport_store, h.dst_port)
+            .expect("in range");
+        let rpr = self
+            .proto
+            .lookup(&self.proto_store, u16::from(h.proto))
+            .expect("in range");
         accesses += rs.mem_reads + rd.mem_reads + rsp.mem_reads + rdp.mem_reads + rpr.mem_reads;
         let mut best: Option<(Priority, RuleId)> = None;
         for a in rs.labels.iter() {
@@ -208,7 +245,7 @@ impl Baseline for OptionClassifier {
                             accesses += probe.reads;
                             if let Some(s) = probe.hit {
                                 let cand = (s.rule.priority, s.id);
-                                if best.map_or(true, |x| cand < x) {
+                                if best.is_none_or(|x| cand < x) {
                                     best = Some(cand);
                                 }
                             }
@@ -217,7 +254,10 @@ impl Baseline for OptionClassifier {
                 }
             }
         }
-        BaselineResult { rule: best.map(|(_, id)| id), accesses }
+        BaselineResult {
+            rule: best.map(|(_, id)| id),
+            accesses,
+        }
     }
 
     fn memory_bits(&self) -> u64 {

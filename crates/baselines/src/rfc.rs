@@ -40,7 +40,11 @@ pub enum RfcError {
 impl fmt::Display for RfcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RfcError::TableTooLarge { table, entries, cap } => write!(
+            RfcError::TableTooLarge {
+                table,
+                entries,
+                cap,
+            } => write!(
                 f,
                 "rfc phase table {table} needs {entries} entries, exceeding the {cap} cap"
             ),
@@ -60,7 +64,11 @@ struct EqTable {
 
 impl EqTable {
     fn id_bits(&self) -> u64 {
-        u64::from((self.classes.len().max(2) as u64).next_power_of_two().trailing_zeros())
+        u64::from(
+            (self.classes.len().max(2) as u64)
+                .next_power_of_two()
+                .trailing_zeros(),
+        )
     }
 
     fn memory_bits(&self) -> u64 {
@@ -86,13 +94,13 @@ const CHUNK_SPACE: [usize; 7] = [1 << 16, 1 << 16, 1 << 16, 1 << 16, 1 << 16, 1 
 /// ```
 #[derive(Debug)]
 pub struct Rfc {
-    phase0: Vec<EqTable>,      // 7 chunk tables
-    table_a: EqTable,          // (sip_hi, sip_lo)
-    table_b: EqTable,          // (dip_hi, dip_lo)
-    table_c: EqTable,          // (sport, dport)
-    table_d: EqTable,          // (A, B)
-    table_e: EqTable,          // (C, proto)
-    table_f: EqTable,          // (D, E) final
+    phase0: Vec<EqTable>, // 7 chunk tables
+    table_a: EqTable,     // (sip_hi, sip_lo)
+    table_b: EqTable,     // (dip_hi, dip_lo)
+    table_c: EqTable,     // (sport, dport)
+    table_d: EqTable,     // (A, B)
+    table_e: EqTable,     // (C, proto)
+    table_f: EqTable,     // (D, E) final
     final_rules: Vec<Option<RuleId>>,
 }
 
@@ -112,7 +120,11 @@ impl Rfc {
         let combine = |x: &EqTable, y: &EqTable, name: &'static str| -> Result<EqTable, RfcError> {
             let entries = x.classes.len() as u64 * y.classes.len() as u64;
             if entries > entry_cap {
-                return Err(RfcError::TableTooLarge { table: name, entries, cap: entry_cap });
+                return Err(RfcError::TableTooLarge {
+                    table: name,
+                    entries,
+                    cap: entry_cap,
+                });
             }
             let mut table = Vec::with_capacity(entries as usize);
             let mut ids: HashMap<BitSet, u32> = HashMap::new();
@@ -127,7 +139,10 @@ impl Rfc {
                     table.push(id);
                 }
             }
-            Ok(EqTable { entries: table, classes })
+            Ok(EqTable {
+                entries: table,
+                classes,
+            })
         };
         let table_a = combine(&phase0[0], &phase0[1], "A(sip)")?;
         let table_b = combine(&phase0[2], &phase0[3], "B(dip)")?;
@@ -146,7 +161,7 @@ impl Rfc {
                 for (i, (id, p)) in by_priority.iter().enumerate() {
                     if set[i / 64] >> (i % 64) & 1 == 1 {
                         let cand = (*p, *id);
-                        if best.map_or(true, |b| cand < b) {
+                        if best.is_none_or(|b| cand < b) {
                             best = Some(cand);
                         }
                     }
@@ -234,7 +249,6 @@ impl Rfc {
     pub fn final_classes(&self) -> usize {
         self.table_f.classes.len()
     }
-
 }
 
 impl Baseline for Rfc {
@@ -252,8 +266,9 @@ impl Baseline for Rfc {
             usize::from(h.dst_port),
             usize::from(h.proto),
         ];
-        let c: Vec<usize> =
-            (0..7).map(|i| self.phase0[i].entries[v[i]] as usize).collect();
+        let c: Vec<usize> = (0..7)
+            .map(|i| self.phase0[i].entries[v[i]] as usize)
+            .collect();
         let a = self.table_a.entries[c[0] * self.phase0[1].classes.len() + c[1]] as usize;
         let b = self.table_b.entries[c[2] * self.phase0[3].classes.len() + c[3]] as usize;
         let cc = self.table_c.entries[c[4] * self.phase0[5].classes.len() + c[5]] as usize;
@@ -261,7 +276,10 @@ impl Baseline for Rfc {
         let e = self.table_e.entries[cc * self.phase0[6].classes.len() + c[6]] as usize;
         let f = self.table_f.entries[d * self.table_e.classes.len() + e] as usize;
         // 7 phase-0 reads + 3 phase-1 + 2 phase-2 + 1 phase-3.
-        BaselineResult { rule: self.final_rules[f], accesses: 13 }
+        BaselineResult {
+            rule: self.final_rules[f],
+            accesses: 13,
+        }
     }
 
     fn memory_bits(&self) -> u64 {

@@ -17,15 +17,19 @@ fn bench_combine_strategy(c: &mut Criterion) {
         cfg.rule_filter_addr_bits = 14;
         let mut cls = Classifier::new(cfg);
         cls.load(&rules).expect("fits");
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{strat:?}")), &t, |b, t| {
-            b.iter(|| {
-                let mut probes = 0u64;
-                for h in t {
-                    probes += u64::from(cls.classify(h).combos_probed);
-                }
-                probes
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strat:?}")),
+            &t,
+            |b, t| {
+                b.iter(|| {
+                    let mut probes = 0u64;
+                    for h in t {
+                        probes += u64::from(cls.classify(h).combos_probed);
+                    }
+                    probes
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,45 @@
+//! Criterion bench: every registry backend through the unified
+//! `PacketClassifier` trait, single-shot vs the amortised batch path —
+//! so the batch speedup is measured, not asserted.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spc_bench::{ruleset, trace};
+use spc_classbench::FilterKind;
+use spc_engine::{EngineBuilder, EngineKind, PacketClassifier, Verdict};
+
+fn engines(rules: &spc_types::RuleSet) -> Vec<Box<dyn PacketClassifier>> {
+    EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            EngineBuilder::new(kind)
+                .build(rules)
+                .expect("2K-rule ACL fits every backend")
+        })
+        .collect()
+}
+
+fn bench_single_vs_batch(c: &mut Criterion) {
+    let rules = ruleset(FilterKind::Acl, 2000);
+    let t = trace(&rules, 512);
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(t.len() as u64));
+    for mut engine in engines(&rules) {
+        group.bench_with_input(BenchmarkId::new("single", engine.name()), &t, |b, t| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for h in t {
+                    hits += u64::from(engine.classify(h).is_hit());
+                }
+                hits
+            })
+        });
+        let mut out: Vec<Verdict> = Vec::new();
+        group.bench_with_input(BenchmarkId::new("batch", engine.name()), &t, |b, t| {
+            b.iter(|| engine.classify_batch(t, &mut out).hits)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_vs_batch);
+criterion_main!(benches);

@@ -11,8 +11,9 @@ fn bench_lookup(c: &mut Criterion) {
     for alg in [IpAlg::Mbt, IpAlg::Bst] {
         for n in [1000usize, 4000] {
             let rules = ruleset(FilterKind::Acl, n);
-            let mut cfg =
-                ArchConfig::large().with_ip_alg(alg).with_combine(CombineStrategy::FirstLabel);
+            let mut cfg = ArchConfig::large()
+                .with_ip_alg(alg)
+                .with_combine(CombineStrategy::FirstLabel);
             cfg.rule_filter_addr_bits = 14;
             let mut cls = Classifier::new(cfg);
             cls.load(&rules).expect("fits");

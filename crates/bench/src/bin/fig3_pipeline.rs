@@ -1,13 +1,11 @@
 //! Fig 3 — the 4-phase lookup pipeline: per-phase cycle breakdown and
 //! latency/throughput in both IP-algorithm configurations.
 
-use serde::Serialize;
 use spc_bench::{emit_json, print_table, ruleset, scale_or, trace, Row};
 use spc_classbench::FilterKind;
 use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
 use spc_hwsim::MIN_PACKET_BYTES;
 
-#[derive(Serialize)]
 struct PhaseRec {
     alg: String,
     avg_phase_cycles: [f64; 4],
@@ -17,7 +15,6 @@ struct PhaseRec {
     gbps_at_40b: f64,
 }
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rows: Vec<PhaseRec>,
@@ -25,7 +22,9 @@ struct Record {
 
 fn run(alg: IpAlg, n: usize) -> PhaseRec {
     let rules = ruleset(FilterKind::Acl, n);
-    let mut cfg = ArchConfig::large().with_ip_alg(alg).with_combine(CombineStrategy::FirstLabel);
+    let mut cfg = ArchConfig::large()
+        .with_ip_alg(alg)
+        .with_combine(CombineStrategy::FirstLabel);
     cfg.rule_filter_addr_bits = 15;
     let mut cls = Classifier::new(cfg);
     cls.load(&rules).expect("fits");
@@ -55,9 +54,22 @@ fn run(alg: IpAlg, n: usize) -> PhaseRec {
     }
 }
 
+spc_bench::json_object!(PhaseRec {
+    alg,
+    avg_phase_cycles,
+    avg_latency_cycles,
+    avg_initiation_interval,
+    lookups_per_sec_millions,
+    gbps_at_40b
+});
+spc_bench::json_object!(Record { experiment, rows });
+
 fn main() {
     let n = scale_or(4000);
-    let rows: Vec<PhaseRec> = [IpAlg::Mbt, IpAlg::Bst].into_iter().map(|a| run(a, n)).collect();
+    let rows: Vec<PhaseRec> = [IpAlg::Mbt, IpAlg::Bst]
+        .into_iter()
+        .map(|a| run(a, n))
+        .collect();
     let printable: Vec<Row> = rows
         .iter()
         .map(|r| Row {
@@ -76,10 +88,22 @@ fn main() {
         .collect();
     print_table(
         "Fig 3 — lookup pipeline phases (avg cycles)",
-        &["split", "field lookup", "combine", "rule filter", "latency", "II", "Mlookup/s", "Gbps@40B"],
+        &[
+            "split",
+            "field lookup",
+            "combine",
+            "rule filter",
+            "latency",
+            "II",
+            "Mlookup/s",
+            "Gbps@40B",
+        ],
         &printable,
     );
     println!("\nPaper §V.B: MBT engine phase = 6 cycles, protocol 1, port 2;");
     println!("+1 cycle label pointer, +2 cycles final phase — all pipelined in MBT mode.");
-    emit_json(&Record { experiment: "fig3", rows });
+    emit_json(&Record {
+        experiment: "fig3",
+        rows,
+    });
 }

@@ -6,15 +6,15 @@
 //! rule capacity BST mode gains — the mechanism behind Table VI's
 //! 8K-vs-12K rule counts.
 
-use serde::Serialize;
 use spc_bench::{emit_json, kbits, print_table, Row};
 use spc_core::{ArchConfig, Classifier, SharingReport};
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     sweep: Vec<(usize, SharingReport)>,
 }
+
+spc_bench::json_object!(Record { experiment, sweep });
 
 fn main() {
     let mut sweep = Vec::new();
@@ -41,10 +41,20 @@ fn main() {
     }
     print_table(
         "Fig 5 — memory sharing across the 4 IP dimensions (Kbits)",
-        &["physical", "MBT mode", "BST mode", "freed", "extra rules", "saved vs unshared"],
+        &[
+            "physical",
+            "MBT mode",
+            "BST mode",
+            "freed",
+            "extra rules",
+            "saved vs unshared",
+        ],
         &rows,
     );
     let default = Classifier::new(ArchConfig::paper_prototype()).sharing_report();
     println!("\nDefault configuration:\n{default}");
-    emit_json(&Record { experiment: "fig5", sweep });
+    emit_json(&Record {
+        experiment: "fig5",
+        sweep,
+    });
 }

@@ -5,80 +5,94 @@
 //! HyperCuts 60.05 / 5.96 Mb; RFC 48 / 31.48 Mb; DCFL 23.1 / 22.54 Mb;
 //! Option 1 49.3 / 5.57 Mb; Option 2 31.33 / 6.36 Mb.
 //!
+//! Every backend is built and measured through the unified
+//! `spc_engine::PacketClassifier` API — one loop over the registry, no
+//! per-algorithm glue. Rows without paper values (the linear oracle and
+//! the configurable architecture, which Table VI covers) print `-`.
+//!
 //! Run: `cargo run --release -p spc-bench --bin table1` (set `SPC_SCALE`
 //! to change the rule count; default 5000).
 
-use serde::Serialize;
-use spc_baselines::{
-    Baseline, Dcfl, HyperCuts, HyperCutsConfig, OptionClassifier, OptionKind, Rfc,
-};
 use spc_bench::{emit_json, mbits, print_table, ruleset, scale_or, trace, Row};
 use spc_classbench::FilterKind;
+use spc_engine::{EngineBuilder, EngineKind};
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rules: usize,
     rows: Vec<RowRec>,
 }
 
-#[derive(Serialize)]
 struct RowRec {
     algorithm: String,
     avg_accesses: f64,
     worst_accesses: u32,
     memory_mbits: f64,
-    paper_accesses: f64,
-    paper_memory_mbits: f64,
+    paper_accesses: Option<f64>,
+    paper_memory_mbits: Option<f64>,
+}
+
+spc_bench::json_object!(Record {
+    experiment,
+    rules,
+    rows
+});
+spc_bench::json_object!(RowRec {
+    algorithm,
+    avg_accesses,
+    worst_accesses,
+    memory_mbits,
+    paper_accesses,
+    paper_memory_mbits
+});
+
+fn paper_values(kind: EngineKind) -> Option<(f64, f64)> {
+    match kind {
+        EngineKind::HyperCuts => Some((60.05, 5.96)),
+        EngineKind::Rfc => Some((48.0, 31.48)),
+        EngineKind::Dcfl => Some((23.1, 22.54)),
+        EngineKind::Option1 => Some((49.3, 5.57)),
+        EngineKind::Option2 => Some((31.33, 6.36)),
+        _ => None,
+    }
 }
 
 fn main() {
     let n = scale_or(5000);
     let rules = ruleset(FilterKind::Acl, n);
     let t = trace(&rules, 2000);
-    eprintln!("building classifiers over {} rules...", rules.len());
-
-    let paper: &[(&str, f64, f64)] = &[
-        ("HyperCuts", 60.05, 5.96),
-        ("RFC", 48.0, 31.48),
-        ("DCFL", 23.1, 22.54),
-        ("Option 1", 49.3, 5.57),
-        ("Option 2", 31.33, 6.36),
-    ];
-
-    let classifiers: Vec<Box<dyn Baseline>> = vec![
-        Box::new(HyperCuts::build(&rules, HyperCutsConfig::default())),
-        Box::new(Rfc::build(&rules, 1 << 27).expect("rfc tables within cap at this scale")),
-        Box::new(Dcfl::build(&rules)),
-        Box::new(OptionClassifier::build(&rules, OptionKind::One)),
-        Box::new(OptionClassifier::build(&rules, OptionKind::Two)),
-    ];
+    eprintln!("building engines over {} rules...", rules.len());
 
     let mut rows = Vec::new();
     let mut recs = Vec::new();
-    for c in &classifiers {
-        let acc = c.avg_accesses(&t);
-        let worst = t.iter().map(|h| c.classify(h).accesses).max().unwrap_or(0);
-        let mem = mbits(c.memory_bits());
-        let (_, pacc, pmem) =
-            paper.iter().find(|(name, _, _)| *name == c.name()).expect("known algorithm");
+    for kind in EngineKind::ALL {
+        let mut engine = EngineBuilder::new(kind)
+            .build(&rules)
+            .unwrap_or_else(|e| panic!("{kind} must hold the Table I workload: {e}"));
+        let mut verdicts = Vec::new();
+        let stats = engine.classify_batch(&t, &mut verdicts);
+        let acc = stats.avg_mem_reads();
+        let worst = verdicts.iter().map(|v| v.mem_reads).max().unwrap_or(0);
+        let mem = mbits(engine.memory_bits());
+        let paper = paper_values(kind);
+        let fmt_opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |x| format!("{x:.2}"));
         rows.push(Row {
-            name: c.name().to_string(),
+            name: engine.name().to_string(),
             values: vec![
                 format!("{acc:.2}"),
                 format!("{worst}"),
                 format!("{mem:.2}"),
-                format!("{pacc:.2}"),
-                format!("{pmem:.2}"),
+                fmt_opt(paper.map(|p| p.0)),
+                fmt_opt(paper.map(|p| p.1)),
             ],
         });
         recs.push(RowRec {
-            algorithm: c.name().to_string(),
+            algorithm: engine.name().to_string(),
             avg_accesses: acc,
             worst_accesses: worst,
             memory_mbits: mem,
-            paper_accesses: *pacc,
-            paper_memory_mbits: *pmem,
+            paper_accesses: paper.map(|p| p.0),
+            paper_memory_mbits: paper.map(|p| p.1),
         });
     }
     print_table(
@@ -86,5 +100,9 @@ fn main() {
         &["avg acc", "worst acc", "memory Mb", "paper acc", "paper Mb"],
         &rows,
     );
-    emit_json(&Record { experiment: "table1", rules: rules.len(), rows: recs });
+    emit_json(&Record {
+        experiment: "table1",
+        rules: rules.len(),
+        rows: recs,
+    });
 }

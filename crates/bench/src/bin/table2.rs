@@ -4,15 +4,15 @@
 //! Paper: srcIP 103/805/4784, dstIP 297/640/733, srcPort 1/1/1,
 //! dstPort 99/108/108, proto 3/3/3.
 
-use serde::Serialize;
 use spc_bench::{emit_json, print_table, ruleset, Row};
 use spc_classbench::{ruleset_stats, FilterKind};
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rows: Vec<spc_classbench::RuleSetStats>,
 }
+
+spc_bench::json_object!(Record { experiment, rows });
 
 fn main() {
     let paper = [
@@ -41,9 +41,19 @@ fn main() {
     }
     print_table(
         "Table II — unique rule fields, measured (paper)",
-        &["srcIP", "dstIP", "srcPort", "dstPort", "proto", "label saving"],
+        &[
+            "srcIP",
+            "dstIP",
+            "srcPort",
+            "dstPort",
+            "proto",
+            "label saving",
+        ],
         &rows,
     );
     println!("\nPaper §III.C: label method cuts storage by more than 50%.");
-    emit_json(&Record { experiment: "table2", rows: stats });
+    emit_json(&Record {
+        experiment: "table2",
+        rows: stats,
+    });
 }

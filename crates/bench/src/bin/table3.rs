@@ -3,15 +3,15 @@
 //!
 //! Paper: ACL 916/4415/9603, FW 791/4653/9311, IPC 938/4460/9037.
 
-use serde::Serialize;
 use spc_bench::{emit_json, print_table, ruleset, Row};
 use spc_classbench::FilterKind;
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rows: Vec<(String, [usize; 3], [usize; 3])>,
 }
+
+spc_bench::json_object!(Record { experiment, rows });
 
 fn main() {
     let paper = [
@@ -22,8 +22,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut recs = Vec::new();
     for (kind, name, p) in paper {
-        let counts: Vec<usize> =
-            [1000, 5000, 10000].iter().map(|&n| ruleset(kind, n).len()).collect();
+        let counts: Vec<usize> = [1000, 5000, 10000]
+            .iter()
+            .map(|&n| ruleset(kind, n).len())
+            .collect();
         rows.push(Row {
             name: name.to_string(),
             values: vec![
@@ -39,5 +41,8 @@ fn main() {
         &["1K rules", "5K rules", "10K rules"],
         &rows,
     );
-    emit_json(&Record { experiment: "table3", rows: recs });
+    emit_json(&Record {
+        experiment: "table3",
+        rows: recs,
+    });
 }

@@ -2,17 +2,21 @@
 //! against A=[0,65535], B=[7812,7812], C=[7810,7820], the label order must
 //! be B (exact), C (tightest range), A (widest).
 
-use serde::Serialize;
 use spc_bench::{emit_json, print_table, Row};
 use spc_lookup::{FieldEngine, Label, LabelEntry, LabelStore, PortRegisters};
 use spc_types::{DimValue, PortRange, Priority};
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     query: u16,
     output_order: Vec<String>,
 }
+
+spc_bench::json_object!(Record {
+    experiment,
+    query,
+    output_order
+});
 
 fn main() {
     let mut store = LabelStore::new("dst_port", 16, 7);
@@ -35,7 +39,11 @@ fn main() {
             values: vec![name.to_string(), method.to_string()],
         });
     }
-    print_table("Table IV — port field rules and labelling", &["label", "match method"], &rows);
+    print_table(
+        "Table IV — port field rules and labelling",
+        &["label", "match method"],
+        &rows,
+    );
 
     let query = 7812u16;
     let result = regs.lookup(&store, query).expect("registers never fail");
@@ -44,8 +52,18 @@ fn main() {
         .iter()
         .map(|e| ["A", "B", "C"][usize::from(e.label.0)].to_string())
         .collect();
-    println!("\nlookup({query}) label order: {}   (paper: B, C, A)", order.join(", "));
-    println!("lookup latency: {} cycles (paper §V.B: two clock cycles)", result.cycles);
+    println!(
+        "\nlookup({query}) label order: {}   (paper: B, C, A)",
+        order.join(", ")
+    );
+    println!(
+        "lookup latency: {} cycles (paper §V.B: two clock cycles)",
+        result.cycles
+    );
     assert_eq!(order, ["B", "C", "A"], "Table IV ordering must hold");
-    emit_json(&Record { experiment: "table4", query, output_order: order });
+    emit_json(&Record {
+        experiment: "table4",
+        query,
+        output_order: order,
+    });
 }

@@ -5,12 +5,10 @@
 //! utilisation, registers, Fmax and pins are synthesis artefacts quoted
 //! from the paper (marked "quoted").
 
-use serde::Serialize;
 use spc_bench::{emit_json, ruleset, scale_or};
 use spc_classbench::FilterKind;
 use spc_core::{ArchConfig, Classifier};
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rules: usize,
@@ -19,6 +17,15 @@ struct Record {
     mem_percent: f64,
     paper_mem_bits: u64,
 }
+
+spc_bench::json_object!(Record {
+    experiment,
+    rules,
+    mem_bits_provisioned,
+    mem_bits_used,
+    mem_percent,
+    paper_mem_bits
+});
 
 fn main() {
     let n = scale_or(1000);
@@ -35,8 +42,14 @@ fn main() {
     let rr = rep.resource_report();
     println!("\n=== Table V — synthesis result (measured memory, quoted logic) ===");
     println!("{rr}");
-    println!("\nprovisioned architecture bits (measured): {}", rep.total_provisioned());
-    println!("occupied bits at {loaded} rules:            {}", rep.total_used());
+    println!(
+        "\nprovisioned architecture bits (measured): {}",
+        rep.total_provisioned()
+    );
+    println!(
+        "occupied bits at {loaded} rules:            {}",
+        rep.total_used()
+    );
     println!("paper: 2,097,184 / 54,476,800 bits (4%)");
     println!("\nPer-block inventory:\n{rep}");
     emit_json(&Record {

@@ -7,12 +7,10 @@
 //! measured initiation interval (accesses per packet at line rate), the
 //! IP-engine memory and the stored rule count.
 
-use serde::Serialize;
 use spc_bench::{emit_json, kbits, print_table, ruleset, scale_or, trace, Row};
 use spc_classbench::FilterKind;
 use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
 
-#[derive(Serialize)]
 struct ModeRec {
     alg: String,
     avg_accesses_per_packet: f64,
@@ -22,7 +20,6 @@ struct ModeRec {
     stored_rules: usize,
 }
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rows: Vec<ModeRec>,
@@ -32,7 +29,9 @@ fn run_mode(alg: IpAlg, n_rules: usize) -> ModeRec {
     let rules = ruleset(FilterKind::Acl, n_rules);
     // The paper's data plane hashes only the per-dimension HPML heads
     // (FirstLabel); its HPMR agreement against the oracle is reported.
-    let mut cfg = ArchConfig::large().with_ip_alg(alg).with_combine(CombineStrategy::FirstLabel);
+    let mut cfg = ArchConfig::large()
+        .with_ip_alg(alg)
+        .with_combine(CombineStrategy::FirstLabel);
     cfg.rule_filter_addr_bits = 15;
     let mut cls = Classifier::new(cfg);
     cls.load(&rules).expect("large config fits the workload");
@@ -54,7 +53,13 @@ fn run_mode(alg: IpAlg, n_rules: usize) -> ModeRec {
                 b.name.ends_with("/engine")
                     && (b.name.starts_with("sip") || b.name.starts_with("dip"))
             })
-            .map(|b| if used { b.used_bits } else { b.provisioned_bits })
+            .map(|b| {
+                if used {
+                    b.used_bits
+                } else {
+                    b.provisioned_bits
+                }
+            })
             .sum::<u64>()
     };
     ModeRec {
@@ -66,6 +71,16 @@ fn run_mode(alg: IpAlg, n_rules: usize) -> ModeRec {
         stored_rules: cls.len(),
     }
 }
+
+spc_bench::json_object!(ModeRec {
+    alg,
+    avg_accesses_per_packet,
+    fast_path_agreement,
+    ip_engine_kbits_used,
+    ip_engine_kbits_provisioned,
+    stored_rules
+});
+spc_bench::json_object!(Record { experiment, rows });
 
 fn main() {
     let mbt = run_mode(IpAlg::Mbt, scale_or(8000));
@@ -79,17 +94,27 @@ fn main() {
             values: vec![
                 format!("{:.2} ({pacc})", m.avg_accesses_per_packet),
                 format!("{:.1}%", 100.0 * m.fast_path_agreement),
-                format!("{:.0} used / {:.0} prov ({pkb})", m.ip_engine_kbits_used,
-                        m.ip_engine_kbits_provisioned),
+                format!(
+                    "{:.0} used / {:.0} prov ({pkb})",
+                    m.ip_engine_kbits_used, m.ip_engine_kbits_provisioned
+                ),
                 format!("{} ({prules})", m.stored_rules),
             ],
         })
         .collect();
     print_table(
         "Table VI — IP algorithm comparison, measured (paper)",
-        &["accesses/packet", "HPMR agree", "IP memory Kbits", "stored rules"],
+        &[
+            "accesses/packet",
+            "HPMR agree",
+            "IP memory Kbits",
+            "stored rules",
+        ],
         &rows,
     );
     println!("\nMBT is pipelined (II=1: one packet per cycle); BST pays its search depth.");
-    emit_json(&Record { experiment: "table6", rows: vec![mbt, bst] });
+    emit_json(&Record {
+        experiment: "table6",
+        rows: vec![mbt, bst],
+    });
 }

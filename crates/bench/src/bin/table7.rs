@@ -5,13 +5,11 @@
 //! interval × 133.51 MHz); the two external rows quote the paper's cited
 //! numbers for Optimizing HyperCuts \[9\] and DCFLE \[4\]/\[6\].
 
-use serde::Serialize;
 use spc_bench::{emit_json, mbits, print_table, ruleset, scale_or, trace, Row};
 use spc_classbench::FilterKind;
 use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
 use spc_hwsim::MIN_PACKET_BYTES;
 
-#[derive(Serialize)]
 struct RowRec {
     system: String,
     memory_mbits: f64,
@@ -20,7 +18,6 @@ struct RowRec {
     quoted: bool,
 }
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rows: Vec<RowRec>,
@@ -54,8 +51,20 @@ fn our_row(alg: IpAlg, n_rules: usize) -> RowRec {
     }
 }
 
+spc_bench::json_object!(RowRec {
+    system,
+    memory_mbits,
+    stored_rules,
+    throughput_gbps,
+    quoted
+});
+spc_bench::json_object!(Record { experiment, rows });
+
 fn main() {
-    let mut rows = vec![our_row(IpAlg::Mbt, scale_or(8000)), our_row(IpAlg::Bst, scale_or(8000))];
+    let mut rows = vec![
+        our_row(IpAlg::Mbt, scale_or(8000)),
+        our_row(IpAlg::Bst, scale_or(8000)),
+    ];
     rows.push(RowRec {
         system: "Optimizing HyperCuts [9]".into(),
         memory_mbits: 4.90,
@@ -85,7 +94,11 @@ fn main() {
                 format!("{:.2} ({pmb})", r.memory_mbits),
                 format!("{} ({prules})", r.stored_rules),
                 format!("{:.2} ({pgbps})", r.throughput_gbps),
-                if r.quoted { "quoted".into() } else { "measured".into() },
+                if r.quoted {
+                    "quoted".into()
+                } else {
+                    "measured".into()
+                },
             ],
         })
         .collect();
@@ -96,5 +109,8 @@ fn main() {
     );
     println!("\nShape checks: MBT ≫ BST in throughput; [9] fastest but largest memory;");
     println!("DCFLE smallest but capacity-limited — same ordering as the paper.");
-    emit_json(&Record { experiment: "table7", rows });
+    emit_json(&Record {
+        experiment: "table7",
+        rows,
+    });
 }

@@ -6,18 +6,15 @@
 //! writes happen only when a *new* label must be stored, which the label
 //! method makes rare — this binary measures exactly how rare.
 
-use serde::Serialize;
 use spc_bench::{emit_json, print_table, ruleset, scale_or, Row};
 use spc_classbench::FilterKind;
 use spc_core::{ArchConfig, Classifier, IpAlg};
 
-#[derive(Serialize)]
 struct Record {
     experiment: &'static str,
     rows: Vec<KindRec>,
 }
 
-#[derive(Serialize)]
 struct KindRec {
     kind: String,
     alg: String,
@@ -58,6 +55,17 @@ fn run(kind: FilterKind, alg: IpAlg, n: usize) -> KindRec {
     }
 }
 
+spc_bench::json_object!(Record { experiment, rows });
+spc_bench::json_object!(KindRec {
+    kind,
+    alg,
+    rules,
+    avg_insert_cycles,
+    avg_new_labels_per_rule,
+    avg_delete_cycles,
+    share_hit_rate
+});
+
 fn main() {
     let n = scale_or(1000);
     let mut rows = Vec::new();
@@ -80,11 +88,20 @@ fn main() {
     }
     print_table(
         "§V.A — incremental update cost (avg per rule)",
-        &["rules", "insert cycles", "new labels", "delete cycles", "label reuse"],
+        &[
+            "rules",
+            "insert cycles",
+            "new labels",
+            "delete cycles",
+            "label reuse",
+        ],
         &rows,
     );
     println!("\nPaper floor: 3 cycles/rule (2 data + 1 hash). Extra cycles are");
     println!("structural writes for new labels; the BST rows include its software");
     println!("rebuild push-down — the limitation the paper concedes in §IV.C.");
-    emit_json(&Record { experiment: "update_eval", rows: recs });
+    emit_json(&Record {
+        experiment: "update_eval",
+        rows: recs,
+    });
 }

@@ -10,7 +10,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod json;
+
+pub use json::{ToJson, Value as JsonValue};
 use spc_classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
 use spc_types::{Header, RuleSet};
 
@@ -22,17 +24,25 @@ pub const SEED_TRACE: u64 = 353; // first page of the paper
 
 /// Standard rule set used throughout the evaluation.
 pub fn ruleset(kind: FilterKind, size: usize) -> RuleSet {
-    RuleSetGenerator::new(kind, size).seed(SEED_RULES).generate()
+    RuleSetGenerator::new(kind, size)
+        .seed(SEED_RULES)
+        .generate()
 }
 
 /// Standard evaluation trace: 90 % matching traffic.
 pub fn trace(rules: &RuleSet, len: usize) -> Vec<Header> {
-    TraceGenerator::new().seed(SEED_TRACE).match_fraction(0.9).generate(rules, len)
+    TraceGenerator::new()
+        .seed(SEED_TRACE)
+        .match_fraction(0.9)
+        .generate(rules, len)
 }
 
 /// Reads a scale override from `SPC_SCALE`.
 pub fn scale_or(default: usize) -> usize {
-    std::env::var("SPC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var("SPC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Whether `--json` was passed.
@@ -40,10 +50,10 @@ pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
-/// Prints a serialisable record as JSON when `--json` is set.
-pub fn emit_json<T: Serialize>(record: &T) {
+/// Prints a serialisable record as pretty JSON when `--json` is set.
+pub fn emit_json<T: ToJson>(record: &T) {
     if json_mode() {
-        println!("{}", serde_json::to_string_pretty(record).expect("serialisable record"));
+        println!("{}", record.to_json().pretty());
     }
 }
 
@@ -58,7 +68,7 @@ pub fn kbits(bits: u64) -> f64 {
 }
 
 /// One row of a printed table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Row label (algorithm / configuration).
     pub name: String,
@@ -66,11 +76,16 @@ pub struct Row {
     pub values: Vec<String>,
 }
 
+crate::json_object!(Row { name, values });
+
 /// Prints an aligned table with a header, a separator and rows.
 pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
     println!("\n=== {title} ===");
     let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
-    widths.insert(0, rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4));
+    widths.insert(
+        0,
+        rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max(4),
+    );
     for r in rows {
         for (i, v) in r.values.iter().enumerate() {
             widths[i + 1] = widths[i + 1].max(v.len());
@@ -110,7 +125,20 @@ mod tests {
         print_table(
             "t",
             &["a", "b"],
-            &[Row { name: "x".into(), values: vec!["1".into(), "2".into()] }],
+            &[Row {
+                name: "x".into(),
+                values: vec!["1".into(), "2".into()],
+            }],
         );
+    }
+
+    #[test]
+    fn row_serialises() {
+        let r = Row {
+            name: "x".into(),
+            values: vec!["1".into()],
+        };
+        let s = r.to_json().pretty();
+        assert!(s.contains("\"name\": \"x\""), "{s}");
     }
 }

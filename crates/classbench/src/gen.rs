@@ -3,13 +3,12 @@
 use crate::pools::{choose_weighted, PortPool, PortShape, PrefixPool, ProtoPool};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use spc_types::{Action, Priority, ProtoSpec, Rule, RuleSet};
 use std::collections::HashSet;
 use std::fmt;
 
 /// The three filter-set families of the paper's Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FilterKind {
     /// Access Control List (router `acl1`-style): long source prefixes,
     /// wildcard source port, ~100 destination ports, 3 protocols.
@@ -57,7 +56,11 @@ impl RuleSetGenerator {
     /// Panics if `size` is zero.
     pub fn new(kind: FilterKind, size: usize) -> Self {
         assert!(size > 0, "rule set size must be positive");
-        RuleSetGenerator { kind, size, seed: 1 }
+        RuleSetGenerator {
+            kind,
+            size,
+            seed: 1,
+        }
     }
 
     /// Sets the RNG seed (default 1). Same seed ⇒ identical output.
@@ -78,7 +81,12 @@ impl RuleSetGenerator {
                 PrefixPool::generate(
                     &mut rng,
                     (n * n / 18_000).max(100),
-                    &[(32, 32, 0.45), (28, 31, 0.15), (24, 27, 0.25), (16, 23, 0.15)],
+                    &[
+                        (32, 32, 0.45),
+                        (28, 31, 0.15),
+                        (24, 27, 0.25),
+                        (16, 23, 0.15),
+                    ],
                     0.35,
                     0.0,
                     0.75,
@@ -95,7 +103,10 @@ impl RuleSetGenerator {
                 PortPool::generate(&mut rng, PortShape::AlwaysAny, 1.0),
                 PortPool::generate(
                     &mut rng,
-                    PortShape::Mixed { pool: 112, range_frac: 0.18 },
+                    PortShape::Mixed {
+                        pool: 112,
+                        range_frac: 0.18,
+                    },
                     0.9,
                 ),
                 ProtoPool::new(vec![
@@ -123,12 +134,18 @@ impl RuleSetGenerator {
                 ),
                 PortPool::generate(
                     &mut rng,
-                    PortShape::Mixed { pool: 90, range_frac: 0.45 },
+                    PortShape::Mixed {
+                        pool: 90,
+                        range_frac: 0.45,
+                    },
                     0.8,
                 ),
                 PortPool::generate(
                     &mut rng,
-                    PortShape::Mixed { pool: 140, range_frac: 0.45 },
+                    PortShape::Mixed {
+                        pool: 140,
+                        range_frac: 0.45,
+                    },
                     0.8,
                 ),
                 ProtoPool::new(vec![
@@ -159,12 +176,18 @@ impl RuleSetGenerator {
                 ),
                 PortPool::generate(
                     &mut rng,
-                    PortShape::Mixed { pool: 60, range_frac: 0.12 },
+                    PortShape::Mixed {
+                        pool: 60,
+                        range_frac: 0.12,
+                    },
                     0.9,
                 ),
                 PortPool::generate(
                     &mut rng,
-                    PortShape::Mixed { pool: 120, range_frac: 0.12 },
+                    PortShape::Mixed {
+                        pool: 120,
+                        range_frac: 0.12,
+                    },
                     0.9,
                 ),
                 ProtoPool::new(vec![
@@ -234,17 +257,27 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = RuleSetGenerator::new(FilterKind::Acl, 300).seed(5).generate();
-        let b = RuleSetGenerator::new(FilterKind::Acl, 300).seed(5).generate();
-        let c = RuleSetGenerator::new(FilterKind::Acl, 300).seed(6).generate();
+        let a = RuleSetGenerator::new(FilterKind::Acl, 300)
+            .seed(5)
+            .generate();
+        let b = RuleSetGenerator::new(FilterKind::Acl, 300)
+            .seed(5)
+            .generate();
+        let c = RuleSetGenerator::new(FilterKind::Acl, 300)
+            .seed(6)
+            .generate();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn kinds_differ() {
-        let a = RuleSetGenerator::new(FilterKind::Acl, 300).seed(5).generate();
-        let f = RuleSetGenerator::new(FilterKind::Fw, 300).seed(5).generate();
+        let a = RuleSetGenerator::new(FilterKind::Acl, 300)
+            .seed(5)
+            .generate();
+        let f = RuleSetGenerator::new(FilterKind::Fw, 300)
+            .seed(5)
+            .generate();
         assert_ne!(a, f);
     }
 
@@ -262,30 +295,51 @@ mod tests {
 
     #[test]
     fn acl_profile_matches_table_ii_shape() {
-        let rs = RuleSetGenerator::new(FilterKind::Acl, 1000).seed(1).generate();
+        let rs = RuleSetGenerator::new(FilterKind::Acl, 1000)
+            .seed(1)
+            .generate();
         let u = rs.unique_field_counts();
         // Table II acl1-1K: src 103, dst 297, sport 1, dport 99, proto 3.
         assert_eq!(u.src_port, 1, "ACL source port must be wildcard-only");
         assert_eq!(u.proto, 3);
         assert!(u.src_ip < rs.len() / 2, "src uniques {} too high", u.src_ip);
         assert!((40..=450).contains(&u.dst_ip), "dst uniques {}", u.dst_ip);
-        assert!((40..=112).contains(&u.dst_port), "dport uniques {}", u.dst_port);
+        assert!(
+            (40..=112).contains(&u.dst_port),
+            "dport uniques {}",
+            u.dst_port
+        );
     }
 
     #[test]
     fn acl_unique_growth_with_scale() {
-        let u1 = RuleSetGenerator::new(FilterKind::Acl, 1000).seed(1).generate();
-        let u10 = RuleSetGenerator::new(FilterKind::Acl, 10000).seed(1).generate();
+        let u1 = RuleSetGenerator::new(FilterKind::Acl, 1000)
+            .seed(1)
+            .generate();
+        let u10 = RuleSetGenerator::new(FilterKind::Acl, 10000)
+            .seed(1)
+            .generate();
         let a = u1.unique_field_counts();
         let b = u10.unique_field_counts();
-        assert!(b.src_ip > 3 * a.src_ip, "src uniques should grow: {} -> {}", a.src_ip, b.src_ip);
+        assert!(
+            b.src_ip > 3 * a.src_ip,
+            "src uniques should grow: {} -> {}",
+            a.src_ip,
+            b.src_ip
+        );
         // Destination pool saturates.
-        assert!(b.dst_ip < 800, "dst uniques should saturate, got {}", b.dst_ip);
+        assert!(
+            b.dst_ip < 800,
+            "dst uniques should saturate, got {}",
+            b.dst_ip
+        );
     }
 
     #[test]
     fn priorities_are_positional() {
-        let rs = RuleSetGenerator::new(FilterKind::Ipc, 100).seed(2).generate();
+        let rs = RuleSetGenerator::new(FilterKind::Ipc, 100)
+            .seed(2)
+            .generate();
         for (i, r) in rs.rules().iter().enumerate() {
             assert_eq!(r.priority, Priority(i as u32));
         }
@@ -295,7 +349,9 @@ mod tests {
     fn segment_dims_have_wildcard_label_sources() {
         // Short prefixes must produce wildcard low segments — the segmented
         // label method depends on this.
-        let rs = RuleSetGenerator::new(FilterKind::Fw, 500).seed(3).generate();
+        let rs = RuleSetGenerator::new(FilterKind::Fw, 500)
+            .seed(3)
+            .generate();
         let any_lo = rs
             .rules()
             .iter()

@@ -34,7 +34,10 @@ impl ZipfSampler {
 
     pub(crate) fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -150,8 +153,8 @@ pub(crate) enum PortShape {
 }
 
 const WELL_KNOWN: [u16; 24] = [
-    20, 21, 22, 23, 25, 53, 67, 69, 80, 110, 119, 123, 135, 137, 139, 143, 161, 389, 443, 445,
-    993, 1521, 3306, 8080,
+    20, 21, 22, 23, 25, 53, 67, 69, 80, 110, 119, 123, 135, 137, 139, 143, 161, 389, 443, 445, 993,
+    1521, 3306, 8080,
 ];
 
 impl PortPool {
@@ -279,7 +282,14 @@ mod tests {
     #[test]
     fn port_pool_mixed_has_exacts_and_ranges() {
         let mut r = rng();
-        let p = PortPool::generate(&mut r, PortShape::Mixed { pool: 120, range_frac: 0.3 }, 1.0);
+        let p = PortPool::generate(
+            &mut r,
+            PortShape::Mixed {
+                pool: 120,
+                range_frac: 0.3,
+            },
+            1.0,
+        );
         assert_eq!(p.values.len(), 120);
         assert!(p.values.iter().any(|v| v.is_exact()));
         assert!(p.values.iter().any(|v| !v.is_exact() && !v.is_any()));

@@ -1,11 +1,10 @@
 //! Rule-set statistics for Tables II and III.
 
-use serde::{Deserialize, Serialize};
 use spc_types::{FieldUniques, RuleSet};
 use std::fmt;
 
 /// Summary statistics of one rule set (a row of Tables II/III).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RuleSetStats {
     /// Human-readable set name (e.g. `acl1 10K`).
     pub name: String,
@@ -84,7 +83,9 @@ mod tests {
 
     #[test]
     fn display_contains_counts() {
-        let rs = RuleSetGenerator::new(FilterKind::Acl, 300).seed(1).generate();
+        let rs = RuleSetGenerator::new(FilterKind::Acl, 300)
+            .seed(1)
+            .generate();
         let st = ruleset_stats("acl1 tiny", &rs);
         let s = st.to_string();
         assert!(s.contains("acl1 tiny"));
@@ -102,7 +103,9 @@ mod tests {
 
     #[test]
     fn segment_uniques_ordering() {
-        let rs = RuleSetGenerator::new(FilterKind::Acl, 300).seed(1).generate();
+        let rs = RuleSetGenerator::new(FilterKind::Acl, 300)
+            .seed(1)
+            .generate();
         let st = ruleset_stats("acl", &rs);
         // src port is the wildcard-only dimension: exactly 1 unique segment.
         assert_eq!(st.segment_uniques[4], 1);

@@ -53,7 +53,11 @@ pub struct TraceGenerator {
 impl TraceGenerator {
     /// Creates a trace generator with 90 % matching traffic and 0 locality.
     pub fn new() -> Self {
-        TraceGenerator { seed: 1, match_fraction: 0.9, locality: 0.0 }
+        TraceGenerator {
+            seed: 1,
+            match_fraction: 0.9,
+            locality: 0.0,
+        }
     }
 
     /// Sets the RNG seed.
@@ -126,7 +130,9 @@ mod tests {
     use spc_types::{PortRange, Prefix, Priority};
 
     fn small_set() -> RuleSet {
-        RuleSetGenerator::new(FilterKind::Acl, 200).seed(11).generate()
+        RuleSetGenerator::new(FilterKind::Acl, 200)
+            .seed(11)
+            .generate()
     }
 
     #[test]
@@ -140,16 +146,25 @@ mod tests {
     #[test]
     fn match_fraction_one_always_matches() {
         let rs = small_set();
-        let trace = TraceGenerator::new().seed(3).match_fraction(1.0).generate(&rs, 200);
+        let trace = TraceGenerator::new()
+            .seed(3)
+            .match_fraction(1.0)
+            .generate(&rs, 200);
         for h in &trace {
-            assert!(rs.classify(h).is_some(), "header {h} should match some rule");
+            assert!(
+                rs.classify(h).is_some(),
+                "header {h} should match some rule"
+            );
         }
     }
 
     #[test]
     fn locality_repeats_headers() {
         let rs = small_set();
-        let trace = TraceGenerator::new().seed(3).locality(0.8).generate(&rs, 500);
+        let trace = TraceGenerator::new()
+            .seed(3)
+            .locality(0.8)
+            .generate(&rs, 500);
         let repeats = trace.windows(2).filter(|w| w[0] == w[1]).count();
         assert!(repeats > 250, "expected heavy repetition, got {repeats}");
     }
@@ -180,7 +195,9 @@ mod tests {
 
     #[test]
     fn empty_rules_background_only_ok() {
-        let trace = TraceGenerator::new().match_fraction(0.0).generate(&RuleSet::new(), 10);
+        let trace = TraceGenerator::new()
+            .match_fraction(0.0)
+            .generate(&RuleSet::new(), 10);
         assert_eq!(trace.len(), 10);
     }
 }

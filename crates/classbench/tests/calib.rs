@@ -2,7 +2,9 @@
 #[ignore]
 fn calib() {
     for (n, seed) in [(1000usize, 1u64), (5000, 1), (10000, 1)] {
-        let rs = spc_classbench::RuleSetGenerator::new(spc_classbench::FilterKind::Acl, n).seed(seed).generate();
+        let rs = spc_classbench::RuleSetGenerator::new(spc_classbench::FilterKind::Acl, n)
+            .seed(seed)
+            .generate();
         let st = spc_classbench::ruleset_stats(&format!("acl1 {n}"), &rs);
         println!("{st}");
     }

@@ -15,8 +15,8 @@ use crate::memory::{BlockUsage, MemoryReport, SharingReport};
 use crate::pipeline::LookupTiming;
 use crate::rulefilter::{RuleFilter, StoredRule};
 use spc_lookup::{
-    FieldEngine, Label, LabelEntry, LabelList, LabelStore, MbtConfig, MultiBitTrie,
-    PortRegisters, ProtocolLut, RangeBst,
+    FieldEngine, Label, LabelEntry, LabelList, LabelStore, MbtConfig, MultiBitTrie, PortRegisters,
+    ProtocolLut, RangeBst,
 };
 use spc_types::{Dim, Header, Priority, Rule, RuleId, ALL_DIMS, IP_SEG_DIMS};
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -83,6 +83,31 @@ struct Installed {
     key: u128,
 }
 
+/// Reusable working memory for [`Classifier::classify_with`].
+///
+/// One lookup needs the seven phase-2 label lists plus (in
+/// [`CombineStrategy::PriorityProbe`] mode) the best-first frontier. A
+/// batch caller allocates this once and the per-packet cost drops to
+/// buffer clears — the amortisation behind `spc-engine`'s batch path.
+#[derive(Debug, Default)]
+pub struct ClassifyScratch {
+    /// Phase-2 output: one label list per dimension.
+    lists: Vec<LabelList>,
+    /// Priority-sorted copies of the lists (probe order).
+    dims: [Vec<LabelEntry>; 7],
+    /// Best-first frontier, keyed by priority lower bound.
+    heap: BinaryHeap<std::cmp::Reverse<(u32, [u16; 7])>>,
+    /// Frontier dedup.
+    visited: HashSet<[u16; 7]>,
+}
+
+impl ClassifyScratch {
+    /// Creates empty scratch space.
+    pub fn new() -> Self {
+        ClassifyScratch::default()
+    }
+}
+
 /// The configurable label-based packet classifier.
 ///
 /// ```
@@ -126,7 +151,13 @@ impl Classifier {
             .collect();
         let rule_filter =
             RuleFilter::new(config.rule_filter_addr_bits, config.label_widths.key_bits());
-        Classifier { config, dims, rule_filter, rules: HashMap::new(), next_id: 0 }
+        Classifier {
+            config,
+            dims,
+            rule_filter,
+            rules: HashMap::new(),
+            next_id: 0,
+        }
     }
 
     fn label_width(config: &ArchConfig, dim: Dim) -> u8 {
@@ -140,9 +171,9 @@ impl Classifier {
     fn make_engine(config: &ArchConfig, dim: Dim) -> Box<dyn FieldEngine> {
         match dim {
             d if d.is_ip_segment() => match config.ip_alg {
-                IpAlg::Mbt => {
-                    Box::new(MultiBitTrie::new(MbtConfig::segment_paper(config.mbt_leaf_nodes)))
-                }
+                IpAlg::Mbt => Box::new(MultiBitTrie::new(MbtConfig::segment_paper(
+                    config.mbt_leaf_nodes,
+                ))),
                 IpAlg::Bst => Box::new(RangeBst::new(config.bst_max_intervals)),
             },
             Dim::Proto => Box::new(ProtocolLut::new()),
@@ -153,7 +184,10 @@ impl Classifier {
     fn make_store(config: &ArchConfig, dim: Dim) -> LabelStore {
         let (cap, width) = match dim {
             d if d.is_ip_segment() => (config.ip_label_entries, config.label_widths.ip),
-            Dim::Proto => (1usize << config.label_widths.proto, config.label_widths.proto),
+            Dim::Proto => (
+                1usize << config.label_widths.proto,
+                config.label_widths.proto,
+            ),
             _ => (config.port_label_entries, config.label_widths.port),
         };
         LabelStore::new(format!("{dim}/labels"), cap, width)
@@ -258,9 +292,16 @@ impl Classifier {
                     created += 1;
                     labels[i] = label;
                 }
-                Ok(InsertOutcome::Referenced { label, priority_improved }) => {
+                Ok(InsertOutcome::Referenced {
+                    label,
+                    priority_improved,
+                }) => {
                     if priority_improved {
-                        let best = unit.table.get(&value).expect("just inserted").best_priority();
+                        let best = unit
+                            .table
+                            .get(&value)
+                            .expect("just inserted")
+                            .best_priority();
                         let entry = Self::dim_order_entry(dim, label, best);
                         if let Err(e) = unit.engine.insert(&mut unit.store, value, entry) {
                             unit.table.remove(&value, rule.priority);
@@ -307,15 +348,21 @@ impl Classifier {
         })
     }
 
-    fn rollback_dims(&mut self, dim_values: &[spc_types::DimValue; 7], priority: Priority, upto: usize) {
-        for i in 0..upto {
-            let unit = &mut self.dims[i];
-            let value = dim_values[i];
+    fn rollback_dims(
+        &mut self,
+        dim_values: &[spc_types::DimValue; 7],
+        priority: Priority,
+        upto: usize,
+    ) {
+        for (unit, &value) in self.dims.iter_mut().zip(dim_values).take(upto) {
             match unit.table.remove(&value, priority) {
                 Some(RemoveOutcome::Freed { label }) => {
                     let _ = unit.engine.remove(&mut unit.store, value, label);
                 }
-                Some(RemoveOutcome::Dereferenced { label, new_best: Some(best) }) => {
+                Some(RemoveOutcome::Dereferenced {
+                    label,
+                    new_best: Some(best),
+                }) => {
                     let entry = Self::dim_order_entry(unit.dim, label, best);
                     let _ = unit.engine.insert(&mut unit.store, value, entry);
                 }
@@ -331,21 +378,24 @@ impl Classifier {
     ///
     /// [`ClassifierError::UnknownRule`] for an unknown id.
     pub fn remove(&mut self, id: RuleId) -> Result<(Rule, UpdateReport), ClassifierError> {
-        let installed =
-            *self.rules.get(&id.0).ok_or(ClassifierError::UnknownRule { id: id.0 })?;
+        let installed = *self
+            .rules
+            .get(&id.0)
+            .ok_or(ClassifierError::UnknownRule { id: id.0 })?;
         let writes_before = self.write_cycles();
         self.rule_filter.remove(installed.key, id)?;
         let dim_values = installed.rule.dim_values();
         let mut freed = 0u32;
-        for i in 0..7 {
-            let unit = &mut self.dims[i];
-            let value = dim_values[i];
+        for (unit, &value) in self.dims.iter_mut().zip(&dim_values) {
             match unit.table.remove(&value, installed.rule.priority) {
                 Some(RemoveOutcome::Freed { label }) => {
                     let _ = unit.engine.remove(&mut unit.store, value, label);
                     freed += 1;
                 }
-                Some(RemoveOutcome::Dereferenced { label, new_best: Some(best) }) => {
+                Some(RemoveOutcome::Dereferenced {
+                    label,
+                    new_best: Some(best),
+                }) => {
                     let entry = Self::dim_order_entry(unit.dim, label, best);
                     let _ = unit.engine.insert(&mut unit.store, value, entry);
                 }
@@ -384,13 +434,28 @@ impl Classifier {
     /// Classifies a header through the 4-phase pipeline, returning the
     /// HPMR (per the configured [`CombineStrategy`]) plus full accounting.
     ///
+    /// Allocates fresh working buffers per call; batch consumers should
+    /// hold a [`ClassifyScratch`] and use [`Classifier::classify_with`].
+    ///
     /// # Panics
     ///
     /// Panics (debug builds) if an engine reports pending updates — the
     /// public update paths always flush, so this indicates internal misuse.
     pub fn classify(&self, header: &Header) -> Classification {
+        self.classify_with(header, &mut ClassifyScratch::new())
+    }
+
+    /// Classifies a header, reusing `scratch` for every intermediate
+    /// buffer (label lists, probe frontier). This is the amortised hot
+    /// path behind `spc-engine`'s `classify_batch`: across a batch, the
+    /// per-lookup allocations collapse to buffer clears.
+    ///
+    /// # Panics
+    ///
+    /// As [`Classifier::classify`].
+    pub fn classify_with(&self, header: &Header, scratch: &mut ClassifyScratch) -> Classification {
         // Phase 2: parallel single-field lookups.
-        let mut lists: Vec<LabelList> = Vec::with_capacity(7);
+        scratch.lists.clear();
         let mut engine_latency = 0u32;
         let mut engine_ii = 1u32;
         let mut engine_reads = 0u32;
@@ -407,7 +472,7 @@ impl Classifier {
             }
             engine_reads += r.mem_reads;
             any_empty |= r.labels.is_empty();
-            lists.push(r.labels);
+            scratch.lists.push(r.labels);
         }
         if any_empty {
             // Some dimension matched nothing: no rule can match.
@@ -419,20 +484,25 @@ impl Classifier {
                 combos_probed: 0,
             };
         }
-        let lists: [LabelList; 7] = lists.try_into().expect("seven dimensions");
         let (stored, rf_reads, combos) = match self.config.combine {
             CombineStrategy::FirstLabel => {
                 let labels: [Label; 7] = std::array::from_fn(|i| {
-                    lists[i].head().expect("checked non-empty").label
+                    scratch.lists[i].head().expect("checked non-empty").label
                 });
                 let probe = self.rule_filter.probe(self.make_key(&labels));
                 (probe.hit, probe.reads, 1)
             }
-            CombineStrategy::PriorityProbe => self.priority_probe(&lists),
+            CombineStrategy::PriorityProbe => self.priority_probe(scratch),
         };
         let hit = stored.map(|s| {
-            debug_assert!(s.rule.matches(header), "label-key hit must match the header");
-            Hit { rule_id: s.id, rule: s.rule }
+            debug_assert!(
+                s.rule.matches(header),
+                "label-key hit must match the header"
+            );
+            Hit {
+                rule_id: s.id,
+                rule: s.rule,
+            }
         });
         Classification {
             hit,
@@ -449,24 +519,34 @@ impl Classifier {
     /// so `max` over a combination lower-bounds the priority of any rule
     /// stored under that key — combinations are explored in bound order
     /// and the search stops once the best hit beats every remaining bound.
-    fn priority_probe(&self, lists: &[LabelList; 7]) -> (Option<StoredRule>, u32, u32) {
+    ///
+    /// Reads the phase-2 label lists from `scratch.lists` and reuses the
+    /// frontier buffers in `scratch`.
+    fn priority_probe(&self, scratch: &mut ClassifyScratch) -> (Option<StoredRule>, u32, u32) {
         // Sort each dimension by rule priority (port/protocol lists are
         // hardware-ordered differently; the bound argument needs priority
         // order).
-        let dims: Vec<Vec<LabelEntry>> = lists
-            .iter()
-            .map(|l| {
-                let mut v: Vec<LabelEntry> = l.entries().to_vec();
-                v.sort_by_key(|e| (e.priority, e.label.0));
-                v
-            })
-            .collect();
-        let bound = |idx: &[u8; 7]| -> u32 {
-            (0..7).map(|d| dims[d][idx[d] as usize].priority.0).max().expect("seven dims")
+        let ClassifyScratch {
+            lists,
+            dims,
+            heap,
+            visited,
+        } = scratch;
+        for (v, l) in dims.iter_mut().zip(lists.iter()) {
+            v.clear();
+            v.extend_from_slice(l.entries());
+            v.sort_by_key(|e| (e.priority, e.label.0));
+        }
+        let dims = &*dims;
+        let bound = |idx: &[u16; 7]| -> u32 {
+            (0..7)
+                .map(|d| dims[d][idx[d] as usize].priority.0)
+                .max()
+                .expect("seven dims")
         };
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, [u8; 7])>> = BinaryHeap::new();
-        let mut visited: HashSet<[u8; 7]> = HashSet::new();
-        let start = [0u8; 7];
+        heap.clear();
+        visited.clear();
+        let start = [0u16; 7];
         heap.push(std::cmp::Reverse((bound(&start), start)));
         visited.insert(start);
         let mut best: Option<StoredRule> = None;
@@ -479,16 +559,13 @@ impl Classifier {
                 }
             }
             combos += 1;
-            let labels: [Label; 7] =
-                std::array::from_fn(|d| dims[d][idx[d] as usize].label);
+            let labels: [Label; 7] = std::array::from_fn(|d| dims[d][idx[d] as usize].label);
             let probe = self.rule_filter.probe(self.make_key(&labels));
             rf_reads += probe.reads;
             if let Some(s) = probe.hit {
                 let better = match best {
                     None => true,
-                    Some(cur) => {
-                        (s.rule.priority, s.id.0) < (cur.rule.priority, cur.id.0)
-                    }
+                    Some(cur) => (s.rule.priority, s.id.0) < (cur.rule.priority, cur.id.0),
                 };
                 if better {
                     best = Some(s);
@@ -526,7 +603,8 @@ impl Classifier {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.config.ip_alg = old_alg;
-                self.reload_ip_engines().expect("previous configuration fitted before");
+                self.reload_ip_engines()
+                    .expect("previous configuration fitted before");
                 Err(e)
             }
         }
@@ -574,8 +652,9 @@ impl Classifier {
 
     /// The Fig 5 sharing report for this configuration.
     pub fn sharing_report(&self) -> SharingReport {
-        let mbt: Box<dyn FieldEngine> =
-            Box::new(MultiBitTrie::new(MbtConfig::segment_paper(self.config.mbt_leaf_nodes)));
+        let mbt: Box<dyn FieldEngine> = Box::new(MultiBitTrie::new(MbtConfig::segment_paper(
+            self.config.mbt_leaf_nodes,
+        )));
         let bst: Box<dyn FieldEngine> = Box::new(RangeBst::new(self.config.bst_max_intervals));
         let rule_word = u64::from(self.config.label_widths.key_bits()) + 48;
         SharingReport::new(
@@ -624,6 +703,35 @@ mod tests {
 
     fn hdr(src: [u8; 4], dport: u16, proto: u8) -> Header {
         Header::new(src.into(), [99, 99, 99, 99].into(), 5000, dport, proto)
+    }
+
+    #[test]
+    fn priority_probe_survives_wide_label_lists() {
+        // More than 256 labels in one dimension: the probe frontier's
+        // combination indices must not be limited to u8. The only fully
+        // matching rule sits at list index 299 of two dimensions, and the
+        // uniform priority bound (the TCP rule is the worst-priority one)
+        // forces the search to walk the whole frontier to prove it.
+        let mut cls = Classifier::new(ArchConfig::large());
+        let n: u16 = 300;
+        for i in 0..n {
+            let proto = if i == n - 1 { 6 } else { 17 };
+            let r = Rule::builder(Priority(u32::from(i)))
+                .src_port(PortRange::new(1000 - i, 1000 + i).unwrap())
+                .dst_port(PortRange::new(2000 - i, 2000 + i).unwrap())
+                .proto(ProtoSpec::Exact(proto))
+                .action(Action::Forward(i))
+                .build();
+            cls.insert(r).unwrap();
+        }
+        let h = Header::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 1000, 2000, 6);
+        let c = cls.classify(&h);
+        assert_eq!(c.hit.unwrap().rule.priority, Priority(u32::from(n) - 1));
+        assert!(
+            c.combos_probed > 256,
+            "search must explore past the u8 frontier, probed {}",
+            c.combos_probed
+        );
     }
 
     #[test]
@@ -682,14 +790,21 @@ mod tests {
         let labels_before = cls.live_labels();
         let e = cls.insert(web_rule(1));
         assert!(matches!(e, Err(ClassifierError::DuplicateKey { .. })));
-        assert_eq!(cls.live_labels(), labels_before, "rollback must restore refcounts");
+        assert_eq!(
+            cls.live_labels(),
+            labels_before,
+            "rollback must restore refcounts"
+        );
         assert_eq!(cls.len(), 1);
     }
 
     #[test]
     fn unknown_rule_remove() {
         let mut cls = Classifier::new(cfg());
-        assert!(matches!(cls.remove(RuleId(9)), Err(ClassifierError::UnknownRule { id: 9 })));
+        assert!(matches!(
+            cls.remove(RuleId(9)),
+            Err(ClassifierError::UnknownRule { id: 9 })
+        ));
     }
 
     #[test]
@@ -749,7 +864,10 @@ mod tests {
         cls.insert(web_rule(0)).unwrap();
         let c = cls.classify(&hdr([10, 1, 1, 1], 80, 17)); // UDP: proto list empty
         assert!(c.hit.is_none());
-        assert_eq!(c.rule_filter_reads, 0, "no probe needed on an empty dimension");
+        assert_eq!(
+            c.rule_filter_reads, 0,
+            "no probe needed on an empty dimension"
+        );
     }
 
     #[test]
@@ -763,7 +881,9 @@ mod tests {
             .src_ip(Prefix::parse("10.0.0.0/8").unwrap())
             .build();
         // r1: sip ANY, dport exact 80 (priority 1).
-        let r1 = Rule::builder(Priority(1)).dst_port(PortRange::exact(80)).build();
+        let r1 = Rule::builder(Priority(1))
+            .dst_port(PortRange::exact(80))
+            .build();
         for c in [&mut fast, &mut exact] {
             c.insert(r0).unwrap();
             c.insert(r1).unwrap();

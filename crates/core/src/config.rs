@@ -1,11 +1,10 @@
 //! Architecture configuration (what the SDN controller programs).
 
-use serde::{Deserialize, Serialize};
 use spc_hwsim::{ClockDomain, ShareSelect};
 use spc_lookup::LabelWidths;
 
 /// Which IP lookup algorithm the `IPalg_s` signal selects (§III.A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum IpAlg {
     /// Multi-bit trie: pipelined, 1 packet/cycle, larger memory.
     #[default]
@@ -35,7 +34,7 @@ impl std::fmt::Display for IpAlg {
 
 /// How phase 3 combines per-dimension label lists into a Rule Filter probe
 /// (see DESIGN.md §2 "Correctness note").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CombineStrategy {
     /// The paper's fast path: hash only the head (HPML) of each list.
     /// Two final cycles, but may miss the true HPMR when the per-dimension
@@ -59,7 +58,7 @@ pub enum CombineStrategy {
 /// assert_eq!(cfg.ip_alg, IpAlg::Bst);
 /// assert_eq!(cfg.label_widths.key_bits(), 68);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchConfig {
     /// Active IP algorithm (the `IPalg_s` signal).
     pub ip_alg: IpAlg,
@@ -111,7 +110,11 @@ impl ArchConfig {
     pub fn large() -> Self {
         ArchConfig {
             ip_alg: IpAlg::Mbt,
-            label_widths: LabelWidths { ip: 14, port: 9, proto: 4 },
+            label_widths: LabelWidths {
+                ip: 14,
+                port: 9,
+                proto: 4,
+            },
             combine: CombineStrategy::PriorityProbe,
             mbt_leaf_nodes: 1024,
             bst_max_intervals: 1 << 15,

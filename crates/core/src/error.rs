@@ -73,7 +73,9 @@ mod tests {
         assert!(e.source().is_some());
         assert!(e.to_string().contains("engine"));
         assert!(ClassifierError::RuleFilterFull.to_string().contains("full"));
-        assert!(ClassifierError::UnknownRule { id: 3 }.to_string().contains("r3"));
+        assert!(ClassifierError::UnknownRule { id: 3 }
+            .to_string()
+            .contains("r3"));
         let cap = ClassifierError::from(EngineError::Capacity { what: "x".into() });
         assert!(matches!(cap, ClassifierError::Capacity { .. }));
     }

@@ -26,7 +26,13 @@ pub struct LabelState {
 impl LabelState {
     /// Best (numerically smallest) priority among users.
     pub fn best_priority(&self) -> Priority {
-        Priority(*self.priorities.keys().next().expect("non-empty while referenced"))
+        Priority(
+            *self
+                .priorities
+                .keys()
+                .next()
+                .expect("non-empty while referenced"),
+        )
     }
 }
 
@@ -85,7 +91,10 @@ pub struct LabelTable {
 impl LabelTable {
     /// Creates a table allocating `width`-bit labels.
     pub fn new(width: u8) -> Self {
-        LabelTable { map: HashMap::new(), alloc: LabelAllocator::new(width) }
+        LabelTable {
+            map: HashMap::new(),
+            alloc: LabelAllocator::new(width),
+        }
     }
 
     /// Number of live labels (unique field values).
@@ -114,18 +123,32 @@ impl LabelTable {
     ///
     /// Returns [`LabelError::Exhausted`] when the dimension's label space
     /// is full.
-    pub fn insert(&mut self, value: DimValue, priority: Priority) -> Result<InsertOutcome, LabelError> {
+    pub fn insert(
+        &mut self,
+        value: DimValue,
+        priority: Priority,
+    ) -> Result<InsertOutcome, LabelError> {
         if let Some(state) = self.map.get_mut(&value) {
             let old_best = state.best_priority();
             state.refcount += 1;
             *state.priorities.entry(priority.0).or_insert(0) += 1;
             let improved = priority.beats(old_best);
-            return Ok(InsertOutcome::Referenced { label: state.label, priority_improved: improved });
+            return Ok(InsertOutcome::Referenced {
+                label: state.label,
+                priority_improved: improved,
+            });
         }
         let label = self.alloc.alloc()?;
         let mut priorities = BTreeMap::new();
         priorities.insert(priority.0, 1);
-        self.map.insert(value, LabelState { label, refcount: 1, priorities });
+        self.map.insert(
+            value,
+            LabelState {
+                label,
+                refcount: 1,
+                priorities,
+            },
+        );
         Ok(InsertOutcome::Created { label })
     }
 
@@ -174,7 +197,10 @@ mod tests {
         assert!(matches!(o1, InsertOutcome::Created { .. }));
         let o2 = t.insert(seg(0x0a00, 8), Priority(9)).unwrap();
         match o2 {
-            InsertOutcome::Referenced { label, priority_improved } => {
+            InsertOutcome::Referenced {
+                label,
+                priority_improved,
+            } => {
                 assert_eq!(label, o1.label());
                 assert!(!priority_improved);
             }
@@ -189,7 +215,13 @@ mod tests {
         let mut t = LabelTable::new(7);
         t.insert(seg(1, 16), Priority(10)).unwrap();
         let o = t.insert(seg(1, 16), Priority(2)).unwrap();
-        assert!(matches!(o, InsertOutcome::Referenced { priority_improved: true, .. }));
+        assert!(matches!(
+            o,
+            InsertOutcome::Referenced {
+                priority_improved: true,
+                ..
+            }
+        ));
         assert_eq!(t.get(&seg(1, 16)).unwrap().best_priority(), Priority(2));
     }
 
@@ -227,7 +259,10 @@ mod tests {
         t.insert(seg(1, 16), Priority(3)).unwrap();
         t.insert(seg(1, 16), Priority(3)).unwrap();
         let r = t.remove(&seg(1, 16), Priority(3)).unwrap();
-        assert!(matches!(r, RemoveOutcome::Dereferenced { new_best: None, .. }));
+        assert!(matches!(
+            r,
+            RemoveOutcome::Dereferenced { new_best: None, .. }
+        ));
     }
 
     #[test]
@@ -243,8 +278,10 @@ mod tests {
     #[test]
     fn distinct_value_kinds_coexist() {
         let mut t = LabelTable::new(7);
-        t.insert(DimValue::Port(PortRange::exact(80)), Priority(0)).unwrap();
-        t.insert(DimValue::Port(PortRange::ANY), Priority(1)).unwrap();
+        t.insert(DimValue::Port(PortRange::exact(80)), Priority(0))
+            .unwrap();
+        t.insert(DimValue::Port(PortRange::ANY), Priority(1))
+            .unwrap();
         assert_eq!(t.len(), 2);
     }
 }

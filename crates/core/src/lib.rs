@@ -29,7 +29,7 @@ mod memory;
 mod pipeline;
 mod rulefilter;
 
-pub use classifier::{Classification, Classifier, Hit, UpdateReport};
+pub use classifier::{Classification, Classifier, ClassifyScratch, Hit, UpdateReport};
 pub use config::{ArchConfig, CombineStrategy, IpAlg};
 pub use error::ClassifierError;
 pub use labels::{InsertOutcome, LabelState, LabelTable, RemoveOutcome};

@@ -1,12 +1,11 @@
 //! Architecture-wide memory inventory (Tables V/VI) and the Fig 5
 //! memory-sharing report.
 
-use serde::{Deserialize, Serialize};
 use spc_hwsim::ResourceReport;
 use std::fmt;
 
 /// Usage of one named memory block or block group.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockUsage {
     /// Block name (e.g. `sip_hi/engine`, `rule_filter`).
     pub name: String,
@@ -17,7 +16,7 @@ pub struct BlockUsage {
 }
 
 /// Memory inventory of the whole architecture.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryReport {
     /// Per-block usage, in architecture order.
     pub blocks: Vec<BlockUsage>,
@@ -36,7 +35,11 @@ impl MemoryReport {
 
     /// Provisioned bits of blocks whose name matches a predicate.
     pub fn provisioned_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
-        self.blocks.iter().filter(|b| pred(&b.name)).map(|b| b.provisioned_bits).sum()
+        self.blocks
+            .iter()
+            .filter(|b| pred(&b.name))
+            .map(|b| b.provisioned_bits)
+            .sum()
     }
 
     /// Table V-style resource report (measured memory + quoted synthesis
@@ -48,9 +51,17 @@ impl MemoryReport {
 
 impl fmt::Display for MemoryReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<24} {:>14} {:>14}", "block", "provisioned(b)", "used(b)")?;
+        writeln!(
+            f,
+            "{:<24} {:>14} {:>14}",
+            "block", "provisioned(b)", "used(b)"
+        )?;
         for b in &self.blocks {
-            writeln!(f, "{:<24} {:>14} {:>14}", b.name, b.provisioned_bits, b.used_bits)?;
+            writeln!(
+                f,
+                "{:<24} {:>14} {:>14}",
+                b.name, b.provisioned_bits, b.used_bits
+            )?;
         }
         write!(
             f,
@@ -68,7 +79,7 @@ impl fmt::Display for MemoryReport {
 /// physical blocks hold the (much smaller) BST plus additional rule
 /// storage — which is how the BST configuration reaches a higher rule
 /// count in Table VI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SharingReport {
     /// Physical bits of the shared region (all four IP dims).
     pub physical_bits: u64,
@@ -125,7 +136,11 @@ impl fmt::Display for SharingReport {
             "  BST mode frees:           {} bits -> +{} rules",
             self.freed_bits_bst_mode, self.extra_rule_capacity
         )?;
-        write!(f, "  sharing saves:            {} bits vs unshared", self.saved_bits())
+        write!(
+            f,
+            "  sharing saves:            {} bits vs unshared",
+            self.saved_bits()
+        )
     }
 }
 
@@ -137,8 +152,16 @@ mod tests {
     fn report_totals() {
         let r = MemoryReport {
             blocks: vec![
-                BlockUsage { name: "a".into(), provisioned_bits: 100, used_bits: 40 },
-                BlockUsage { name: "b".into(), provisioned_bits: 200, used_bits: 60 },
+                BlockUsage {
+                    name: "a".into(),
+                    provisioned_bits: 100,
+                    used_bits: 40,
+                },
+                BlockUsage {
+                    name: "b".into(),
+                    provisioned_bits: 200,
+                    used_bits: 60,
+                },
             ],
         };
         assert_eq!(r.total_provisioned(), 300);

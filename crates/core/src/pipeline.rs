@@ -15,7 +15,6 @@
 //! pipelined (MBT mode ⇒ 133.51 M lookups/s) and II = the slowest
 //! non-pipelined engine otherwise (BST mode ⇒ ~16 cycles/packet).
 
-use serde::{Deserialize, Serialize};
 use spc_hwsim::ClockDomain;
 
 /// Cycle cost of phase 1 (header split + engine select).
@@ -26,7 +25,7 @@ pub const PHASE3_CYCLES: u32 = 1;
 pub const PHASE4_BASE_CYCLES: u32 = 2;
 
 /// Timing of one lookup through the 4-phase pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LookupTiming {
     /// Cycles per phase: split, parallel field lookup, combination,
     /// rule-filter access (including collision probes).

@@ -67,7 +67,12 @@ impl RuleFilter {
             slots.alloc(Slot::Empty).expect("provisioned");
         }
         slots.reset_accesses();
-        RuleFilter { slots, hash: HashUnit::new(addr_bits), live: 0, max_probe: 0 }
+        RuleFilter {
+            slots,
+            hash: HashUnit::new(addr_bits),
+            live: 0,
+            max_probe: 0,
+        }
     }
 
     /// Installed rule count.
@@ -103,7 +108,8 @@ impl RuleFilter {
             match *self.slots.read(addr).expect("address in range") {
                 Slot::Empty => {
                     let target = first_free.unwrap_or(addr);
-                    self.slots.write(target, Slot::Occupied(StoredRule { key, id, rule }))
+                    self.slots
+                        .write(target, Slot::Occupied(StoredRule { key, id, rule }))
                         .expect("address in range");
                     self.live += 1;
                     self.max_probe = self.max_probe.max(i as u32 + 1);
@@ -121,7 +127,8 @@ impl RuleFilter {
             }
         }
         if let Some(addr) = first_free {
-            self.slots.write(addr, Slot::Occupied(StoredRule { key, id, rule }))
+            self.slots
+                .write(addr, Slot::Occupied(StoredRule { key, id, rule }))
                 .expect("address in range");
             self.live += 1;
             self.max_probe = self.max_probe.max(self.capacity() as u32);
@@ -142,7 +149,9 @@ impl RuleFilter {
                 Slot::Empty => break,
                 Slot::Tombstone => continue,
                 Slot::Occupied(s) if s.key == key => {
-                    self.slots.write(addr, Slot::Tombstone).expect("address in range");
+                    self.slots
+                        .write(addr, Slot::Tombstone)
+                        .expect("address in range");
                     self.live -= 1;
                     return Ok(s.rule);
                 }
@@ -162,7 +171,10 @@ impl RuleFilter {
                 Slot::Empty => break,
                 Slot::Tombstone => continue,
                 Slot::Occupied(s) if s.key == key => {
-                    return ProbeResult { hit: Some(s), reads };
+                    return ProbeResult {
+                        hit: Some(s),
+                        reads,
+                    };
                 }
                 Slot::Occupied(_) => {}
             }
@@ -241,7 +253,10 @@ mod tests {
         for k in 0..4u128 {
             f.insert(k, RuleId(k as u32), rule(0)).unwrap();
         }
-        assert!(matches!(f.insert(99, RuleId(9), rule(0)), Err(ClassifierError::RuleFilterFull)));
+        assert!(matches!(
+            f.insert(99, RuleId(9), rule(0)),
+            Err(ClassifierError::RuleFilterFull)
+        ));
     }
 
     #[test]
@@ -263,7 +278,10 @@ mod tests {
     #[test]
     fn remove_unknown() {
         let mut f = RuleFilter::new(4, 68);
-        assert!(matches!(f.remove(5, RuleId(1)), Err(ClassifierError::UnknownRule { id: 1 })));
+        assert!(matches!(
+            f.remove(5, RuleId(1)),
+            Err(ClassifierError::UnknownRule { id: 1 })
+        ));
     }
 
     #[test]

@@ -7,7 +7,10 @@ fn agree(kind: FilterKind, n: usize, alg: IpAlg) {
     let rules = RuleSetGenerator::new(kind, n).seed(7).generate();
     let mut cls = Classifier::new(ArchConfig::large().with_ip_alg(alg));
     cls.load(&rules).expect("load should fit the large config");
-    let trace = TraceGenerator::new().seed(3).match_fraction(0.8).generate(&rules, 400);
+    let trace = TraceGenerator::new()
+        .seed(3)
+        .match_fraction(0.8)
+        .generate(&rules, 400);
     for h in &trace {
         let oracle = rules.classify(h).map(|(id, _)| id);
         let got = cls.classify(h).hit.map(|x| x.rule_id);
@@ -16,13 +19,21 @@ fn agree(kind: FilterKind, n: usize, alg: IpAlg) {
 }
 
 #[test]
-fn acl_mbt_matches_oracle() { agree(FilterKind::Acl, 500, IpAlg::Mbt); }
+fn acl_mbt_matches_oracle() {
+    agree(FilterKind::Acl, 500, IpAlg::Mbt);
+}
 
 #[test]
-fn acl_bst_matches_oracle() { agree(FilterKind::Acl, 500, IpAlg::Bst); }
+fn acl_bst_matches_oracle() {
+    agree(FilterKind::Acl, 500, IpAlg::Bst);
+}
 
 #[test]
-fn fw_mbt_matches_oracle() { agree(FilterKind::Fw, 400, IpAlg::Mbt); }
+fn fw_mbt_matches_oracle() {
+    agree(FilterKind::Fw, 400, IpAlg::Mbt);
+}
 
 #[test]
-fn ipc_bst_matches_oracle() { agree(FilterKind::Ipc, 400, IpAlg::Bst); }
+fn ipc_bst_matches_oracle() {
+    agree(FilterKind::Ipc, 400, IpAlg::Bst);
+}

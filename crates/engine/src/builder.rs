@@ -1,0 +1,364 @@
+//! Constructing any backend from an [`EngineKind`] or a config string.
+
+use crate::kind::ParseEngineKindError;
+use crate::{BaselineEngine, ConfigurableEngine, EngineKind, PacketClassifier};
+use spc_baselines::{
+    Dcfl, HyperCuts, HyperCutsConfig, LinearSearch, OptionClassifier, OptionKind, Rfc,
+};
+use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
+use spc_types::RuleSet;
+use std::fmt;
+
+/// Default RFC phase-table entry cap (the Table I harness value).
+const DEFAULT_RFC_ENTRY_CAP: u64 = 1 << 27;
+
+/// Error from [`EngineBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The spec string did not name a registered backend.
+    UnknownKind {
+        /// The parse failure.
+        source: ParseEngineKindError,
+    },
+    /// A spec option was malformed (`key=value` expected) or unknown.
+    BadOption {
+        /// The offending option text.
+        option: String,
+    },
+    /// The backend could not hold the rule set (capacity, duplicate
+    /// 5-tuples, RFC table blow-up, ...).
+    Rejected {
+        /// Which backend rejected it.
+        kind: EngineKind,
+        /// Backend-specific reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownKind { source } => source.fmt(f),
+            BuildError::BadOption { option } => {
+                write!(
+                    f,
+                    "bad engine option {option:?}; expected key=value with keys rf_bits, combine"
+                )
+            }
+            BuildError::Rejected { kind, reason } => {
+                write!(f, "{kind} cannot hold this rule set: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds any registered backend as a `Box<dyn PacketClassifier>`.
+///
+/// ```
+/// use spc_engine::EngineBuilder;
+/// use spc_types::{Priority, Rule, RuleSet};
+///
+/// let rules = RuleSet::from_rules(vec![Rule::any(Priority(0))]);
+/// // Sweep backends from config strings — the CLI/bench entry point.
+/// for spec in ["linear", "hypercuts", "configurable-bst:rf_bits=14"] {
+///     let engine = EngineBuilder::from_spec(spec).unwrap().build(&rules).unwrap();
+///     assert!(engine.rules() == 1, "{spec}");
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    kind: EngineKind,
+    arch: Option<ArchConfig>,
+    rule_filter_bits: Option<u32>,
+    combine: Option<CombineStrategy>,
+    rfc_entry_cap: u64,
+    hypercuts: HyperCutsConfig,
+}
+
+impl EngineBuilder {
+    /// A builder for the given backend with default provisioning.
+    pub fn new(kind: EngineKind) -> Self {
+        EngineBuilder {
+            kind,
+            arch: None,
+            rule_filter_bits: None,
+            combine: None,
+            rfc_entry_cap: DEFAULT_RFC_ENTRY_CAP,
+            hypercuts: HyperCutsConfig::default(),
+        }
+    }
+
+    /// Parses a config string: a backend name, optionally followed by
+    /// `:key=value[,key=value...]` options.
+    ///
+    /// Options (configurable backends only — other kinds reject them, so
+    /// a sweep never silently measures a configuration it didn't ask
+    /// for): `rf_bits=N` sets the Rule Filter address width;
+    /// `combine=first|probe` selects the phase-3 strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownKind`] / [`BuildError::BadOption`].
+    pub fn from_spec(spec: &str) -> Result<Self, BuildError> {
+        let (kind_str, opts) = match spec.split_once(':') {
+            Some((k, o)) => (k, Some(o)),
+            None => (spec, None),
+        };
+        let kind: EngineKind = kind_str
+            .trim()
+            .parse()
+            .map_err(|source| BuildError::UnknownKind { source })?;
+        let mut b = EngineBuilder::new(kind);
+        for opt in opts.into_iter().flat_map(|o| o.split(',')) {
+            let opt = opt.trim();
+            if opt.is_empty() {
+                continue;
+            }
+            let bad = || BuildError::BadOption {
+                option: opt.to_string(),
+            };
+            let (key, value) = opt.split_once('=').ok_or_else(bad)?;
+            match key.trim() {
+                "rf_bits" if kind.is_configurable() => {
+                    b.rule_filter_bits = Some(value.trim().parse().map_err(|_| bad())?);
+                }
+                "combine" if kind.is_configurable() => {
+                    b.combine = Some(match value.trim() {
+                        "first" => CombineStrategy::FirstLabel,
+                        "probe" => CombineStrategy::PriorityProbe,
+                        _ => return Err(bad()),
+                    });
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(b)
+    }
+
+    /// The backend this builder constructs.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Overrides the full architecture configuration (configurable
+    /// backends; the builder still forces `ip_alg` to match the kind).
+    pub fn with_arch_config(mut self, config: ArchConfig) -> Self {
+        self.arch = Some(config);
+        self
+    }
+
+    /// Overrides the Rule Filter address width (configurable backends).
+    pub fn with_rule_filter_bits(mut self, bits: u32) -> Self {
+        self.rule_filter_bits = Some(bits);
+        self
+    }
+
+    /// Overrides the phase-3 combine strategy (configurable backends).
+    pub fn with_combine(mut self, combine: CombineStrategy) -> Self {
+        self.combine = Some(combine);
+        self
+    }
+
+    /// Overrides the RFC phase-table entry cap.
+    pub fn with_rfc_entry_cap(mut self, cap: u64) -> Self {
+        self.rfc_entry_cap = cap;
+        self
+    }
+
+    /// Overrides the HyperCuts tuning parameters.
+    pub fn with_hypercuts_config(mut self, config: HyperCutsConfig) -> Self {
+        self.hypercuts = config;
+        self
+    }
+
+    fn arch_for(&self, alg: IpAlg, rules: &RuleSet) -> ArchConfig {
+        let mut cfg = self.arch.clone().unwrap_or_else(ArchConfig::large);
+        cfg.ip_alg = alg;
+        if let Some(bits) = self.rule_filter_bits {
+            cfg.rule_filter_addr_bits = bits;
+        } else if self.arch.is_none() {
+            // Auto-size the Rule Filter to keep hash-probe chains short:
+            // at least 4x the rule count, within the large() default.
+            let mut bits = cfg.rule_filter_addr_bits;
+            while (1usize << bits) < rules.len().saturating_mul(4) && bits < 22 {
+                bits += 1;
+            }
+            cfg.rule_filter_addr_bits = bits;
+        }
+        if let Some(combine) = self.combine {
+            cfg.combine = combine;
+        }
+        cfg
+    }
+
+    fn build_configurable(
+        &self,
+        alg: IpAlg,
+        rules: &RuleSet,
+    ) -> Result<ConfigurableEngine, BuildError> {
+        let mut cls = Classifier::new(self.arch_for(alg, rules));
+        cls.load(rules).map_err(|e| BuildError::Rejected {
+            kind: self.kind,
+            reason: e.to_string(),
+        })?;
+        Ok(ConfigurableEngine::new(cls))
+    }
+
+    /// Builds the backend over a rule set.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Rejected`] when the backend cannot hold the set
+    /// (provisioning limits, duplicate 5-tuples, RFC entry cap).
+    pub fn build(&self, rules: &RuleSet) -> Result<Box<dyn PacketClassifier>, BuildError> {
+        Ok(match self.kind {
+            EngineKind::ConfigurableMbt => Box::new(self.build_configurable(IpAlg::Mbt, rules)?),
+            EngineKind::ConfigurableBst => Box::new(self.build_configurable(IpAlg::Bst, rules)?),
+            EngineKind::Linear => Box::new(BaselineEngine::new(
+                self.kind,
+                LinearSearch::build(rules),
+                rules,
+            )),
+            EngineKind::HyperCuts => Box::new(BaselineEngine::new(
+                self.kind,
+                HyperCuts::build(rules, self.hypercuts),
+                rules,
+            )),
+            EngineKind::Rfc => {
+                let rfc =
+                    Rfc::build(rules, self.rfc_entry_cap).map_err(|e| BuildError::Rejected {
+                        kind: self.kind,
+                        reason: e.to_string(),
+                    })?;
+                Box::new(BaselineEngine::new(self.kind, rfc, rules))
+            }
+            EngineKind::Dcfl => Box::new(BaselineEngine::new(self.kind, Dcfl::build(rules), rules)),
+            EngineKind::Option1 => Box::new(BaselineEngine::new(
+                self.kind,
+                OptionClassifier::build(rules, OptionKind::One),
+                rules,
+            )),
+            EngineKind::Option2 => Box::new(BaselineEngine::new(
+                self.kind,
+                OptionClassifier::build(rules, OptionKind::Two),
+                rules,
+            )),
+        })
+    }
+}
+
+/// One-shot convenience: parse a spec and build over a rule set.
+///
+/// # Errors
+///
+/// As [`EngineBuilder::from_spec`] and [`EngineBuilder::build`].
+pub fn build_engine(spec: &str, rules: &RuleSet) -> Result<Box<dyn PacketClassifier>, BuildError> {
+    EngineBuilder::from_spec(spec)?.build(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_types::{Action, Header, PortRange, Priority, ProtoSpec, Rule};
+
+    fn rules() -> RuleSet {
+        RuleSet::from_rules(vec![
+            Rule::builder(Priority(0))
+                .dst_port(PortRange::exact(80))
+                .proto(ProtoSpec::Exact(6))
+                .action(Action::Forward(1))
+                .build(),
+            Rule::builder(Priority(1)).action(Action::Drop).build(),
+        ])
+    }
+
+    #[test]
+    fn every_registry_kind_builds_and_classifies() {
+        let rules = rules();
+        let h = Header::new([9, 9, 9, 9].into(), [8, 8, 8, 8].into(), 1, 80, 6);
+        for kind in EngineKind::ALL {
+            let e = EngineBuilder::new(kind).build(&rules).unwrap();
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.rules(), 2, "{kind}");
+            assert_eq!(e.classify(&h).priority, Some(Priority(0)), "{kind}");
+            assert!(e.memory_bits() > 0, "{kind}");
+            assert_eq!(e.supports_updates(), kind.is_configurable(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn spec_options_reach_the_classifier() {
+        let rules = rules();
+        let b = EngineBuilder::from_spec("configurable-mbt:rf_bits=14,combine=first").unwrap();
+        assert_eq!(b.kind(), EngineKind::ConfigurableMbt);
+        // Inspect the *built* engine's live config through the adapter
+        // accessor, so dropping the parsed options in build() would fail
+        // here.
+        let engine = b.build_configurable(IpAlg::Mbt, &rules).unwrap();
+        let cfg = engine.classifier().config();
+        assert_eq!(cfg.rule_filter_addr_bits, 14);
+        assert_eq!(cfg.combine, CombineStrategy::FirstLabel);
+        assert_eq!(cfg.ip_alg, IpAlg::Mbt);
+    }
+
+    #[test]
+    fn bad_specs_fail_loudly() {
+        assert!(matches!(
+            EngineBuilder::from_spec("warp-drive"),
+            Err(BuildError::UnknownKind { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("linear:frobnicate=1"),
+            Err(BuildError::BadOption { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("configurable-mbt:rf_bits=banana"),
+            Err(BuildError::BadOption { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("configurable-mbt:combine=middle"),
+            Err(BuildError::BadOption { .. })
+        ));
+        // Configurable-only options on a fixed backend must fail loudly,
+        // not be silently discarded.
+        assert!(matches!(
+            EngineBuilder::from_spec("rfc:combine=first"),
+            Err(BuildError::BadOption { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("dcfl:rf_bits=20"),
+            Err(BuildError::BadOption { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_rules_reject_configurable_build() {
+        let dup = RuleSet::from_rules(vec![Rule::any(Priority(0)), Rule::any(Priority(1))]);
+        let e = EngineBuilder::new(EngineKind::ConfigurableMbt).build(&dup);
+        assert!(matches!(e, Err(BuildError::Rejected { .. })));
+        // Baselines don't mind duplicates.
+        assert!(EngineBuilder::new(EngineKind::Linear).build(&dup).is_ok());
+    }
+
+    #[test]
+    fn rule_filter_autosizing_scales() {
+        let b = EngineBuilder::new(EngineKind::ConfigurableMbt);
+        let small = b.arch_for(IpAlg::Mbt, &rules());
+        assert_eq!(
+            small.rule_filter_addr_bits,
+            ArchConfig::large().rule_filter_addr_bits
+        );
+        let many: RuleSet = (0..40_000u32)
+            .map(|i| {
+                Rule::builder(Priority(i))
+                    .dst_port(PortRange::exact(i as u16))
+                    .build()
+            })
+            .collect();
+        let big = b.arch_for(IpAlg::Mbt, &many);
+        assert!(big.rule_filter_addr_bits > ArchConfig::large().rule_filter_addr_bits);
+    }
+}

@@ -1,0 +1,205 @@
+//! [`PacketClassifier`] for the paper's configurable architecture.
+
+use crate::{EngineKind, LookupStats, PacketClassifier, UpdateError, Verdict};
+use spc_core::{Classification, Classifier, ClassifierError, ClassifyScratch, IpAlg};
+use spc_hwsim::AccessCounts;
+use spc_types::{Header, Rule, RuleId};
+
+/// The configurable label-based classifier behind the unified API.
+///
+/// Wraps [`spc_core::Classifier`] in whichever `IPalg_s` mode the
+/// [`crate::EngineBuilder`] selected. This is the only registry backend
+/// with a live incremental-update path
+/// ([`PacketClassifier::supports_updates`] is `true`), and its
+/// [`PacketClassifier::classify_batch`] reuses one [`ClassifyScratch`]
+/// across the whole batch, collapsing the per-lookup working-memory
+/// allocations of the single-shot path.
+#[derive(Debug)]
+pub struct ConfigurableEngine {
+    cls: Classifier,
+    scratch: ClassifyScratch,
+}
+
+impl ConfigurableEngine {
+    /// Wraps an already-configured classifier.
+    pub fn new(cls: Classifier) -> Self {
+        ConfigurableEngine {
+            cls,
+            scratch: ClassifyScratch::new(),
+        }
+    }
+
+    /// The wrapped classifier, for architecture-specific instrumentation
+    /// (pipeline timing, memory reports, `IPalg_s` switching) that the
+    /// backend-agnostic trait deliberately does not expose.
+    pub fn classifier(&self) -> &Classifier {
+        &self.cls
+    }
+
+    /// Mutable access to the wrapped classifier.
+    pub fn classifier_mut(&mut self) -> &mut Classifier {
+        &mut self.cls
+    }
+
+    fn verdict(c: &Classification) -> Verdict {
+        match &c.hit {
+            Some(hit) => Verdict {
+                rule: Some(hit.rule_id),
+                priority: Some(hit.rule.priority),
+                action: Some(hit.rule.action),
+                mem_reads: c.total_reads(),
+            },
+            None => Verdict::miss(c.total_reads()),
+        }
+    }
+}
+
+impl From<ClassifierError> for UpdateError {
+    fn from(e: ClassifierError) -> Self {
+        match e {
+            ClassifierError::UnknownRule { id } => UpdateError::UnknownRule { id: RuleId(id) },
+            // Keep duplicates distinguishable from capacity failures:
+            // churn loops skip the former but must surface the latter.
+            ClassifierError::DuplicateKey { existing } => UpdateError::Duplicate {
+                existing: RuleId(existing),
+            },
+            other => UpdateError::Rejected {
+                reason: other.to_string(),
+            },
+        }
+    }
+}
+
+impl PacketClassifier for ConfigurableEngine {
+    fn kind(&self) -> EngineKind {
+        match self.cls.config().ip_alg {
+            IpAlg::Mbt => EngineKind::ConfigurableMbt,
+            IpAlg::Bst => EngineKind::ConfigurableBst,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cls.config().ip_alg {
+            IpAlg::Mbt => "Configurable (MBT)",
+            IpAlg::Bst => "Configurable (BST)",
+        }
+    }
+
+    fn rules(&self) -> usize {
+        self.cls.len()
+    }
+
+    fn classify(&self, header: &Header) -> Verdict {
+        Self::verdict(&self.cls.classify(header))
+    }
+
+    fn classify_batch(&mut self, headers: &[Header], out: &mut Vec<Verdict>) -> LookupStats {
+        out.clear();
+        out.reserve(headers.len());
+        let mut stats = LookupStats::default();
+        for h in headers {
+            let c = self.cls.classify_with(h, &mut self.scratch);
+            let v = Self::verdict(&c);
+            stats.absorb(&v);
+            stats.combos_probed += u64::from(c.combos_probed);
+            out.push(v);
+        }
+        stats
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.cls.memory_report().total_used()
+    }
+
+    fn access_counts(&self) -> AccessCounts {
+        self.cls.access_counts()
+    }
+
+    fn reset_access_counts(&self) {
+        self.cls.reset_access_counts();
+    }
+
+    fn supports_updates(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, rule: Rule) -> Result<RuleId, UpdateError> {
+        Ok(self.cls.insert(rule)?.rule_id)
+    }
+
+    fn remove(&mut self, id: RuleId) -> Result<(), UpdateError> {
+        self.cls.remove(id)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_core::ArchConfig;
+    use spc_types::{Action, PortRange, Priority, ProtoSpec};
+
+    fn web_rule(p: u32, port: u16) -> Rule {
+        Rule::builder(Priority(p))
+            .dst_port(PortRange::exact(port))
+            .proto(ProtoSpec::Exact(6))
+            .action(Action::Forward(1))
+            .build()
+    }
+
+    fn hdr(port: u16) -> Header {
+        Header::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 999, port, 6)
+    }
+
+    #[test]
+    fn update_roundtrip_through_trait() {
+        let mut e = ConfigurableEngine::new(Classifier::new(ArchConfig::default()));
+        assert!(e.supports_updates());
+        let id = e.insert(web_rule(0, 80)).unwrap();
+        assert_eq!(e.rules(), 1);
+        let v = e.classify(&hdr(80));
+        assert_eq!(v.rule, Some(id));
+        assert_eq!(v.action, Some(Action::Forward(1)));
+        assert!(v.mem_reads > 0);
+        e.remove(id).unwrap();
+        assert!(!e.classify(&hdr(80)).is_hit());
+        assert!(matches!(e.remove(id), Err(UpdateError::UnknownRule { .. })));
+    }
+
+    #[test]
+    fn duplicate_insert_maps_to_duplicate() {
+        let mut e = ConfigurableEngine::new(Classifier::new(ArchConfig::default()));
+        let first = e.insert(web_rule(0, 80)).unwrap();
+        assert_eq!(
+            e.insert(web_rule(1, 80)),
+            Err(UpdateError::Duplicate { existing: first }),
+            "duplicates must stay distinguishable from capacity rejections"
+        );
+    }
+
+    #[test]
+    fn batch_agrees_with_single_and_accounts() {
+        let mut e = ConfigurableEngine::new(Classifier::new(ArchConfig::default()));
+        for (p, port) in [(0u32, 80u16), (1, 443), (2, 22)] {
+            e.insert(web_rule(p, port)).unwrap();
+        }
+        let batch: Vec<Header> = [80u16, 443, 22, 8080, 80].iter().map(|&p| hdr(p)).collect();
+        let mut out = Vec::new();
+        let stats = e.classify_batch(&batch, &mut out);
+        assert_eq!(out.len(), batch.len());
+        assert_eq!(stats.packets, 5);
+        assert_eq!(stats.hits, 4);
+        assert!(stats.combos_probed >= stats.hits);
+        for (h, v) in batch.iter().zip(&out) {
+            assert_eq!(
+                *v,
+                e.classify(h),
+                "batch and single verdicts must agree at {h}"
+            );
+        }
+        assert_eq!(
+            stats.mem_reads,
+            out.iter().map(|v| u64::from(v.mem_reads)).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The backend registry.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Every classifier backend the workspace can construct.
+///
+/// The two `Configurable*` entries are the paper's architecture under each
+/// `IPalg_s` setting; the rest are the Table I comparison algorithms.
+/// Parse one from a string (`"hypercuts"`, `"configurable-bst"`, ...) or
+/// iterate [`EngineKind::ALL`] for a full sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The configurable architecture, multi-bit-trie IP mode (speed).
+    ConfigurableMbt,
+    /// The configurable architecture, BST IP mode (density).
+    ConfigurableBst,
+    /// Priority-ordered linear search — the semantic oracle.
+    Linear,
+    /// HyperCuts decision-tree cutting.
+    HyperCuts,
+    /// Recursive Flow Classification.
+    Rfc,
+    /// Distributed Crossproducting of Field Labels.
+    Dcfl,
+    /// Table I "Option 1": 5-level IP tries + 4-level port tries.
+    Option1,
+    /// Table I "Option 2": 4-level IP tries + 5-level port tries.
+    Option2,
+}
+
+impl EngineKind {
+    /// Every backend, in the order the paper's tables list them.
+    pub const ALL: [EngineKind; 8] = [
+        EngineKind::ConfigurableMbt,
+        EngineKind::ConfigurableBst,
+        EngineKind::Linear,
+        EngineKind::HyperCuts,
+        EngineKind::Rfc,
+        EngineKind::Dcfl,
+        EngineKind::Option1,
+        EngineKind::Option2,
+    ];
+
+    /// The canonical config-string spelling ([`FromStr`] inverse).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::ConfigurableMbt => "configurable-mbt",
+            EngineKind::ConfigurableBst => "configurable-bst",
+            EngineKind::Linear => "linear",
+            EngineKind::HyperCuts => "hypercuts",
+            EngineKind::Rfc => "rfc",
+            EngineKind::Dcfl => "dcfl",
+            EngineKind::Option1 => "option1",
+            EngineKind::Option2 => "option2",
+        }
+    }
+
+    /// Whether this is the paper's configurable architecture (and hence
+    /// supports fast incremental updates).
+    pub fn is_configurable(self) -> bool {
+        matches!(
+            self,
+            EngineKind::ConfigurableMbt | EngineKind::ConfigurableBst
+        )
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from parsing an [`EngineKind`] or an engine spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineKindError {
+    /// The unrecognised input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseEngineKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown engine kind {:?}; expected one of: {}",
+            self.input,
+            EngineKind::ALL.map(EngineKind::as_str).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineKindError {}
+
+impl FromStr for EngineKind {
+    type Err = ParseEngineKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let k = match s.to_ascii_lowercase().as_str() {
+            "configurable-mbt" | "configurable_mbt" | "mbt" => EngineKind::ConfigurableMbt,
+            "configurable-bst" | "configurable_bst" | "bst" => EngineKind::ConfigurableBst,
+            "linear" | "linear-search" => EngineKind::Linear,
+            "hypercuts" => EngineKind::HyperCuts,
+            "rfc" => EngineKind::Rfc,
+            "dcfl" => EngineKind::Dcfl,
+            "option1" | "option-1" => EngineKind::Option1,
+            "option2" | "option-2" => EngineKind::Option2,
+            _ => {
+                return Err(ParseEngineKindError {
+                    input: s.to_string(),
+                })
+            }
+        };
+        Ok(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all() {
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.as_str().parse::<EngineKind>().unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn aliases_and_case() {
+        assert_eq!(
+            "MBT".parse::<EngineKind>().unwrap(),
+            EngineKind::ConfigurableMbt
+        );
+        assert_eq!(
+            "HyperCuts".parse::<EngineKind>().unwrap(),
+            EngineKind::HyperCuts
+        );
+        assert_eq!(
+            "option-2".parse::<EngineKind>().unwrap(),
+            EngineKind::Option2
+        );
+    }
+
+    #[test]
+    fn unknown_kind_lists_options() {
+        let e = "quantum".parse::<EngineKind>().unwrap_err();
+        assert!(e.to_string().contains("configurable-mbt"), "{e}");
+    }
+
+    #[test]
+    fn registry_is_exhaustive_and_distinct() {
+        let mut names: Vec<&str> = EngineKind::ALL.map(EngineKind::as_str).to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EngineKind::ALL.len());
+    }
+}

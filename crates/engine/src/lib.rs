@@ -1,0 +1,339 @@
+//! # spc-engine — one API for every packet classifier in the workspace
+//!
+//! The workspace grew two parallel classifier APIs: the configurable
+//! architecture's `spc_core::Classifier::classify -> Classification` and
+//! the comparison algorithms' `spc_baselines::Baseline::classify ->
+//! BaselineResult`. Every harness, test and example had to glue them
+//! together by hand. This crate is the glue, done once:
+//!
+//! * [`PacketClassifier`] — the unified trait: build-agnostic lookups
+//!   ([`PacketClassifier::classify`]), an amortised batch path
+//!   ([`PacketClassifier::classify_batch`]), memory/access
+//!   instrumentation, and an incremental-update capability probe
+//!   ([`PacketClassifier::supports_updates`] with
+//!   [`PacketClassifier::insert`] / [`PacketClassifier::remove`]);
+//! * [`Verdict`] / [`LookupStats`] — one result vocabulary replacing the
+//!   `Classification` vs `BaselineResult` split;
+//! * [`EngineKind`] — the registry of all backends (the paper's
+//!   configurable architecture in both `IPalg_s` settings, plus the five
+//!   Table I comparators);
+//! * [`EngineBuilder`] — constructs any backend as
+//!   `Box<dyn PacketClassifier>` from an [`EngineKind`] or a config
+//!   string such as `"configurable-bst:rf_bits=14"`, enabling scenario
+//!   sweeps from CLIs and benches.
+//!
+//! # Example
+//!
+//! ```
+//! use spc_engine::{EngineBuilder, EngineKind};
+//! use spc_types::{Action, Header, PortRange, Priority, ProtoSpec, Rule, RuleSet};
+//!
+//! let rules = RuleSet::from_rules(vec![Rule::builder(Priority(0))
+//!     .dst_port(PortRange::exact(80))
+//!     .proto(ProtoSpec::Exact(6))
+//!     .action(Action::Forward(1))
+//!     .build()]);
+//! let mut engine = EngineBuilder::new(EngineKind::ConfigurableMbt)
+//!     .build(&rules)
+//!     .expect("rules fit the default provisioning");
+//! let web = Header::new([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), 999, 80, 6);
+//! assert_eq!(engine.classify(&web).action, Some(Action::Forward(1)));
+//!
+//! // The same call works for every backend in the registry.
+//! for kind in EngineKind::ALL {
+//!     let e = EngineBuilder::new(kind).build(&rules).unwrap();
+//!     assert!(e.classify(&web).is_hit(), "{kind}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod builder;
+mod configurable;
+mod kind;
+
+pub use baseline::BaselineEngine;
+pub use builder::{build_engine, BuildError, EngineBuilder};
+pub use configurable::ConfigurableEngine;
+pub use kind::EngineKind;
+
+use spc_hwsim::AccessCounts;
+use spc_types::{Action, Header, Priority, Rule, RuleId};
+use std::fmt;
+
+/// The outcome of classifying one header, common to every backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Verdict {
+    /// The Highest Priority Matching Rule, or `None` on a miss.
+    pub rule: Option<RuleId>,
+    /// Priority of the matched rule.
+    pub priority: Option<Priority>,
+    /// Action of the matched rule.
+    pub action: Option<Action>,
+    /// Memory words this lookup read in the backend's hardware model.
+    pub mem_reads: u32,
+}
+
+impl Verdict {
+    /// A miss that still cost `mem_reads` accesses.
+    pub fn miss(mem_reads: u32) -> Self {
+        Verdict {
+            rule: None,
+            priority: None,
+            action: None,
+            mem_reads,
+        }
+    }
+
+    /// Whether a rule matched.
+    pub fn is_hit(&self) -> bool {
+        self.rule.is_some()
+    }
+}
+
+/// Aggregate accounting over a batch of lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LookupStats {
+    /// Headers classified.
+    pub packets: u64,
+    /// Headers that matched a rule.
+    pub hits: u64,
+    /// Total memory words read.
+    pub mem_reads: u64,
+    /// Rule Filter combinations probed (configurable architecture only;
+    /// equals `packets` on the single-probe fast path, 0 for baselines).
+    pub combos_probed: u64,
+}
+
+impl LookupStats {
+    /// Folds one verdict into the totals.
+    pub fn absorb(&mut self, v: &Verdict) {
+        self.packets += 1;
+        self.hits += u64::from(v.is_hit());
+        self.mem_reads += u64::from(v.mem_reads);
+    }
+
+    /// Mean memory reads per packet.
+    pub fn avg_mem_reads(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.mem_reads as f64 / self.packets as f64
+        }
+    }
+
+    /// Fraction of packets that hit a rule.
+    pub fn hit_rate(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.packets as f64
+        }
+    }
+}
+
+impl std::ops::Add for LookupStats {
+    type Output = LookupStats;
+    fn add(self, rhs: LookupStats) -> LookupStats {
+        LookupStats {
+            packets: self.packets + rhs.packets,
+            hits: self.hits + rhs.hits,
+            mem_reads: self.mem_reads + rhs.mem_reads,
+            combos_probed: self.combos_probed + rhs.combos_probed,
+        }
+    }
+}
+
+/// Error from the incremental-update path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UpdateError {
+    /// The backend is build-once: it must be reconstructed via
+    /// [`EngineBuilder`] to change its rule set.
+    Unsupported {
+        /// The engine's display name.
+        engine: &'static str,
+    },
+    /// A rule identical in every dimension is already installed —
+    /// harmless to skip during bulk churn, unlike [`UpdateError::Rejected`].
+    Duplicate {
+        /// The already-installed rule.
+        existing: RuleId,
+    },
+    /// The backend rejected the update (capacity, rule filter full, ...).
+    Rejected {
+        /// Backend-specific reason.
+        reason: String,
+    },
+    /// No rule with this id is installed.
+    UnknownRule {
+        /// The offending id.
+        id: RuleId,
+    },
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Unsupported { engine } => {
+                write!(
+                    f,
+                    "{engine} does not support incremental updates; rebuild it"
+                )
+            }
+            UpdateError::Duplicate { existing } => {
+                write!(f, "identical rule already installed as {existing}")
+            }
+            UpdateError::Rejected { reason } => write!(f, "update rejected: {reason}"),
+            UpdateError::UnknownRule { id } => write!(f, "unknown rule {id}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// One packet-classification engine, whatever its algorithm.
+///
+/// Backends are constructed by [`EngineBuilder`] and consumed as
+/// `Box<dyn PacketClassifier>`; harnesses, tests and examples never need
+/// to know which algorithm is behind the box. See the crate docs for the
+/// design rationale and `docs/engine_design.md` for how to add a backend.
+pub trait PacketClassifier: fmt::Debug + Send {
+    /// Which registry entry this engine is.
+    fn kind(&self) -> EngineKind;
+
+    /// Display name (matches the paper's table rows where applicable).
+    fn name(&self) -> &'static str;
+
+    /// Installed rule count.
+    fn rules(&self) -> usize;
+
+    /// Classifies one header.
+    fn classify(&self, header: &Header) -> Verdict;
+
+    /// Classifies a batch, appending one [`Verdict`] per header to `out`
+    /// (which is cleared first) and returning aggregate accounting.
+    ///
+    /// The default implementation loops over [`PacketClassifier::classify`];
+    /// backends with per-lookup working memory override it to reuse
+    /// scratch buffers across the batch (see [`ConfigurableEngine`]).
+    fn classify_batch(&mut self, headers: &[Header], out: &mut Vec<Verdict>) -> LookupStats {
+        out.clear();
+        out.reserve(headers.len());
+        let mut stats = LookupStats::default();
+        for h in headers {
+            let v = self.classify(h);
+            stats.absorb(&v);
+            out.push(v);
+        }
+        stats
+    }
+
+    /// Bits of memory the structure occupies in the hardware model.
+    fn memory_bits(&self) -> u64;
+
+    /// Cumulative structural memory access counters, where the backend
+    /// models them (the configurable architecture); zeros otherwise —
+    /// per-lookup costs are always available via [`Verdict::mem_reads`].
+    fn access_counts(&self) -> AccessCounts {
+        AccessCounts::default()
+    }
+
+    /// Resets [`PacketClassifier::access_counts`].
+    fn reset_access_counts(&self) {}
+
+    /// Whether [`PacketClassifier::insert`] / [`PacketClassifier::remove`]
+    /// are live paths (the paper's §V.A fast incremental update) rather
+    /// than [`UpdateError::Unsupported`].
+    fn supports_updates(&self) -> bool {
+        false
+    }
+
+    /// Installs one rule incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::Unsupported`] for build-once backends;
+    /// [`UpdateError::Duplicate`] for an already-installed 5-tuple;
+    /// [`UpdateError::Rejected`] on capacity.
+    fn insert(&mut self, rule: Rule) -> Result<RuleId, UpdateError> {
+        let _ = rule;
+        Err(UpdateError::Unsupported {
+            engine: self.name(),
+        })
+    }
+
+    /// Removes one rule incrementally.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::Unsupported`] for build-once backends;
+    /// [`UpdateError::UnknownRule`] for an id that is not installed.
+    fn remove(&mut self, id: RuleId) -> Result<(), UpdateError> {
+        let _ = id;
+        Err(UpdateError::Unsupported {
+            engine: self.name(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_constructors() {
+        let m = Verdict::miss(7);
+        assert!(!m.is_hit());
+        assert_eq!(m.mem_reads, 7);
+    }
+
+    #[test]
+    fn stats_absorb_and_add() {
+        let mut s = LookupStats::default();
+        s.absorb(&Verdict::miss(10));
+        s.absorb(&Verdict {
+            rule: Some(RuleId(0)),
+            priority: Some(Priority(1)),
+            action: Some(Action::Drop),
+            mem_reads: 6,
+        });
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.mem_reads, 16);
+        assert!((s.avg_mem_reads() - 8.0).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let t = s + s;
+        assert_eq!(t.packets, 4);
+        assert_eq!(t.mem_reads, 32);
+    }
+
+    #[test]
+    fn empty_stats_safe() {
+        let s = LookupStats::default();
+        assert_eq!(s.avg_mem_reads(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn update_error_display() {
+        assert!(UpdateError::Unsupported { engine: "RFC" }
+            .to_string()
+            .contains("RFC"));
+        assert!(UpdateError::UnknownRule { id: RuleId(3) }
+            .to_string()
+            .contains('3'));
+        assert!(UpdateError::Rejected {
+            reason: "full".into()
+        }
+        .to_string()
+        .contains("full"));
+        assert!(UpdateError::Duplicate {
+            existing: RuleId(7)
+        }
+        .to_string()
+        .contains("r7"));
+    }
+}

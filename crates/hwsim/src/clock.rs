@@ -7,8 +7,6 @@
 //! 133.51 M lookups/s ≈ 42.7 Gbps; BST mode needs ~16 memory accesses per
 //! packet ⇒ 2.67 Gbps (Table VII).
 
-use serde::{Deserialize, Serialize};
-
 /// Maximum frequency reported for the Stratix V prototype (Table V), MHz.
 pub const STRATIX_V_FMAX_MHZ: f64 = 133.51;
 
@@ -24,7 +22,7 @@ pub const MIN_PACKET_BYTES: u32 = 40;
 /// let gbps = clk.throughput_gbps(1.0, MIN_PACKET_BYTES);
 /// assert!((gbps - 42.72).abs() < 0.05);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockDomain {
     freq_mhz: f64,
 }
@@ -65,7 +63,10 @@ impl ClockDomain {
     ///
     /// Panics if `cycles_per_packet <= 0`.
     pub fn lookups_per_sec(self, cycles_per_packet: f64) -> f64 {
-        assert!(cycles_per_packet > 0.0, "cycles per packet must be positive");
+        assert!(
+            cycles_per_packet > 0.0,
+            "cycles per packet must be positive"
+        );
         self.freq_mhz * 1e6 / cycles_per_packet
     }
 

@@ -7,8 +7,6 @@
 //! update and lookup agree on addresses and the insert costs one extra hash
 //! cycle (§V.A).
 
-use serde::{Deserialize, Serialize};
-
 /// A stateless hash unit folding wide keys to `addr_bits`-bit addresses.
 ///
 /// The implementation is a 64-bit FNV-1a over the key bytes followed by an
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(a < (1 << 13));
 /// assert_eq!(a, h.fold(0x1234_5678_9abc_def0_12u128)); // deterministic
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashUnit {
     addr_bits: u32,
 }
@@ -35,7 +33,10 @@ impl HashUnit {
     ///
     /// Panics unless `1 <= addr_bits <= 32`.
     pub fn new(addr_bits: u32) -> Self {
-        assert!((1..=32).contains(&addr_bits), "addr_bits must be in 1..=32, got {addr_bits}");
+        assert!(
+            (1..=32).contains(&addr_bits),
+            "addr_bits must be in 1..=32, got {addr_bits}"
+        );
         HashUnit { addr_bits }
     }
 

@@ -1,6 +1,5 @@
 //! Block-RAM model: fixed geometry, real storage, access counting.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -30,7 +29,10 @@ impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MemoryError::OutOfBounds { block, addr, words } => {
-                write!(f, "address {addr} out of bounds for block '{block}' ({words} words)")
+                write!(
+                    f,
+                    "address {addr} out of bounds for block '{block}' ({words} words)"
+                )
             }
             MemoryError::Full { block, words } => {
                 write!(f, "memory block '{block}' is full ({words} words)")
@@ -42,7 +44,7 @@ impl fmt::Display for MemoryError {
 impl std::error::Error for MemoryError {}
 
 /// Read/write counters of a block (or an aggregate over blocks).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AccessCounts {
     /// Number of word reads.
     pub reads: u64,
@@ -60,7 +62,10 @@ impl AccessCounts {
 impl std::ops::Add for AccessCounts {
     type Output = AccessCounts;
     fn add(self, rhs: AccessCounts) -> AccessCounts {
-        AccessCounts { reads: self.reads + rhs.reads, writes: self.writes + rhs.writes }
+        AccessCounts {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
     }
 }
 
@@ -160,7 +165,10 @@ impl<T> MemoryBlock<T> {
     /// Returns [`MemoryError::Full`] when the block is at capacity.
     pub fn alloc(&mut self, value: T) -> Result<usize, MemoryError> {
         if self.data.len() >= self.words {
-            return Err(MemoryError::Full { block: self.name.clone(), words: self.words });
+            return Err(MemoryError::Full {
+                block: self.name.clone(),
+                words: self.words,
+            });
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.data.push(value);
@@ -267,8 +275,14 @@ mod tests {
         let mut m: MemoryBlock<u32> = MemoryBlock::new("tiny", 1, 8);
         m.alloc(1).unwrap();
         assert!(matches!(m.alloc(2), Err(MemoryError::Full { .. })));
-        assert!(matches!(m.read(5), Err(MemoryError::OutOfBounds { addr: 5, .. })));
-        assert!(matches!(m.write(5, 0), Err(MemoryError::OutOfBounds { .. })));
+        assert!(matches!(
+            m.read(5),
+            Err(MemoryError::OutOfBounds { addr: 5, .. })
+        ));
+        assert!(matches!(
+            m.write(5, 0),
+            Err(MemoryError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -293,16 +307,31 @@ mod tests {
 
     #[test]
     fn counts_sum_and_add() {
-        let a = AccessCounts { reads: 1, writes: 2 };
-        let b = AccessCounts { reads: 3, writes: 4 };
+        let a = AccessCounts {
+            reads: 1,
+            writes: 2,
+        };
+        let b = AccessCounts {
+            reads: 3,
+            writes: 4,
+        };
         assert_eq!((a + b).total(), 10);
         let s: AccessCounts = [a, b].into_iter().sum();
-        assert_eq!(s, AccessCounts { reads: 4, writes: 6 });
+        assert_eq!(
+            s,
+            AccessCounts {
+                reads: 4,
+                writes: 6
+            }
+        );
     }
 
     #[test]
     fn error_display() {
-        let e = MemoryError::Full { block: "x".into(), words: 4 };
+        let e = MemoryError::Full {
+            block: "x".into(),
+            words: 4,
+        };
         assert!(e.to_string().contains("full"));
     }
 }

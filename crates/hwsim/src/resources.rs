@@ -7,7 +7,6 @@
 //! published constants for those fields so Table V can be rendered with an
 //! honest provenance split (measured memory vs quoted synthesis numbers).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Total block-memory bits of the Stratix V 5SGXMB6R3F43C4 device.
@@ -20,7 +19,7 @@ pub const STRATIX_V_TOTAL_ALMS: u64 = 225_400;
 pub const STRATIX_V_TOTAL_PINS: u64 = 908;
 
 /// A Table V-style synthesis summary.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceReport {
     /// Block-memory bits used by the architecture (measured from the model).
     pub mem_bits_used: u64,
@@ -70,7 +69,11 @@ impl ResourceReport {
 
 impl fmt::Display for ResourceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Logical Utilization      {} / {}", self.logic_used, self.logic_total)?;
+        writeln!(
+            f,
+            "Logical Utilization      {} / {}",
+            self.logic_used, self.logic_total
+        )?;
         writeln!(
             f,
             "Total block memory bits  {} / {}  ({:.1}%)",
@@ -80,7 +83,11 @@ impl fmt::Display for ResourceReport {
         )?;
         writeln!(f, "Total registers          {}", self.registers)?;
         writeln!(f, "Maximum Frequency        {:.2} MHz", self.fmax_mhz)?;
-        write!(f, "Total Number Pins        {} / {}", self.pins_used, self.pins_total)
+        write!(
+            f,
+            "Total Number Pins        {} / {}",
+            self.pins_used, self.pins_total
+        )
     }
 }
 
@@ -92,7 +99,11 @@ mod tests {
     fn paper_prototype_is_4_percent() {
         // Paper §V.C: "consumes 4% of total memory".
         let r = ResourceReport::stratix_v_prototype(2_097_184);
-        assert!((r.mem_percent() - 3.85).abs() < 0.1, "got {}", r.mem_percent());
+        assert!(
+            (r.mem_percent() - 3.85).abs() < 0.1,
+            "got {}",
+            r.mem_percent()
+        );
         assert!(r.fits());
     }
 

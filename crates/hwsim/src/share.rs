@@ -9,11 +9,10 @@
 //! information) or more BST nodes — which is how the BST configuration
 //! reaches 12K rules where MBT holds 8K (Table VI).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The `IPalg_s` configuration signal selecting the IP lookup algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ShareSelect {
     /// Multi-bit trie: fast lookup (1 packet/cycle pipelined).
     #[default]
@@ -46,7 +45,7 @@ impl fmt::Display for ShareSelect {
 /// assert_eq!(sh.extra_words(ShareSelect::Mbt), 0);
 /// assert_eq!(sh.extra_words(ShareSelect::Bst), 2048);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SharedRegion {
     level2_words: usize,
     level2_width: u32,
@@ -70,7 +69,12 @@ impl SharedRegion {
             level2_width, rest_width,
             "shared blocks must have one word geometry (paper §IV.C.2)"
         );
-        SharedRegion { level2_words, level2_width, rest_words, rest_width }
+        SharedRegion {
+            level2_words,
+            level2_width,
+            rest_words,
+            rest_width,
+        }
     }
 
     /// Words available to MBT level 2 in MBT mode.

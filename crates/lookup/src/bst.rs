@@ -218,7 +218,11 @@ impl FieldEngine for RangeBst {
         }
         let n = self.intervals.len();
         if n == 0 {
-            return Ok(LookupResult { labels: LabelList::new(), mem_reads: 0, cycles: 1 });
+            return Ok(LookupResult {
+                labels: LabelList::new(),
+                mem_reads: 0,
+                cycles: 1,
+            });
         }
         // Binary search for the rightmost interval start <= query.
         // Interval 0 starts at 0, so the search always lands somewhere.
@@ -366,7 +370,8 @@ mod tests {
         let mut s = LabelStore::new("big", 1 << 16, 13);
         let mut bst = RangeBst::new(4096);
         for i in 0..1000u16 {
-            bst.insert(&mut s, seg(i << 6, 10), entry(i, u32::from(i))).unwrap();
+            bst.insert(&mut s, seg(i << 6, 10), entry(i, u32::from(i)))
+                .unwrap();
         }
         bst.flush(&mut s).unwrap();
         // ~1001 intervals -> ~11 binary search reads.
@@ -383,9 +388,13 @@ mod tests {
         let mut s = store();
         let mut bst = RangeBst::new(4);
         for i in 0..8u16 {
-            bst.insert(&mut s, seg(i << 13, 3), entry(i, u32::from(i))).unwrap();
+            bst.insert(&mut s, seg(i << 13, 3), entry(i, u32::from(i)))
+                .unwrap();
         }
-        assert!(matches!(bst.flush(&mut s), Err(EngineError::Capacity { .. })));
+        assert!(matches!(
+            bst.flush(&mut s),
+            Err(EngineError::Capacity { .. })
+        ));
     }
 
     #[test]
@@ -424,8 +433,14 @@ mod tests {
         bst.insert(&mut s, seg(0x0000, 2), entry(1, 1)).unwrap(); // [0x0000,0x3fff]
         bst.insert(&mut s, seg(0x4000, 2), entry(2, 2)).unwrap(); // [0x4000,0x7fff]
         bst.flush(&mut s).unwrap();
-        assert_eq!(bst.lookup(&s, 0x3fff).unwrap().labels.head().unwrap().label, Label(1));
-        assert_eq!(bst.lookup(&s, 0x4000).unwrap().labels.head().unwrap().label, Label(2));
+        assert_eq!(
+            bst.lookup(&s, 0x3fff).unwrap().labels.head().unwrap().label,
+            Label(1)
+        );
+        assert_eq!(
+            bst.lookup(&s, 0x4000).unwrap().labels.head().unwrap().label,
+            Label(2)
+        );
         assert!(bst.lookup(&s, 0x8000).unwrap().labels.is_empty());
     }
 }

@@ -77,7 +77,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Capacity { what } => write!(f, "capacity exhausted in {what}"),
             EngineError::ValueKind { expected } => {
-                write!(f, "dimension value kind mismatch, engine expects {expected}")
+                write!(
+                    f,
+                    "dimension value kind mismatch, engine expects {expected}"
+                )
             }
             EngineError::NotFound => write!(f, "value/label pair not present in engine"),
             EngineError::Dirty => write!(f, "engine has unflushed updates"),
@@ -91,10 +94,12 @@ impl From<MemoryError> for EngineError {
     fn from(e: MemoryError) -> Self {
         match e {
             MemoryError::Full { block, .. } => EngineError::Capacity { what: block },
-            MemoryError::OutOfBounds { block, .. } => {
-                EngineError::Capacity { what: format!("{block} (out of bounds)") }
-            }
-            other => EngineError::Capacity { what: other.to_string() },
+            MemoryError::OutOfBounds { block, .. } => EngineError::Capacity {
+                what: format!("{block} (out of bounds)"),
+            },
+            other => EngineError::Capacity {
+                what: other.to_string(),
+            },
         }
     }
 }
@@ -103,9 +108,9 @@ impl From<StoreError> for EngineError {
     fn from(e: StoreError) -> Self {
         match e {
             StoreError::Full { store, .. } => EngineError::Capacity { what: store },
-            StoreError::BadPtr { store, ptr } => {
-                EngineError::Capacity { what: format!("{store} (dangling ptr {ptr})") }
-            }
+            StoreError::BadPtr { store, ptr } => EngineError::Capacity {
+                what: format!("{store} (dangling ptr {ptr})"),
+            },
         }
     }
 }
@@ -113,9 +118,9 @@ impl From<StoreError> for EngineError {
 impl From<LabelError> for EngineError {
     fn from(e: LabelError) -> Self {
         match e {
-            LabelError::Exhausted { width } => {
-                EngineError::Capacity { what: format!("{width}-bit label space") }
-            }
+            LabelError::Exhausted { width } => EngineError::Capacity {
+                what: format!("{width}-bit label space"),
+            },
         }
     }
 }
@@ -201,10 +206,17 @@ mod tests {
 
     #[test]
     fn error_conversions() {
-        let e: EngineError =
-            MemoryError::Full { block: "l2".into(), words: 4 }.into();
+        let e: EngineError = MemoryError::Full {
+            block: "l2".into(),
+            words: 4,
+        }
+        .into();
         assert!(matches!(e, EngineError::Capacity { ref what } if what == "l2"));
-        let e: EngineError = StoreError::Full { store: "s".into(), capacity: 1 }.into();
+        let e: EngineError = StoreError::Full {
+            store: "s".into(),
+            capacity: 1,
+        }
+        .into();
         assert!(matches!(e, EngineError::Capacity { .. }));
         let e: EngineError = LabelError::Exhausted { width: 7 }.into();
         assert!(matches!(e, EngineError::Capacity { ref what } if what.contains("7-bit")));
@@ -215,6 +227,8 @@ mod tests {
         assert_eq!(EngineKind::Mbt.to_string(), "mbt");
         assert!(EngineError::NotFound.to_string().contains("not present"));
         assert!(EngineError::Dirty.to_string().contains("unflushed"));
-        assert!(EngineError::ValueKind { expected: "seg" }.to_string().contains("seg"));
+        assert!(EngineError::ValueKind { expected: "seg" }
+            .to_string()
+            .contains("seg"));
     }
 }

@@ -1,7 +1,6 @@
 //! The DCFL label method (paper §III.C): labels, label lists and
 //! width-checked label allocation.
 
-use serde::{Deserialize, Serialize};
 use spc_types::Priority;
 use std::fmt;
 
@@ -11,10 +10,7 @@ use std::fmt;
 /// parameter ([`LabelWidths`]) that bounds how many unique field values a
 /// dimension can hold (13 bits for IP segments, 7 for ports, 2 for protocol
 /// in the paper's prototype).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Label(pub u16);
 
 impl fmt::Display for Label {
@@ -31,7 +27,7 @@ impl fmt::Display for Label {
 /// Label (HPML). `order` is the dimension-specific sort key: rule priority
 /// for IP and protocol dimensions; *exact-before-tightest-range* for port
 /// dimensions (Table IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LabelEntry {
     /// The label.
     pub label: Label,
@@ -44,12 +40,20 @@ pub struct LabelEntry {
 impl LabelEntry {
     /// An entry ordered directly by rule priority (IP / protocol lists).
     pub fn by_priority(label: Label, priority: Priority) -> Self {
-        LabelEntry { label, priority, order: u64::from(priority.0) }
+        LabelEntry {
+            label,
+            priority,
+            order: u64::from(priority.0),
+        }
     }
 
     /// An entry with an explicit order key (port lists).
     pub fn with_order(label: Label, priority: Priority, order: u64) -> Self {
-        LabelEntry { label, priority, order }
+        LabelEntry {
+            label,
+            priority,
+            order,
+        }
     }
 }
 
@@ -67,7 +71,7 @@ impl LabelEntry {
 /// l.insert(LabelEntry::by_priority(Label(1), Priority(0)));
 /// assert_eq!(l.head().unwrap().label, Label(1));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LabelList {
     entries: Vec<LabelEntry>,
 }
@@ -75,7 +79,9 @@ pub struct LabelList {
 impl LabelList {
     /// Creates an empty list.
     pub fn new() -> Self {
-        LabelList { entries: Vec::new() }
+        LabelList {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of labels in the list.
@@ -166,7 +172,7 @@ impl<'a> IntoIterator for &'a LabelList {
 }
 
 /// Per-dimension label bit widths (paper §IV.C.1: 13 / 7 / 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LabelWidths {
     /// Width of IP-segment labels.
     pub ip: u8,
@@ -178,7 +184,11 @@ pub struct LabelWidths {
 
 impl LabelWidths {
     /// The paper's prototype widths: IP 13, port 7, protocol 2 bits.
-    pub const PAPER: LabelWidths = LabelWidths { ip: 13, port: 7, proto: 2 };
+    pub const PAPER: LabelWidths = LabelWidths {
+        ip: 13,
+        port: 7,
+        proto: 2,
+    };
 
     /// Merged-key width: 4 IP labels + 2 port labels + 1 protocol label
     /// (68 bits for the paper values).
@@ -219,7 +229,7 @@ impl std::error::Error for LabelError {}
 /// Allocates labels of a fixed bit width with a free list, so deleted
 /// labels are recycled (paper §IV.A: a label is deleted from the hardware
 /// only when its counter reaches zero).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LabelAllocator {
     width: u8,
     next: u16,
@@ -233,8 +243,15 @@ impl LabelAllocator {
     ///
     /// Panics unless `1 <= width <= 16`.
     pub fn new(width: u8) -> Self {
-        assert!((1..=16).contains(&width), "label width must be in 1..=16, got {width}");
-        LabelAllocator { width, next: 0, free: Vec::new() }
+        assert!(
+            (1..=16).contains(&width),
+            "label width must be in 1..=16, got {width}"
+        );
+        LabelAllocator {
+            width,
+            next: 0,
+            free: Vec::new(),
+        }
     }
 
     /// Label capacity (`2^width`).

@@ -41,10 +41,18 @@ impl MbtConfig {
             u32::from(key_bits),
             "strides must sum to key width"
         );
-        assert!(strides.iter().all(|s| (1..=12).contains(s)), "strides must be 1..=12");
+        assert!(
+            strides.iter().all(|s| (1..=12).contains(s)),
+            "strides must be 1..=12"
+        );
         assert_eq!(strides.len(), level_nodes.len(), "one capacity per level");
         assert_eq!(level_nodes[0], 1, "level 0 is the single root node");
-        MbtConfig { key_bits, strides, level_nodes, list_ptr_bits: 13 }
+        MbtConfig {
+            key_bits,
+            strides,
+            level_nodes,
+            list_ptr_bits: 13,
+        }
     }
 
     /// The paper's 16-bit segment trie: strides 5/5/6 (§IV.C).
@@ -88,7 +96,9 @@ impl MbtConfig {
         if level + 1 >= self.level_nodes.len() {
             0
         } else {
-            (self.level_nodes[level + 1].max(2) as u64).next_power_of_two().trailing_zeros()
+            (self.level_nodes[level + 1].max(2) as u64)
+                .next_power_of_two()
+                .trailing_zeros()
         }
     }
 
@@ -153,14 +163,22 @@ impl MultiBitTrie {
             .collect();
         // Allocate the root node.
         for _ in 0..(1usize << config.strides[0]) {
-            levels[0].alloc(Slot::default()).expect("root fits by construction");
+            levels[0]
+                .alloc(Slot::default())
+                .expect("root fits by construction");
         }
         let nodes_per_level = {
             let mut v = vec![0u32; config.strides.len()];
             v[0] = 1;
             v
         };
-        MultiBitTrie { config, cum, levels, nodes_per_level, wildcard: None }
+        MultiBitTrie {
+            config,
+            cum,
+            levels,
+            nodes_per_level,
+            wildcard: None,
+        }
     }
 
     /// The trie geometry.
@@ -191,7 +209,9 @@ impl MultiBitTrie {
     fn alloc_node(&mut self, level: usize) -> Result<u32, EngineError> {
         let slots = 1usize << self.config.strides[level];
         if self.levels[level].free_words() < slots {
-            return Err(EngineError::Capacity { what: format!("mbt_l{level} nodes") });
+            return Err(EngineError::Capacity {
+                what: format!("mbt_l{level} nodes"),
+            });
         }
         let base = self.levels[level].len();
         for _ in 0..slots {
@@ -208,7 +228,10 @@ impl MultiBitTrie {
 
     /// Level index whose cumulative stride first covers `len`.
     fn target_level(&self, len: u8) -> usize {
-        self.cum.iter().position(|c| len <= *c).expect("len <= key_bits")
+        self.cum
+            .iter()
+            .position(|c| len <= *c)
+            .expect("len <= key_bits")
     }
 
     /// Inserts a `(value, len)` prefix with the given label entry.
@@ -350,7 +373,11 @@ impl MultiBitTrie {
                 None => break,
             }
         }
-        Ok(LookupResult { labels, mem_reads: reads, cycles: self.latency_cycles() })
+        Ok(LookupResult {
+            labels,
+            mem_reads: reads,
+            cycles: self.latency_cycles(),
+        })
     }
 }
 
@@ -445,7 +472,7 @@ mod tests {
         let r = mbt.lookup_key(&s, 0xa234).unwrap();
         let ids: Vec<u16> = r.labels.iter().map(|e| e.label.0).collect();
         assert_eq!(ids, vec![2, 1, 3]); // sorted by priority 5,10,20
-        // Non-matching key sees only the /4.
+                                        // Non-matching key sees only the /4.
         let r2 = mbt.lookup_key(&s, 0xa900).unwrap();
         let ids2: Vec<u16> = r2.labels.iter().map(|e| e.label.0).collect();
         assert_eq!(ids2, vec![1]);
@@ -469,9 +496,18 @@ mod tests {
         // /7 prefix expands into 2^(10-7)=8 level-1 slots... check the
         // boundary values all match and neighbours don't.
         let p = SegPrefix::masked(0x4600, 7);
-        mbt.insert_prefix(&mut s, u32::from(p.value()), 7, entry(4, 0)).unwrap();
-        assert!(mbt.lookup_key(&s, u32::from(p.first())).unwrap().labels.contains(Label(4)));
-        assert!(mbt.lookup_key(&s, u32::from(p.last())).unwrap().labels.contains(Label(4)));
+        mbt.insert_prefix(&mut s, u32::from(p.value()), 7, entry(4, 0))
+            .unwrap();
+        assert!(mbt
+            .lookup_key(&s, u32::from(p.first()))
+            .unwrap()
+            .labels
+            .contains(Label(4)));
+        assert!(mbt
+            .lookup_key(&s, u32::from(p.last()))
+            .unwrap()
+            .labels
+            .contains(Label(4)));
         assert!(!mbt
             .lookup_key(&s, u32::from(p.first().wrapping_sub(1)))
             .unwrap()
@@ -513,10 +549,26 @@ mod tests {
         let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(8));
         mbt.insert_prefix(&mut s, 0xa000, 8, entry(1, 50)).unwrap();
         mbt.insert_prefix(&mut s, 0xa000, 4, entry(2, 10)).unwrap();
-        assert_eq!(mbt.lookup_key(&s, 0xa0ff).unwrap().labels.head().unwrap().label, Label(2));
+        assert_eq!(
+            mbt.lookup_key(&s, 0xa0ff)
+                .unwrap()
+                .labels
+                .head()
+                .unwrap()
+                .label,
+            Label(2)
+        );
         // Label 1's value gains a higher-priority user.
         mbt.insert_prefix(&mut s, 0xa000, 8, entry(1, 1)).unwrap();
-        assert_eq!(mbt.lookup_key(&s, 0xa0ff).unwrap().labels.head().unwrap().label, Label(1));
+        assert_eq!(
+            mbt.lookup_key(&s, 0xa0ff)
+                .unwrap()
+                .labels
+                .head()
+                .unwrap()
+                .label,
+            Label(1)
+        );
     }
 
     #[test]
@@ -529,7 +581,10 @@ mod tests {
             DimValue::Port(spc_types::PortRange::ANY),
             entry(1, 1),
         );
-        assert!(matches!(err, Err(EngineError::ValueKind { expected: "Seg" })));
+        assert!(matches!(
+            err,
+            Err(EngineError::ValueKind { expected: "Seg" })
+        ));
     }
 
     #[test]
@@ -549,8 +604,10 @@ mod tests {
     fn ip32_lookup() {
         let mut s = LabelStore::new("ip32", 4096, 13);
         let mut mbt = MultiBitTrie::new(MbtConfig::ip32_5level(256));
-        mbt.insert_prefix(&mut s, 0x0a000000, 8, entry(1, 1)).unwrap();
-        mbt.insert_prefix(&mut s, 0x0a0b0c00, 24, entry(2, 2)).unwrap();
+        mbt.insert_prefix(&mut s, 0x0a000000, 8, entry(1, 1))
+            .unwrap();
+        mbt.insert_prefix(&mut s, 0x0a0b0c00, 24, entry(2, 2))
+            .unwrap();
         let r = mbt.lookup_key(&s, 0x0a0b0c0d).unwrap();
         assert_eq!(r.labels.len(), 2);
         assert_eq!(r.cycles, 10); // 5 levels * 2

@@ -54,7 +54,11 @@ impl PortRegisters {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "register bank must be non-empty");
-        PortRegisters { regs: Vec::new(), capacity, label_bits: 7 }
+        PortRegisters {
+            regs: Vec::new(),
+            capacity,
+            label_bits: 7,
+        }
     }
 
     /// Registers in use.
@@ -95,7 +99,9 @@ impl FieldEngine for PortRegisters {
             return Ok(());
         }
         if self.regs.len() >= self.capacity {
-            return Err(EngineError::Capacity { what: "port registers".into() });
+            return Err(EngineError::Capacity {
+                what: "port registers".into(),
+            });
         }
         self.regs.push(PortRegister { range, entry });
         Ok(())
@@ -111,7 +117,8 @@ impl FieldEngine for PortRegisters {
             return Err(EngineError::ValueKind { expected: "Port" });
         };
         let before = self.regs.len();
-        self.regs.retain(|r| !(r.range == range && r.entry.label == label));
+        self.regs
+            .retain(|r| !(r.range == range && r.entry.label == label));
         if self.regs.len() == before {
             return Err(EngineError::NotFound);
         }
@@ -125,7 +132,11 @@ impl FieldEngine for PortRegisters {
             .filter(|r| r.range.contains(query))
             .map(|r| r.entry)
             .collect();
-        Ok(LookupResult { labels, mem_reads: 0, cycles: 2 })
+        Ok(LookupResult {
+            labels,
+            mem_reads: 0,
+            cycles: 2,
+        })
     }
 
     /// Register bits: two 16-bit bounds plus the label per register.
@@ -213,10 +224,19 @@ mod tests {
         let mut s = store();
         let mut regs = PortRegisters::new(4);
         ins(&mut regs, &mut s, 5, 10, 1, 0);
-        regs.remove(&mut s, DimValue::Port(PortRange::new(5, 10).unwrap()), Label(1)).unwrap();
+        regs.remove(
+            &mut s,
+            DimValue::Port(PortRange::new(5, 10).unwrap()),
+            Label(1),
+        )
+        .unwrap();
         assert!(regs.is_empty());
         assert!(matches!(
-            regs.remove(&mut s, DimValue::Port(PortRange::new(5, 10).unwrap()), Label(1)),
+            regs.remove(
+                &mut s,
+                DimValue::Port(PortRange::new(5, 10).unwrap()),
+                Label(1)
+            ),
             Err(EngineError::NotFound)
         ));
     }
@@ -230,7 +250,10 @@ mod tests {
             DimValue::Proto(spc_types::ProtoSpec::Any),
             LabelEntry::by_priority(Label(1), Priority(0)),
         );
-        assert!(matches!(e, Err(EngineError::ValueKind { expected: "Port" })));
+        assert!(matches!(
+            e,
+            Err(EngineError::ValueKind { expected: "Port" })
+        ));
     }
 
     #[test]

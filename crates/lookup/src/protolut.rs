@@ -52,7 +52,11 @@ impl ProtocolLut {
             table.alloc(None).expect("256 words provisioned");
         }
         table.reset_accesses(); // construction is not an update cost
-        ProtocolLut { table, any: None, label_bits }
+        ProtocolLut {
+            table,
+            any: None,
+            label_bits,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ impl FieldEngine for ProtocolLut {
                 self.table.write(usize::from(v), Some(e))?;
             }
             ProtoSpec::Any => {
-                self.any = Some(LabelEntry::with_order(entry.label, entry.priority, ANY_ORDER));
+                self.any = Some(LabelEntry::with_order(
+                    entry.label,
+                    entry.priority,
+                    ANY_ORDER,
+                ));
             }
         }
         Ok(())
@@ -128,7 +136,11 @@ impl FieldEngine for ProtocolLut {
         if let Some(e) = self.any {
             labels.insert(e);
         }
-        Ok(LookupResult { labels, mem_reads: 1, cycles: 1 })
+        Ok(LookupResult {
+            labels,
+            mem_reads: 1,
+            cycles: 1,
+        })
     }
 
     fn provisioned_bits(&self) -> u64 {
@@ -170,8 +182,10 @@ mod tests {
     fn exact_before_wildcard() {
         let mut s = store();
         let mut lut = ProtocolLut::new();
-        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Any), entry(0, 0)).unwrap();
-        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Exact(6)), entry(1, 9)).unwrap();
+        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Any), entry(0, 0))
+            .unwrap();
+        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Exact(6)), entry(1, 9))
+            .unwrap();
         let r = lut.lookup(&s, 6).unwrap();
         let ids: Vec<u16> = r.labels.iter().map(|e| e.label.0).collect();
         // Exact label first despite worse rule priority (§IV.C.1).
@@ -186,7 +200,8 @@ mod tests {
     fn single_cycle_single_access() {
         let mut s = store();
         let mut lut = ProtocolLut::new();
-        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Exact(17)), entry(1, 0)).unwrap();
+        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Exact(17)), entry(1, 0))
+            .unwrap();
         lut.reset_access_counts();
         let r = lut.lookup(&s, 17).unwrap();
         assert_eq!(r.cycles, 1);
@@ -197,16 +212,20 @@ mod tests {
     fn remove_semantics() {
         let mut s = store();
         let mut lut = ProtocolLut::new();
-        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Exact(6)), entry(1, 0)).unwrap();
-        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Any), entry(2, 0)).unwrap();
-        lut.remove(&mut s, DimValue::Proto(ProtoSpec::Exact(6)), Label(1)).unwrap();
+        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Exact(6)), entry(1, 0))
+            .unwrap();
+        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Any), entry(2, 0))
+            .unwrap();
+        lut.remove(&mut s, DimValue::Proto(ProtoSpec::Exact(6)), Label(1))
+            .unwrap();
         assert_eq!(lut.lookup(&s, 6).unwrap().labels.len(), 1);
         // Wrong label -> NotFound.
         assert!(matches!(
             lut.remove(&mut s, DimValue::Proto(ProtoSpec::Any), Label(9)),
             Err(EngineError::NotFound)
         ));
-        lut.remove(&mut s, DimValue::Proto(ProtoSpec::Any), Label(2)).unwrap();
+        lut.remove(&mut s, DimValue::Proto(ProtoSpec::Any), Label(2))
+            .unwrap();
         assert!(lut.lookup(&s, 6).unwrap().labels.is_empty());
     }
 
@@ -214,7 +233,8 @@ mod tests {
     fn out_of_range_query_sees_wildcard_only() {
         let mut s = store();
         let mut lut = ProtocolLut::new();
-        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Any), entry(2, 0)).unwrap();
+        lut.insert(&mut s, DimValue::Proto(ProtoSpec::Any), entry(2, 0))
+            .unwrap();
         let r = lut.lookup(&s, 0x1ff).unwrap();
         assert_eq!(r.labels.len(), 1);
     }
@@ -228,6 +248,9 @@ mod tests {
             DimValue::Port(spc_types::PortRange::ANY),
             entry(1, 0),
         );
-        assert!(matches!(e, Err(EngineError::ValueKind { expected: "Proto" })));
+        assert!(matches!(
+            e,
+            Err(EngineError::ValueKind { expected: "Proto" })
+        ));
     }
 }

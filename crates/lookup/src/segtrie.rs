@@ -38,7 +38,11 @@ impl SegTrieConfig {
         );
         assert_eq!(strides.len(), level_nodes.len(), "one capacity per level");
         assert_eq!(level_nodes[0], 1, "level 0 is the single root node");
-        SegTrieConfig { strides, level_nodes, list_ptr_bits: 7 }
+        SegTrieConfig {
+            strides,
+            level_nodes,
+            list_ptr_bits: 7,
+        }
     }
 
     /// The 4-level segment trie of Table I Option 1 (4-bit strides).
@@ -72,7 +76,9 @@ impl SegTrieConfig {
         if level + 1 >= self.level_nodes.len() {
             0
         } else {
-            (self.level_nodes[level + 1].max(2) as u64).next_power_of_two().trailing_zeros()
+            (self.level_nodes[level + 1].max(2) as u64)
+                .next_power_of_two()
+                .trailing_zeros()
         }
     }
 
@@ -114,6 +120,11 @@ pub struct SegmentTrie {
     levels: Vec<MemoryBlock<Slot>>,
 }
 
+/// Per-slot callback used by the canonical-range walk: receives the level
+/// memories, the level index and the slot address.
+type SlotOp<'a> =
+    dyn FnMut(&mut Vec<MemoryBlock<Slot>>, usize, usize) -> Result<(), EngineError> + 'a;
+
 impl SegmentTrie {
     /// Creates an empty trie (root pre-allocated).
     pub fn new(config: SegTrieConfig) -> Self {
@@ -131,9 +142,15 @@ impl SegmentTrie {
             })
             .collect();
         for _ in 0..(1usize << config.strides[0]) {
-            levels[0].alloc(Slot::default()).expect("root fits by construction");
+            levels[0]
+                .alloc(Slot::default())
+                .expect("root fits by construction");
         }
-        SegmentTrie { config, cum, levels }
+        SegmentTrie {
+            config,
+            cum,
+            levels,
+        }
     }
 
     /// Number of levels.
@@ -153,7 +170,9 @@ impl SegmentTrie {
     fn alloc_node(&mut self, level: usize) -> Result<u32, EngineError> {
         let slots = 1usize << self.config.strides[level];
         if self.levels[level].free_words() < slots {
-            return Err(EngineError::Capacity { what: format!("segtrie_l{level} nodes") });
+            return Err(EngineError::Capacity {
+                what: format!("segtrie_l{level} nodes"),
+            });
         }
         let base = self.levels[level].len();
         for _ in 0..slots {
@@ -176,11 +195,7 @@ impl SegmentTrie {
         node_base: u32,
         lo: u32,
         hi: u32,
-        op: &mut dyn FnMut(
-            &mut Vec<MemoryBlock<Slot>>,
-            usize, // level
-            usize, // addr
-        ) -> Result<(), EngineError>,
+        op: &mut SlotOp<'_>,
     ) -> Result<(), EngineError> {
         let cell = self.cell(level);
         let nslots = 1usize << self.config.strides[level];
@@ -194,7 +209,10 @@ impl SegmentTrie {
             if lo <= s_lo && s_hi <= hi {
                 op(&mut self.levels, level, addr)?;
             } else {
-                debug_assert!(level + 1 < self.num_levels(), "unit cells are always covered");
+                debug_assert!(
+                    level + 1 < self.num_levels(),
+                    "unit cells are always covered"
+                );
                 let mut slot = *self.levels[level].read(addr)?;
                 let child = match slot.child {
                     Some(c) => c,
@@ -205,14 +223,7 @@ impl SegmentTrie {
                         c
                     }
                 };
-                self.for_canonical_slots(
-                    level + 1,
-                    child,
-                    s_lo,
-                    lo.max(s_lo),
-                    hi.min(s_hi),
-                    op,
-                )?;
+                self.for_canonical_slots(level + 1, child, s_lo, lo.max(s_lo), hi.min(s_hi), op)?;
             }
         }
         Ok(())
@@ -246,7 +257,14 @@ impl SegmentTrie {
             store.insert(ptr, entry)?;
             Ok(())
         };
-        self.for_canonical_slots(0, 0, 0, u32::from(range.lo()), u32::from(range.hi()), &mut op)
+        self.for_canonical_slots(
+            0,
+            0,
+            0,
+            u32::from(range.lo()),
+            u32::from(range.hi()),
+            &mut op,
+        )
     }
 
     /// Removes a port range / label binding.
@@ -336,7 +354,11 @@ impl FieldEngine for SegmentTrie {
                 None => break,
             }
         }
-        Ok(LookupResult { labels, mem_reads: reads, cycles: self.latency_cycles() })
+        Ok(LookupResult {
+            labels,
+            mem_reads: reads,
+            cycles: self.latency_cycles(),
+        })
     }
 
     fn provisioned_bits(&self) -> u64 {
@@ -379,7 +401,8 @@ mod tests {
     fn exact_port() {
         let mut s = store();
         let mut t = SegmentTrie::new(SegTrieConfig::four_level(64));
-        t.insert_range(&mut s, PortRange::exact(80), entry(1, 0)).unwrap();
+        t.insert_range(&mut s, PortRange::exact(80), entry(1, 0))
+            .unwrap();
         assert!(t.lookup(&s, 80).unwrap().labels.contains(Label(1)));
         assert!(t.lookup(&s, 81).unwrap().labels.is_empty());
         assert!(t.lookup(&s, 79).unwrap().labels.is_empty());
@@ -389,7 +412,8 @@ mod tests {
     fn unaligned_range_boundaries() {
         let mut s = store();
         let mut t = SegmentTrie::new(SegTrieConfig::four_level(128));
-        t.insert_range(&mut s, PortRange::new(100, 9999).unwrap(), entry(2, 0)).unwrap();
+        t.insert_range(&mut s, PortRange::new(100, 9999).unwrap(), entry(2, 0))
+            .unwrap();
         for q in [100u16, 101, 5000, 9998, 9999] {
             assert!(t.lookup(&s, q).unwrap().labels.contains(Label(2)), "q={q}");
         }
@@ -412,9 +436,12 @@ mod tests {
     fn overlapping_ranges_both_found() {
         let mut s = store();
         let mut t = SegmentTrie::new(SegTrieConfig::four_level(128));
-        t.insert_range(&mut s, PortRange::new(0, 65535).unwrap(), entry(1, 30)).unwrap();
-        t.insert_range(&mut s, PortRange::new(7810, 7820).unwrap(), entry(2, 20)).unwrap();
-        t.insert_range(&mut s, PortRange::exact(7812), entry(3, 10)).unwrap();
+        t.insert_range(&mut s, PortRange::new(0, 65535).unwrap(), entry(1, 30))
+            .unwrap();
+        t.insert_range(&mut s, PortRange::new(7810, 7820).unwrap(), entry(2, 20))
+            .unwrap();
+        t.insert_range(&mut s, PortRange::exact(7812), entry(3, 10))
+            .unwrap();
         let r = t.lookup(&s, 7812).unwrap();
         let ids: Vec<u16> = r.labels.iter().map(|e| e.label.0).collect();
         assert_eq!(ids, vec![3, 2, 1]);
@@ -432,7 +459,10 @@ mod tests {
         for q in [5u16, 150, 300] {
             assert!(t.lookup(&s, q).unwrap().labels.is_empty());
         }
-        assert!(matches!(t.remove_range(&mut s, r, Label(1)), Err(EngineError::NotFound)));
+        assert!(matches!(
+            t.remove_range(&mut s, r, Label(1)),
+            Err(EngineError::NotFound)
+        ));
     }
 
     #[test]
@@ -441,7 +471,8 @@ mod tests {
         let mut t = SegmentTrie::new(SegTrieConfig::five_level(128));
         assert_eq!(t.num_levels(), 5);
         assert_eq!(t.latency_cycles(), 10);
-        t.insert_range(&mut s, PortRange::new(1000, 2000).unwrap(), entry(1, 0)).unwrap();
+        t.insert_range(&mut s, PortRange::new(1000, 2000).unwrap(), entry(1, 0))
+            .unwrap();
         assert!(t.lookup(&s, 1500).unwrap().labels.contains(Label(1)));
     }
 
@@ -450,7 +481,8 @@ mod tests {
         let mut s = store();
         let mut t = SegmentTrie::new(SegTrieConfig::new(vec![4, 4, 4, 4], vec![1, 1, 1, 1]));
         // Two ranges needing different level-1 nodes can't fit.
-        t.insert_range(&mut s, PortRange::new(0, 5).unwrap(), entry(1, 0)).unwrap();
+        t.insert_range(&mut s, PortRange::new(0, 5).unwrap(), entry(1, 0))
+            .unwrap();
         let e = t.insert_range(&mut s, PortRange::new(30000, 30005).unwrap(), entry(2, 0));
         assert!(matches!(e, Err(EngineError::Capacity { .. })));
     }
@@ -465,6 +497,9 @@ mod tests {
             DimValue::Proto(spc_types::ProtoSpec::Any),
             entry(1, 0),
         );
-        assert!(matches!(e, Err(EngineError::ValueKind { expected: "Port" })));
+        assert!(matches!(
+            e,
+            Err(EngineError::ValueKind { expected: "Port" })
+        ));
     }
 }

@@ -14,12 +14,11 @@
 //! is charged as `new length` writes.
 
 use crate::label::{Label, LabelEntry, LabelList};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pointer to a label list inside a [`LabelStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ListPtr(pub u32);
 
 impl fmt::Display for ListPtr {
@@ -122,13 +121,19 @@ impl LabelStore {
         let name = self.name.clone();
         self.lists
             .get_mut(ptr.0 as usize)
-            .ok_or(StoreError::BadPtr { store: name, ptr: ptr.0 })
+            .ok_or(StoreError::BadPtr {
+                store: name,
+                ptr: ptr.0,
+            })
     }
 
     fn list(&self, ptr: ListPtr) -> Result<&LabelList, StoreError> {
         self.lists
             .get(ptr.0 as usize)
-            .ok_or_else(|| StoreError::BadPtr { store: self.name.clone(), ptr: ptr.0 })
+            .ok_or_else(|| StoreError::BadPtr {
+                store: self.name.clone(),
+                ptr: ptr.0,
+            })
     }
 
     /// Inserts (or repositions) an entry in the list at `ptr`, charging a
@@ -143,7 +148,10 @@ impl LabelStore {
         let list = self.list_mut(ptr)?;
         let grows = !list.contains(entry.label);
         if grows && used >= cap {
-            return Err(StoreError::Full { store: self.name.clone(), capacity: cap });
+            return Err(StoreError::Full {
+                store: self.name.clone(),
+                capacity: cap,
+            });
         }
         list.insert(entry);
         let n = list.len() as u64;
@@ -189,7 +197,8 @@ impl LabelStore {
     /// [`StoreError::BadPtr`] on a dangling pointer.
     pub fn read_all(&self, ptr: ListPtr) -> Result<LabelList, StoreError> {
         let list = self.list(ptr)?.clone();
-        self.reads.fetch_add((list.len() as u64).max(1), Ordering::Relaxed);
+        self.reads
+            .fetch_add((list.len() as u64).max(1), Ordering::Relaxed);
         Ok(list)
     }
 
@@ -261,7 +270,10 @@ mod tests {
         let mut s = LabelStore::new("tiny", 1, 7);
         let p = s.alloc_list().unwrap();
         s.insert(p, entry(1, 1)).unwrap();
-        assert!(matches!(s.insert(p, entry(2, 2)), Err(StoreError::Full { .. })));
+        assert!(matches!(
+            s.insert(p, entry(2, 2)),
+            Err(StoreError::Full { .. })
+        ));
         // Re-inserting the same label (priority change) is not growth.
         s.insert(p, entry(1, 0)).unwrap();
     }
@@ -304,7 +316,10 @@ mod tests {
     #[test]
     fn bad_ptr_reported() {
         let s = LabelStore::new("x", 10, 7);
-        assert!(matches!(s.read_head(ListPtr(3)), Err(StoreError::BadPtr { ptr: 3, .. })));
+        assert!(matches!(
+            s.read_head(ListPtr(3)),
+            Err(StoreError::BadPtr { ptr: 3, .. })
+        ));
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Property tests: every single-field engine must agree with a naive
-//! reference on arbitrary workloads — the matching-label set of a query is
-//! exactly the set of inserted values containing it.
+//! reference on randomized workloads — the matching-label set of a query
+//! is exactly the set of inserted values containing it.
+//!
+//! The generators are seeded (`StdRng::seed_from_u64`) so every run
+//! exercises the same cases; failures print the case number and query.
 
-use proptest::prelude::*;
+use rand::prelude::*;
 use spc_lookup::{
     FieldEngine, Label, LabelEntry, LabelStore, MbtConfig, MultiBitTrie, PortRegisters,
     ProtocolLut, RangeBst, SegTrieConfig, SegmentTrie,
@@ -10,19 +13,43 @@ use spc_lookup::{
 use spc_types::{DimValue, PortRange, Priority, ProtoSpec, SegPrefix};
 use std::collections::BTreeSet;
 
-fn arb_seg() -> impl Strategy<Value = SegPrefix> {
-    (any::<u16>(), 0u8..=16).prop_map(|(v, l)| SegPrefix::masked(v, l))
+const CASES: u64 = 64;
+
+fn rand_seg(rng: &mut StdRng) -> SegPrefix {
+    SegPrefix::masked(rng.gen(), rng.gen_range(0u8..=16))
 }
 
-fn arb_ranges() -> impl Strategy<Value = Vec<PortRange>> {
-    prop::collection::vec(
-        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| PortRange::new(a.min(b), a.max(b)).unwrap()),
-        1..12,
-    )
+fn rand_segs(rng: &mut StdRng, max: usize) -> Vec<SegPrefix> {
+    let n = rng.gen_range(1..max);
+    let mut dedup: Vec<SegPrefix> = Vec::new();
+    for _ in 0..n {
+        let s = rand_seg(rng);
+        if !dedup.contains(&s) {
+            dedup.push(s);
+        }
+    }
+    dedup
+}
+
+fn rand_ranges(rng: &mut StdRng, max: usize) -> Vec<PortRange> {
+    let n = rng.gen_range(1..max);
+    let mut dedup: Vec<PortRange> = Vec::new();
+    for _ in 0..n {
+        let (a, b) = (rng.gen::<u16>(), rng.gen::<u16>());
+        let r = PortRange::new(a.min(b), a.max(b)).unwrap();
+        if !dedup.contains(&r) {
+            dedup.push(r);
+        }
+    }
+    dedup
 }
 
 /// Reference: which of the (deduplicated) values match the query.
-fn expected_labels<T: Copy>(values: &[T], q: u16, matches: impl Fn(T, u16) -> bool) -> BTreeSet<u16> {
+fn expected_labels<T: Copy>(
+    values: &[T],
+    q: u16,
+    matches: impl Fn(T, u16) -> bool,
+) -> BTreeSet<u16> {
     values
         .iter()
         .enumerate()
@@ -35,43 +62,40 @@ fn got_labels(list: &spc_lookup::LabelList) -> BTreeSet<u16> {
     list.iter().map(|e| e.label.0).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mbt_matches_reference(segs in prop::collection::vec(arb_seg(), 1..12), qs in prop::collection::vec(any::<u16>(), 8)) {
-        let mut dedup: Vec<SegPrefix> = Vec::new();
-        for s in segs {
-            if !dedup.contains(&s) {
-                dedup.push(s);
-            }
-        }
+#[test]
+fn mbt_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1000 + case);
+        let dedup = rand_segs(&mut rng, 12);
         let mut store = LabelStore::new("t", 1 << 14, 13);
         let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(2048));
         for (i, s) in dedup.iter().enumerate() {
-            mbt.insert(&mut store, DimValue::Seg(*s), LabelEntry::by_priority(Label(i as u16), Priority(i as u32))).unwrap();
+            mbt.insert(
+                &mut store,
+                DimValue::Seg(*s),
+                LabelEntry::by_priority(Label(i as u16), Priority(i as u32)),
+            )
+            .unwrap();
         }
-        let mut queries = qs;
+        let mut queries: Vec<u16> = (0..8).map(|_| rng.gen()).collect();
         queries.extend(dedup.iter().map(|s| s.first()));
         for q in queries {
             let r = mbt.lookup(&store, q).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 got_labels(&r.labels),
                 expected_labels(&dedup, q, |s: SegPrefix, q| s.matches(q)),
-                "q={:#x}", q
+                "case {case} q={q:#x}"
             );
-            prop_assert_eq!(r.cycles, 6);
+            assert_eq!(r.cycles, 6, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bst_matches_mbt(segs in prop::collection::vec(arb_seg(), 1..12), qs in prop::collection::vec(any::<u16>(), 8)) {
-        let mut dedup: Vec<SegPrefix> = Vec::new();
-        for s in segs {
-            if !dedup.contains(&s) {
-                dedup.push(s);
-            }
-        }
+#[test]
+fn bst_matches_mbt() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2000 + case);
+        let dedup = rand_segs(&mut rng, 12);
         let mut s1 = LabelStore::new("a", 1 << 14, 13);
         let mut s2 = LabelStore::new("b", 1 << 14, 13);
         let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(2048));
@@ -82,23 +106,30 @@ proptest! {
             bst.insert(&mut s2, DimValue::Seg(*s), e).unwrap();
         }
         bst.flush(&mut s2).unwrap();
-        for q in qs {
+        for _ in 0..8 {
+            let q: u16 = rng.gen();
             let a = mbt.lookup(&s1, q).unwrap();
             let b = bst.lookup(&s2, q).unwrap();
             // Same label sets AND same head (both priority-ordered).
-            prop_assert_eq!(got_labels(&a.labels), got_labels(&b.labels), "q={:#x}", q);
-            prop_assert_eq!(a.labels.head().map(|e| e.label), b.labels.head().map(|e| e.label));
+            assert_eq!(
+                got_labels(&a.labels),
+                got_labels(&b.labels),
+                "case {case} q={q:#x}"
+            );
+            assert_eq!(
+                a.labels.head().map(|e| e.label),
+                b.labels.head().map(|e| e.label),
+                "case {case} q={q:#x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn segment_trie_matches_registers(ranges in arb_ranges(), qs in prop::collection::vec(any::<u16>(), 8)) {
-        let mut dedup: Vec<PortRange> = Vec::new();
-        for r in ranges {
-            if !dedup.contains(&r) {
-                dedup.push(r);
-            }
-        }
+#[test]
+fn segment_trie_matches_registers() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3000 + case);
+        let dedup = rand_ranges(&mut rng, 12);
         let mut s1 = LabelStore::new("a", 1 << 14, 13);
         let mut s2 = LabelStore::new("b", 16, 7);
         let mut st = SegmentTrie::new(SegTrieConfig::four_level(4096));
@@ -108,27 +139,42 @@ proptest! {
             st.insert(&mut s1, DimValue::Port(*r), e).unwrap();
             regs.insert(&mut s2, DimValue::Port(*r), e).unwrap();
         }
-        let mut queries = qs;
+        let mut queries: Vec<u16> = (0..8).map(|_| rng.gen()).collect();
         queries.extend(dedup.iter().flat_map(|r| [r.lo(), r.hi()]));
         for q in queries {
             let a = st.lookup(&s1, q).unwrap();
             let b = regs.lookup(&s2, q).unwrap();
-            prop_assert_eq!(got_labels(&a.labels), got_labels(&b.labels), "q={}", q);
-            prop_assert_eq!(
+            assert_eq!(
                 got_labels(&a.labels),
-                expected_labels(&dedup, q, |r: PortRange, q| r.contains(q))
+                got_labels(&b.labels),
+                "case {case} q={q}"
+            );
+            assert_eq!(
+                got_labels(&a.labels),
+                expected_labels(&dedup, q, |r: PortRange, q| r.contains(q)),
+                "case {case} q={q}"
             );
         }
     }
+}
 
-    #[test]
-    fn protocol_lut_matches_reference(protos in prop::collection::vec(prop_oneof![(0u8..=40).prop_map(Some), Just(None)], 1..6), q in 0u8..=45) {
+#[test]
+fn protocol_lut_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4000 + case);
+        let n = rng.gen_range(1..6);
         let mut dedup: Vec<Option<u8>> = Vec::new();
-        for p in protos {
+        for _ in 0..n {
+            let p = if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(rng.gen_range(0u8..=40))
+            };
             if !dedup.contains(&p) {
                 dedup.push(p);
             }
         }
+        let q: u8 = rng.gen_range(0..=45);
         let mut store = LabelStore::new("p", 8, 2);
         let mut lut = ProtocolLut::new();
         for (i, p) in dedup.iter().enumerate() {
@@ -136,35 +182,45 @@ proptest! {
                 Some(v) => ProtoSpec::Exact(*v),
                 None => ProtoSpec::Any,
             };
-            lut.insert(&mut store, DimValue::Proto(spec), LabelEntry::by_priority(Label(i as u16), Priority(i as u32))).unwrap();
+            lut.insert(
+                &mut store,
+                DimValue::Proto(spec),
+                LabelEntry::by_priority(Label(i as u16), Priority(i as u32)),
+            )
+            .unwrap();
         }
         let r = lut.lookup(&store, u16::from(q)).unwrap();
         let want = expected_labels(&dedup, u16::from(q), |p: Option<u8>, q| match p {
             Some(v) => u16::from(v) == q,
             None => true,
         });
-        prop_assert_eq!(got_labels(&r.labels), want);
+        assert_eq!(got_labels(&r.labels), want, "case {case} q={q}");
     }
+}
 
-    #[test]
-    fn mbt_remove_is_inverse_of_insert(segs in prop::collection::vec(arb_seg(), 1..10), q in any::<u16>()) {
-        let mut dedup: Vec<SegPrefix> = Vec::new();
-        for s in segs {
-            if !dedup.contains(&s) {
-                dedup.push(s);
-            }
-        }
+#[test]
+fn mbt_remove_is_inverse_of_insert() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5000 + case);
+        let dedup = rand_segs(&mut rng, 10);
+        let q: u16 = rng.gen();
         let mut store = LabelStore::new("t", 1 << 14, 13);
         let mut mbt = MultiBitTrie::new(MbtConfig::segment_paper(2048));
         for (i, s) in dedup.iter().enumerate() {
-            mbt.insert(&mut store, DimValue::Seg(*s), LabelEntry::by_priority(Label(i as u16), Priority(i as u32))).unwrap();
+            mbt.insert(
+                &mut store,
+                DimValue::Seg(*s),
+                LabelEntry::by_priority(Label(i as u16), Priority(i as u32)),
+            )
+            .unwrap();
         }
         // Remove all but the first value; only its label may remain.
         for (i, s) in dedup.iter().enumerate().skip(1) {
-            mbt.remove(&mut store, DimValue::Seg(*s), Label(i as u16)).unwrap();
+            mbt.remove(&mut store, DimValue::Seg(*s), Label(i as u16))
+                .unwrap();
         }
         let r = mbt.lookup(&store, q).unwrap();
         let want = expected_labels(&dedup[..1], q, |s: SegPrefix, q| s.matches(q));
-        prop_assert_eq!(got_labels(&r.labels), want);
+        assert_eq!(got_labels(&r.labels), want, "case {case} q={q:#x}");
     }
 }

@@ -1,14 +1,11 @@
 //! OpenFlow-style flow actions attached to classification rules.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The action executed for packets whose highest-priority matching rule is
 /// this rule (paper §I: forwarding, modification, redirection to a group
 /// table, etc.).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Action {
     /// Drop the packet. This is the default action for security filter sets.
     #[default]

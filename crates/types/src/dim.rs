@@ -6,13 +6,10 @@
 //! `SipHi, SipLo, DipHi, DipLo, SrcPort, DstPort, Proto`.
 
 use crate::{Header, PortRange, ProtoSpec, SegPrefix};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One of the seven lookup dimensions.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dim {
     /// High 16 bits of the source IP.
     SipHi,
@@ -101,7 +98,7 @@ impl fmt::Display for Dim {
 ///
 /// This is the unit the label method tags: two rules whose projections onto
 /// a dimension are equal share that dimension's label (paper §III.C).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DimValue {
     /// A 16-bit segment prefix (IP dimensions).
     Seg(SegPrefix),

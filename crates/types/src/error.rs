@@ -71,8 +71,14 @@ mod tests {
             TypeError::InvalidPrefixLen { len: 40, max: 32 },
             TypeError::UnmaskedBits { value: 1, len: 0 },
             TypeError::EmptyRange { lo: 5, hi: 1 },
-            TypeError::Parse { line: 3, msg: "bad token".into() },
-            TypeError::Parse { line: 0, msg: "bad token".into() },
+            TypeError::Parse {
+                line: 3,
+                msg: "bad token".into(),
+            },
+            TypeError::Parse {
+                line: 0,
+                msg: "bad token".into(),
+            },
         ];
         for e in errs {
             let s = e.to_string();

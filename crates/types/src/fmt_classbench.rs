@@ -45,8 +45,13 @@ pub fn parse_ruleset(text: &str) -> Result<RuleSet, TypeError> {
 }
 
 fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, TypeError> {
-    let err = |msg: &str| TypeError::Parse { line: line_no, msg: msg.to_string() };
-    let body = line.strip_prefix('@').ok_or_else(|| err("rule line must start with '@'"))?;
+    let err = |msg: &str| TypeError::Parse {
+        line: line_no,
+        msg: msg.to_string(),
+    };
+    let body = line
+        .strip_prefix('@')
+        .ok_or_else(|| err("rule line must start with '@'"))?;
     let tokens: Vec<&str> = body.split_whitespace().collect();
     // sip dip lo : hi lo : hi proto/mask  => 2 + 3 + 3 + 1 = 9 tokens
     if tokens.len() != 9 {
@@ -73,7 +78,10 @@ fn parse_rule_line(line: &str, line_no: usize) -> Result<Rule, TypeError> {
 }
 
 fn parse_range(lo: &str, colon: &str, hi: &str, line_no: usize) -> Result<PortRange, TypeError> {
-    let err = |msg: &str| TypeError::Parse { line: line_no, msg: msg.to_string() };
+    let err = |msg: &str| TypeError::Parse {
+        line: line_no,
+        msg: msg.to_string(),
+    };
     if colon != ":" {
         return Err(err("expected ':' between range bounds"));
     }
@@ -83,11 +91,19 @@ fn parse_range(lo: &str, colon: &str, hi: &str, line_no: usize) -> Result<PortRa
 }
 
 fn parse_proto(tok: &str, line_no: usize) -> Result<ProtoSpec, TypeError> {
-    let err = |msg: &str| TypeError::Parse { line: line_no, msg: msg.to_string() };
-    let (val, mask) = tok.split_once('/').ok_or_else(|| err("protocol must be value/mask"))?;
+    let err = |msg: &str| TypeError::Parse {
+        line: line_no,
+        msg: msg.to_string(),
+    };
+    let (val, mask) = tok
+        .split_once('/')
+        .ok_or_else(|| err("protocol must be value/mask"))?;
     let parse_hex = |s: &str| -> Result<u8, TypeError> {
         let s = s.trim();
-        let digits = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let digits = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         u8::from_str_radix(digits, 16).map_err(|_| err("invalid protocol byte"))
     };
     let v = parse_hex(val)?;
@@ -175,8 +191,8 @@ mod tests {
             "@10.0.0.0/8 0.0.0.0/0 0 ; 65535 80 : 80 0x06/0xFF", // bad colon
             "@10.0.0.0/8 0.0.0.0/0 99999 : 65535 80 : 80 0x06/0xFF", // bad port
             "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0x0F", // bad mask
-            "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06",      // no mask
-            "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80",           // short
+            "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06",     // no mask
+            "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80",          // short
         ] {
             assert!(parse_ruleset(bad).is_err(), "{bad} should fail");
         }
@@ -185,6 +201,9 @@ mod tests {
     #[test]
     fn range_error_from_port_bounds() {
         let bad = "@0.0.0.0/0 0.0.0.0/0 10 : 5 0 : 65535 0x00/0x00";
-        assert!(matches!(parse_ruleset(bad), Err(TypeError::EmptyRange { lo: 10, hi: 5 })));
+        assert!(matches!(
+            parse_ruleset(bad),
+            Err(TypeError::EmptyRange { lo: 10, hi: 5 })
+        ));
     }
 }

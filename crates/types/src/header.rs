@@ -1,7 +1,6 @@
 //! Packet headers (the classification 5-tuple).
 
 use crate::Ipv4;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The layer 3–4 header fields used for classification (paper §I): source
@@ -14,9 +13,7 @@ use std::fmt;
 /// assert_eq!(h.dst_port, 80);
 /// assert_eq!(h.sip_hi(), 0x0a00);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Header {
     /// Source IPv4 address.
     pub src_ip: Ipv4,
@@ -33,7 +30,13 @@ pub struct Header {
 impl Header {
     /// Creates a header from the five tuple fields.
     pub fn new(src_ip: Ipv4, dst_ip: Ipv4, src_port: u16, dst_port: u16, proto: u8) -> Self {
-        Header { src_ip, dst_ip, src_port, dst_port, proto }
+        Header {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        }
     }
 
     /// High 16 bits of the source address (segment dimension `SipHi`).

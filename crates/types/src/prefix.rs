@@ -2,7 +2,6 @@
 //! by the segmented label architecture.
 
 use crate::TypeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An IPv4 address stored as a host-order `u32`.
@@ -16,10 +15,7 @@ use std::fmt;
 /// assert_eq!(a.octets(), [10, 0, 0, 1]);
 /// assert_eq!(a.to_string(), "10.0.0.1");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Ipv4(pub u32);
 
 impl Ipv4 {
@@ -73,7 +69,7 @@ impl fmt::Display for Ipv4 {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Prefix {
     value: u32,
     len: u8,
@@ -107,12 +103,18 @@ impl Prefix {
     /// Panics if `len > 32`.
     pub fn masked(value: u32, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} exceeds 32");
-        Prefix { value: mask32(value, len), len }
+        Prefix {
+            value: mask32(value, len),
+            len,
+        }
     }
 
     /// A host prefix (`/32`) for a single address.
     pub fn host(addr: Ipv4) -> Self {
-        Prefix { value: addr.0, len: 32 }
+        Prefix {
+            value: addr.0,
+            len: 32,
+        }
     }
 
     /// Parses dotted-quad `a.b.c.d/len` syntax.
@@ -122,9 +124,17 @@ impl Prefix {
     /// Returns [`TypeError::Parse`] on malformed input, or the validation
     /// errors of [`Prefix::new`].
     pub fn parse(s: &str) -> Result<Self, TypeError> {
-        let bad = |msg: &str| TypeError::Parse { line: 0, msg: msg.to_string() };
-        let (addr, len) = s.split_once('/').ok_or_else(|| bad("missing '/' in prefix"))?;
-        let len: u8 = len.trim().parse().map_err(|_| bad("invalid prefix length"))?;
+        let bad = |msg: &str| TypeError::Parse {
+            line: 0,
+            msg: msg.to_string(),
+        };
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| bad("missing '/' in prefix"))?;
+        let len: u8 = len
+            .trim()
+            .parse()
+            .map_err(|_| bad("invalid prefix length"))?;
         let mut octets = [0u8; 4];
         let mut it = addr.trim().split('.');
         for o in &mut octets {
@@ -146,6 +156,8 @@ impl Prefix {
     }
 
     /// The prefix length.
+    // A prefix length is a mask width, not a container size.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }
@@ -193,7 +205,10 @@ impl Prefix {
     /// ```
     pub fn segments(self) -> (SegPrefix, SegPrefix) {
         if self.len <= 16 {
-            (SegPrefix::masked((self.value >> 16) as u16, self.len), SegPrefix::ANY)
+            (
+                SegPrefix::masked((self.value >> 16) as u16, self.len),
+                SegPrefix::ANY,
+            )
         } else {
             (
                 SegPrefix::masked((self.value >> 16) as u16, 16),
@@ -220,7 +235,7 @@ impl Default for Prefix {
 /// Segments are the unit the label method operates on — the packet header is
 /// split into equal 16-bit pieces so any single-field algorithm can be
 /// plugged into a dimension (paper §III.D condition).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SegPrefix {
     value: u16,
     len: u8,
@@ -242,7 +257,10 @@ impl SegPrefix {
         }
         let masked = mask16(value, len);
         if masked != value {
-            return Err(TypeError::UnmaskedBits { value: value as u32, len });
+            return Err(TypeError::UnmaskedBits {
+                value: value as u32,
+                len,
+            });
         }
         Ok(SegPrefix { value, len })
     }
@@ -254,7 +272,10 @@ impl SegPrefix {
     /// Panics if `len > 16`.
     pub fn masked(value: u16, len: u8) -> Self {
         assert!(len <= 16, "segment prefix length {len} exceeds 16");
-        SegPrefix { value: mask16(value, len), len }
+        SegPrefix {
+            value: mask16(value, len),
+            len,
+        }
     }
 
     /// An exact (`/16`) segment value.
@@ -268,6 +289,8 @@ impl SegPrefix {
     }
 
     /// The prefix length.
+    // A prefix length is a mask width, not a container size.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }
@@ -397,7 +420,14 @@ mod tests {
 
     #[test]
     fn prefix_parse_rejects_garbage() {
-        for s in ["10.0.0.0", "10.0.0/8", "10.0.0.0.0/8", "a.b.c.d/8", "10.0.0.0/x", "10.0.0.0/40"] {
+        for s in [
+            "10.0.0.0",
+            "10.0.0/8",
+            "10.0.0.0.0/8",
+            "a.b.c.d/8",
+            "10.0.0.0/x",
+            "10.0.0.0/40",
+        ] {
             assert!(Prefix::parse(s).is_err(), "{s} should fail");
         }
     }

@@ -1,6 +1,5 @@
 //! Protocol field specification (exact value or wildcard).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A rule's protocol field: either any protocol or one exact 8-bit value.
@@ -16,9 +15,7 @@ use std::fmt;
 /// assert!(ProtoSpec::Exact(6).matches(6));
 /// assert!(!ProtoSpec::Exact(6).matches(17));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum ProtoSpec {
     /// Matches every protocol value.
     #[default]

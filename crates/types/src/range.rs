@@ -1,7 +1,6 @@
 //! Inclusive port ranges with exact/range match classification.
 
 use crate::TypeError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An inclusive range of 16-bit port values `[lo, hi]`.
@@ -22,7 +21,7 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortRange {
     lo: u16,
     hi: u16,
@@ -30,7 +29,10 @@ pub struct PortRange {
 
 impl PortRange {
     /// The full range `[0, 65535]` (wildcard).
-    pub const ANY: PortRange = PortRange { lo: 0, hi: u16::MAX };
+    pub const ANY: PortRange = PortRange {
+        lo: 0,
+        hi: u16::MAX,
+    };
 
     /// Creates a range.
     ///

@@ -1,7 +1,6 @@
 //! Classification rules: 5-tuple filters with priority and action.
 
 use crate::{Action, Dim, DimValue, Header, PortRange, Prefix, ProtoSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Rule priority. **Smaller numeric value = higher priority**, matching the
@@ -12,10 +11,7 @@ use std::fmt;
 /// use spc_types::Priority;
 /// assert!(Priority(0).beats(Priority(1)));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Priority(pub u32);
 
 impl Priority {
@@ -32,10 +28,7 @@ impl fmt::Display for Priority {
 }
 
 /// Identifier of a rule inside a [`crate::RuleSet`] (its index).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RuleId(pub u32);
 
 impl fmt::Display for RuleId {
@@ -61,7 +54,7 @@ impl fmt::Display for RuleId {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rule {
     /// Rule priority (smaller = higher).
     pub priority: Priority,
@@ -83,7 +76,9 @@ impl Rule {
     /// Starts building a rule with the given priority; all fields default to
     /// wildcards and the action to [`Action::Drop`].
     pub fn builder(priority: Priority) -> RuleBuilder {
-        RuleBuilder { rule: Rule::any(priority) }
+        RuleBuilder {
+            rule: Rule::any(priority),
+        }
     }
 
     /// The match-everything rule at the given priority.
@@ -259,7 +254,9 @@ mod tests {
         }
         let miss = Header::new([10, 1, 1, 1].into(), [192, 168, 1, 9].into(), 2000, 81, 6);
         assert!(!r.matches(&miss));
-        assert!(ALL_DIMS.iter().any(|d| !r.dim_value(*d).matches(d.query(&miss))));
+        assert!(ALL_DIMS
+            .iter()
+            .any(|d| !r.dim_value(*d).matches(d.query(&miss))));
     }
 
     #[test]

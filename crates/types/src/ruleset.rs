@@ -1,7 +1,6 @@
 //! Ordered rule sets (filters).
 
 use crate::{Dim, DimValue, Header, Priority, Rule, RuleId, ALL_DIMS};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// An ordered collection of rules — a *filter* in ClassBench terminology.
@@ -16,7 +15,7 @@ use std::collections::HashSet;
 /// assert_eq!(rs.len(), 1);
 /// assert!(rs.classify(&Header::default()).is_some());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuleSet {
     rules: Vec<Rule>,
 }
@@ -69,7 +68,10 @@ impl RuleSet {
 
     /// Iterates `(RuleId, &Rule)`.
     pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
-        self.rules.iter().enumerate().map(|(i, r)| (RuleId(i as u32), r))
+        self.rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RuleId(i as u32), r))
     }
 
     /// Reference linear-search classification: the Highest Priority Matching
@@ -98,17 +100,42 @@ impl RuleSet {
     /// unique counts per 5-tuple field, before segmentation).
     pub fn unique_field_counts(&self) -> FieldUniques {
         FieldUniques {
-            src_ip: self.rules.iter().map(|r| r.src_ip).collect::<HashSet<_>>().len(),
-            dst_ip: self.rules.iter().map(|r| r.dst_ip).collect::<HashSet<_>>().len(),
-            src_port: self.rules.iter().map(|r| r.src_port).collect::<HashSet<_>>().len(),
-            dst_port: self.rules.iter().map(|r| r.dst_port).collect::<HashSet<_>>().len(),
-            proto: self.rules.iter().map(|r| r.proto).collect::<HashSet<_>>().len(),
+            src_ip: self
+                .rules
+                .iter()
+                .map(|r| r.src_ip)
+                .collect::<HashSet<_>>()
+                .len(),
+            dst_ip: self
+                .rules
+                .iter()
+                .map(|r| r.dst_ip)
+                .collect::<HashSet<_>>()
+                .len(),
+            src_port: self
+                .rules
+                .iter()
+                .map(|r| r.src_port)
+                .collect::<HashSet<_>>()
+                .len(),
+            dst_port: self
+                .rules
+                .iter()
+                .map(|r| r.dst_port)
+                .collect::<HashSet<_>>()
+                .len(),
+            proto: self
+                .rules
+                .iter()
+                .map(|r| r.proto)
+                .collect::<HashSet<_>>()
+                .len(),
         }
     }
 }
 
 /// Unique value counts per 5-tuple field (paper Table II rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FieldUniques {
     /// Unique source IP prefixes.
     pub src_ip: usize,
@@ -124,7 +151,9 @@ pub struct FieldUniques {
 
 impl FromIterator<Rule> for RuleSet {
     fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
-        RuleSet { rules: iter.into_iter().collect() }
+        RuleSet {
+            rules: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -1,16 +1,17 @@
 //! Algorithm selection by application class (paper §III.A): the SDN
-//! controller picks the lookup algorithm per the application's critical
-//! parameter — speed for a multi-end videoconference, rule capacity for a
-//! dense IoT policy — using the same hardware.
+//! controller picks the backend per the application's critical parameter
+//! — lookup speed for a multi-end videoconference, rule density for an
+//! IoT policy, exactness for an audit tap — and the unified engine API
+//! makes the sweep a loop over config strings.
 //!
 //! Run with `cargo run --release --example algorithm_selection`.
 
 use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
-use spc::core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
+use spc::engine::build_engine;
 
 struct AppProfile {
     name: &'static str,
-    alg: IpAlg,
+    spec: &'static str,
     rules: usize,
     why: &'static str,
 }
@@ -19,48 +20,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let apps = [
         AppProfile {
             name: "multi-end videoconferencing",
-            alg: IpAlg::Mbt,
+            spec: "configurable-mbt:rf_bits=14,combine=first",
             rules: 1500,
             why: "real-time: lookup speed is the critical parameter [11]",
         },
         AppProfile {
             name: "IoT micro-segmentation",
-            alg: IpAlg::Bst,
+            spec: "configurable-bst:rf_bits=14,combine=first",
             rules: 6000,
             why: "large granular rule filter: density matters, latency doesn't",
         },
+        AppProfile {
+            name: "compliance audit tap",
+            spec: "rfc",
+            rules: 1500,
+            why: "offline exactness at any memory cost",
+        },
     ];
     for app in apps {
-        let rules = RuleSetGenerator::new(FilterKind::Acl, app.rules).seed(31).generate();
-        let mut cfg = ArchConfig::large()
-            .with_ip_alg(app.alg)
-            .with_combine(CombineStrategy::FirstLabel);
-        cfg.rule_filter_addr_bits = 14;
-        let mut cls = Classifier::new(cfg);
-        cls.load(&rules)?;
+        let rules = RuleSetGenerator::new(FilterKind::Acl, app.rules)
+            .seed(31)
+            .generate();
+        let mut engine = build_engine(app.spec, &rules)?;
         let trace = TraceGenerator::new().seed(8).generate(&rules, 5_000);
-        let mut ii = 0f64;
-        for h in &trace {
-            ii += f64::from(cls.classify(h).timing.initiation_interval);
-        }
-        ii /= trace.len() as f64;
-        let clock = cls.config().clock;
-        let rep = cls.memory_report();
+        let mut verdicts = Vec::new();
+        let stats = engine.classify_batch(&trace, &mut verdicts);
         println!("== {} ==", app.name);
-        println!("   controller choice: {}  ({})", app.alg, app.why);
-        println!("   rules installed:   {}", cls.len());
+        println!("   controller choice: {}  ({})", engine.name(), app.why);
+        println!("   spec string:       {}", app.spec);
+        println!("   rules installed:   {}", engine.rules());
         println!(
-            "   throughput:        {:.2} Gbps @40 B ({:.1} M lookups/s)",
-            clock.throughput_gbps(ii, 40),
-            clock.lookups_per_sec(ii) / 1e6
+            "   lookup cost:       {:.2} memory reads/packet over {} packets",
+            stats.avg_mem_reads(),
+            stats.packets
         );
         println!(
-            "   IP engine memory:  {:.0} Kbits used\n",
-            rep.provisioned_where(|n| n.ends_with("/engine")
-                && (n.starts_with("sip") || n.starts_with("dip"))) as f64
-                / 1000.0
+            "   structure memory:  {:.0} Kbits ({})\n",
+            engine.memory_bits() as f64 / 1000.0,
+            if engine.supports_updates() {
+                "updatable in place"
+            } else {
+                "rebuild to change"
+            },
         );
     }
-    println!("Same silicon, one select signal — the paper's configurability claim.");
+    println!("Same API, one spec string per application — the paper's configurability claim.");
     Ok(())
 }

@@ -1,23 +1,27 @@
 //! Firewall workload: classify a traffic trace against a FW-style rule
-//! set and account actions + line-rate throughput.
+//! set through the unified engine API and account actions + lookup cost.
 //!
 //! Run with `cargo run --release --example firewall`.
 
 use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
-use spc::core::{ArchConfig, Classifier, CombineStrategy};
-use spc::types::Action;
+use spc::engine::build_engine;
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An enterprise-scale firewall policy. A security middlebox needs the
     // exact HPMR, so this example runs the PriorityProbe strategy; its
     // cross-product probing cost on wildcard-heavy FW rules is reported
-    // honestly below (the paper's single-probe fast path is cheaper but
-    // approximate — see EXPERIMENTS.md and the combine_strategy bench).
-    let rules = RuleSetGenerator::new(FilterKind::Fw, 500).seed(7).generate();
-    let mut cls = Classifier::new(ArchConfig::large().with_combine(CombineStrategy::PriorityProbe));
-    cls.load(&rules)?;
-    println!("firewall with {} rules loaded", cls.len());
+    // honestly below (the paper's single-probe fast path — spec option
+    // `combine=first` — is cheaper but approximate).
+    let rules = RuleSetGenerator::new(FilterKind::Fw, 500)
+        .seed(7)
+        .generate();
+    let mut engine = build_engine("configurable-mbt:rf_bits=14,combine=probe", &rules)?;
+    println!(
+        "firewall with {} rules loaded on {}",
+        engine.rules(),
+        engine.name()
+    );
 
     let trace = TraceGenerator::new()
         .seed(42)
@@ -25,45 +29,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .locality(0.3)
         .generate(&rules, 5_000);
 
+    // One batch call: verdicts for the action breakdown, stats for cost.
+    let mut verdicts = Vec::new();
+    let stats = engine.classify_batch(&trace, &mut verdicts);
+
     let mut actions: BTreeMap<String, usize> = BTreeMap::new();
     let mut misses = 0usize;
-    let mut exact = 0usize;
-    let (mut ii_sum, mut reads_sum) = (0u64, 0u64);
-    for h in &trace {
-        let c = cls.classify(h);
-        ii_sum += u64::from(c.timing.initiation_interval);
-        reads_sum += u64::from(c.total_reads());
-        debug_assert_eq!(c.hit.map(|x| x.rule_id), rules.classify(h).map(|(id, _)| id));
-        exact += usize::from(c.hit.map(|x| x.rule_id) == rules.classify(h).map(|(id, _)| id));
-        match c.hit {
-            Some(hit) => *actions.entry(hit.rule.action.to_string()).or_insert(0) += 1,
+    for v in &verdicts {
+        match v.action {
+            Some(a) => *actions.entry(a.to_string()).or_insert(0) += 1,
             None => misses += 1,
         }
     }
-    println!("\naction breakdown over {} packets:", trace.len());
+    println!("\naction breakdown over {} packets:", stats.packets);
     for (a, n) in &actions {
         println!("  {a:<16} {n}");
     }
     println!("  {:<16} {misses} (default-drop)", "miss");
 
-    let avg_ii = ii_sum as f64 / trace.len() as f64;
-    let clock = cls.config().clock;
     println!(
-        "\navg initiation interval {:.2} cycles; avg {:.1} memory reads/packet",
-        avg_ii,
-        reads_sum as f64 / trace.len() as f64
+        "\navg {:.1} memory reads/packet; {:.2} rule-filter combinations probed/packet",
+        stats.avg_mem_reads(),
+        stats.combos_probed as f64 / stats.packets as f64,
     );
-    println!(
-        "modelled line rate: {:.2} Gbps @40 B, {:.2} Gbps @100 B",
-        clock.throughput_gbps(avg_ii, 40),
-        clock.throughput_gbps(avg_ii, 100)
-    );
+
+    // PriorityProbe is exact by construction: verify against the oracle
+    // backend through the same API.
+    let oracle = build_engine("linear", &rules)?;
+    let exact = trace
+        .iter()
+        .zip(&verdicts)
+        .filter(|(h, v)| oracle.classify(h).rule == v.rule)
+        .count();
     println!(
         "exact-HPMR rate vs oracle: {:.1}% (PriorityProbe is exact by construction)",
         100.0 * exact as f64 / trace.len() as f64
     );
+    assert_eq!(exact, trace.len());
     // Sanity: a default-drop firewall must never forward unmatched traffic.
     assert!(misses + actions.values().sum::<usize>() == trace.len());
-    let _ = Action::Drop;
     Ok(())
 }

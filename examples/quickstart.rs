@@ -1,16 +1,24 @@
-//! Quickstart: build a classifier, install rules, classify packets.
+//! Quickstart: build an engine from the registry, install rules through
+//! the unified `PacketClassifier` API, classify packets one at a time and
+//! as a batch.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use spc::core::{ArchConfig, Classifier, IpAlg};
-use spc::types::{Action, Header, PortRange, Prefix, Priority, ProtoSpec, Rule};
+use spc::engine::{EngineBuilder, EngineKind, PacketClassifier, Verdict};
+use spc::types::{Action, Header, PortRange, Prefix, Priority, ProtoSpec, Rule, RuleSet};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // The paper's prototype configuration: MBT IP lookup, 13/7/2-bit
-    // labels, 133.51 MHz clock.
-    let mut cls = Classifier::new(ArchConfig::paper_prototype().with_ip_alg(IpAlg::Mbt));
+    // The paper's configurable architecture in MBT (speed) mode. Any
+    // other registry backend would serve the same calls.
+    let mut engine: Box<dyn PacketClassifier> =
+        EngineBuilder::new(EngineKind::ConfigurableMbt).build(&RuleSet::new())?;
 
-    // A tiny ACL: drop telnet, steer web traffic, default-drop 10/8.
+    // A tiny ACL: drop telnet, steer web traffic, default-drop 10/8 —
+    // installed through the trait's incremental-update path.
+    assert!(
+        engine.supports_updates(),
+        "the configurable architecture updates in place"
+    );
     let rules = [
         Rule::builder(Priority(0))
             .dst_port(PortRange::exact(23))
@@ -29,9 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build(),
     ];
     for r in rules {
-        let rep = cls.insert(r)?;
-        println!("installed {} (+{} labels, {} hw write cycles)", rep.rule_id,
-                 rep.created_labels, rep.hw_write_cycles);
+        let id = engine.insert(r)?;
+        println!("installed {id} on {}", engine.name());
     }
 
     let packets = [
@@ -41,24 +48,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Header::new([11, 1, 1, 1].into(), [192, 168, 0, 1].into(), 5555, 80, 6),
     ];
     for h in &packets {
-        let c = cls.classify(h);
-        match c.hit {
-            Some(hit) => println!(
-                "{h}  ->  {} via {} (latency {} cycles, II {})",
-                hit.rule.action,
-                hit.rule_id,
-                c.timing.latency_cycles(),
-                c.timing.initiation_interval
-            ),
-            None => println!("{h}  ->  table miss"),
+        match engine.classify(h) {
+            Verdict {
+                action: Some(action),
+                rule: Some(id),
+                mem_reads,
+                ..
+            } => {
+                println!("{h}  ->  {action} via {id} ({mem_reads} memory reads)")
+            }
+            v => println!("{h}  ->  table miss ({} memory reads)", v.mem_reads),
         }
     }
 
-    let t = cls.classify(&packets[1]).timing;
+    // The batch path reuses scratch buffers and aggregates accounting.
+    let batch: Vec<Header> = packets.iter().cycle().take(4096).copied().collect();
+    let mut verdicts = Vec::new();
+    let stats = engine.classify_batch(&batch, &mut verdicts);
     println!(
-        "\nline rate at 40 B packets: {:.2} Gbps ({:.1} M lookups/s)",
-        t.throughput_gbps(cls.config().clock, 40),
-        t.lookups_per_sec(cls.config().clock) / 1e6
+        "\nbatch of {}: {:.1}% hits, {:.2} memory reads/packet, {} rule-filter probes",
+        stats.packets,
+        100.0 * stats.hit_rate(),
+        stats.avg_mem_reads(),
+        stats.combos_probed,
+    );
+    println!(
+        "engine memory: {} bits for {} rules",
+        engine.memory_bits(),
+        engine.rules()
     );
     Ok(())
 }

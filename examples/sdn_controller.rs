@@ -1,40 +1,51 @@
 //! SDN controller simulation: flow churn with fast incremental update and
-//! a run-time `IPalg_s` reconfiguration (paper §IV.A, Fig 4).
+//! a run-time `IPalg_s` reconfiguration (paper §IV.A, Fig 4), driven
+//! through the unified engine API.
 //!
-//! A controller installs an initial service-chaining policy, then churns
-//! flows (insert + remove) while tracking the hardware update cost; when
-//! the rule count crosses a threshold it switches the IP algorithm from
-//! MBT (speed) to BST (density) without touching label memories.
+//! The controller installs an initial service-chaining policy, then
+//! churns flows (insert + remove) through the trait's capability-probed
+//! update path; when the application profile changes it flips the IP
+//! algorithm from MBT (speed) to BST (density) — an
+//! architecture-specific control reached through the configurable
+//! engine's accessor, with the data path verified through the same
+//! unified API before and after.
 //!
 //! Run with `cargo run --release --example sdn_controller`.
 
-use spc::classbench::{FilterKind, RuleSetGenerator};
+use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
 use spc::core::{ArchConfig, Classifier, IpAlg};
+use spc::engine::{ConfigurableEngine, PacketClassifier, UpdateError};
 use spc::types::RuleId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = ArchConfig::large();
     cfg.rule_filter_addr_bits = 14;
-    let mut cls = Classifier::new(cfg);
+    let mut engine = ConfigurableEngine::new(Classifier::new(cfg));
+    assert!(
+        engine.supports_updates(),
+        "rule churn needs the incremental path"
+    );
 
     // Initial policy: 2K ACL-style flow rules pushed by the controller.
-    let base = RuleSetGenerator::new(FilterKind::Acl, 2000).seed(99).generate();
-    let ids = cls.load(&base)?;
-    println!("installed {} rules ({} labels live across dims)", ids.len(),
-             cls.live_labels().iter().sum::<usize>());
+    let base = RuleSetGenerator::new(FilterKind::Acl, 2000)
+        .seed(99)
+        .generate();
+    let ids: Vec<RuleId> = base
+        .rules()
+        .iter()
+        .map(|r| engine.insert(*r))
+        .collect::<Result<_, _>>()?;
+    println!("installed {} rules on {}", ids.len(), engine.name());
 
-    // Churn: remove/insert bursts, measuring §V.A update costs.
-    let churn = RuleSetGenerator::new(FilterKind::Acl, 600).seed(123).generate();
-    let mut removed: Vec<RuleId> = Vec::new();
-    let mut total_cycles = 0u64;
-    let mut created = 0u64;
-    let mut freed = 0u64;
+    // Churn: remove/insert bursts through the unified update path.
+    let churn = RuleSetGenerator::new(FilterKind::Acl, 600)
+        .seed(123)
+        .generate();
+    let mut removed = 0usize;
     for (i, id) in ids.iter().enumerate().take(300) {
         if i % 2 == 0 {
-            let (_, rep) = cls.remove(*id)?;
-            total_cycles += rep.hw_write_cycles;
-            freed += u64::from(rep.freed_labels);
-            removed.push(*id);
+            engine.remove(*id)?;
+            removed += 1;
         }
     }
     let mut inserted = 0usize;
@@ -42,38 +53,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Re-prioritise churned rules behind the base policy.
         let mut r = *r;
         r.priority = spc::types::Priority(10_000 + inserted as u32);
-        match cls.insert(r) {
-            Ok(rep) => {
-                total_cycles += rep.hw_write_cycles;
-                created += u64::from(rep.created_labels);
-                inserted += 1;
-            }
-            Err(spc::core::ClassifierError::DuplicateKey { .. }) => {} // churn overlap
+        match engine.insert(r) {
+            Ok(_) => inserted += 1,
+            Err(UpdateError::Duplicate { .. }) => {} // churn overlap
+            // Capacity and other rejections must surface, not be skipped.
             Err(e) => return Err(e.into()),
         }
     }
     println!(
-        "churn: -150 rules, +{inserted} rules; {created} labels created, {freed} freed; \
-         {total_cycles} hw write cycles total"
-    );
-    println!(
-        "label sharing means an update touches far fewer memories than a rebuild: \
-         {:.1} write cycles per rule op",
-        total_cycles as f64 / (150 + inserted) as f64
+        "churn: -{removed} rules, +{inserted} rules; {} rules live",
+        engine.rules()
     );
 
-    // Application change: the controller now favours rule density.
+    // Application change: the controller now favours rule density. The
+    // `IPalg_s` switch is the one architecture-specific control; the data
+    // path stays behind the unified API.
+    let trace = TraceGenerator::new().seed(5).generate(&base, 2_000);
+    let mut before = Vec::new();
+    let stats_mbt = engine.classify_batch(&trace, &mut before);
     println!("\ncontroller: switching IPalg_s MBT -> BST (labels stay in place)...");
-    cls.set_ip_alg(IpAlg::Bst)?;
-    let h = spc::classbench::TraceGenerator::new().seed(5).generate(&base, 1)[0];
-    let c = cls.classify(&h);
-    println!(
-        "post-switch lookup: II = {} cycles ({} mode), {} rules still installed",
-        c.timing.initiation_interval,
-        cls.config().ip_alg,
-        cls.len()
+    engine.classifier_mut().set_ip_alg(IpAlg::Bst)?;
+    let mut after = Vec::new();
+    let stats_bst = engine.classify_batch(&trace, &mut after);
+    assert!(
+        before.iter().zip(&after).all(|(a, b)| a.rule == b.rule),
+        "reconfiguration must be transparent to the data path"
     );
-    cls.set_ip_alg(IpAlg::Mbt)?;
-    println!("switched back to {} for line-rate lookups", cls.config().ip_alg);
+    println!(
+        "verdicts identical across the switch; cost {:.1} -> {:.1} memory reads/packet ({})",
+        stats_mbt.avg_mem_reads(),
+        stats_bst.avg_mem_reads(),
+        engine.name(),
+    );
+    engine.classifier_mut().set_ip_alg(IpAlg::Mbt)?;
+    println!("switched back to {} for line-rate lookups", engine.name());
     Ok(())
 }

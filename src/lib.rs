@@ -10,25 +10,46 @@
 //! * [`lookup`] — single-field lookup engines with the DCFL label method
 //! * [`core`] — the configurable classifier architecture itself
 //! * [`baselines`] — linear search, HyperCuts, RFC, DCFL comparators
+//! * [`engine`] — the unified [`engine::PacketClassifier`] API over all of
+//!   the above: one trait, batch lookups, a backend registry
 //!
 //! # Quickstart
 //!
+//! Build any backend from the [`engine::EngineKind`] registry, install
+//! rules, and classify single headers or whole batches through one API:
+//!
 //! ```
-//! use spc::core::{Classifier, ArchConfig, IpAlg};
-//! use spc::types::{Rule, Priority, Prefix, PortRange, ProtoSpec, Action, Header};
+//! use spc::engine::{EngineBuilder, EngineKind, PacketClassifier};
+//! use spc::types::{Action, Header, PortRange, Prefix, Priority, ProtoSpec, Rule, RuleSet};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut cls = Classifier::new(ArchConfig::default().with_ip_alg(IpAlg::Mbt));
-//! let rule = Rule::builder(Priority(0))
+//! let rules = RuleSet::from_rules(vec![Rule::builder(Priority(0))
 //!     .src_ip(Prefix::parse("10.0.0.0/8")?)
 //!     .dst_port(PortRange::exact(80))
 //!     .proto(ProtoSpec::Exact(6))
 //!     .action(Action::Forward(1))
-//!     .build();
-//! let id = cls.insert(rule)?.rule_id;
+//!     .build()]);
+//!
+//! // The paper's configurable architecture, MBT (speed) mode...
+//! let mut engine = EngineBuilder::new(EngineKind::ConfigurableMbt).build(&rules)?;
 //! let hdr = Header::new([10, 1, 2, 3].into(), [1, 2, 3, 4].into(), 999, 80, 6);
-//! let hit = cls.classify(&hdr).hit.expect("should match");
-//! assert_eq!(hit.rule_id, id);
+//! assert_eq!(engine.classify(&hdr).action, Some(Action::Forward(1)));
+//!
+//! // ...incremental updates through the same trait (capability-probed)...
+//! assert!(engine.supports_updates());
+//! let id = engine.insert(Rule::builder(Priority(1)).action(Action::Drop).build())?;
+//! engine.remove(id)?;
+//!
+//! // ...and amortised batch lookups with aggregate accounting.
+//! let batch = vec![hdr; 64];
+//! let mut verdicts = Vec::new();
+//! let stats = engine.classify_batch(&batch, &mut verdicts);
+//! assert_eq!(stats.hits, 64);
+//!
+//! // Every other backend (linear, HyperCuts, RFC, DCFL, Option 1/2,
+//! // configurable-BST) builds from the same registry, e.g. by spec string:
+//! let oracle = spc::engine::build_engine("linear", &rules)?;
+//! assert_eq!(oracle.classify(&hdr).rule, verdicts[0].rule);
 //! # Ok(())
 //! # }
 //! ```
@@ -38,6 +59,7 @@
 pub use spc_baselines as baselines;
 pub use spc_classbench as classbench;
 pub use spc_core as core;
+pub use spc_engine as engine;
 pub use spc_hwsim as hwsim;
 pub use spc_lookup as lookup;
 pub use spc_types as types;

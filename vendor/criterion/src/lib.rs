@@ -1,0 +1,356 @@
+//! Offline stand-in for the `criterion` benchmarking harness.
+//!
+//! Supports the API subset used by `crates/bench/benches`: benchmark
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! element throughput, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a plain wall-clock mean (warm-up + timed
+//! samples) rather than criterion's statistical analysis — good enough to
+//! compare configurations, not to detect 1 % regressions.
+//!
+//! Flag handling: `--test` (as passed by `cargo test --benches`) runs every
+//! benchmark body exactly once; positional arguments filter benchmarks by
+//! substring, like the real harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How input values are cloned per batch in [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: one setup call per iteration is fine.
+    SmallInput,
+    /// Large inputs: amortise setup over more iterations.
+    LargeInput,
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (packets, lookups, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs one benchmark body and records its mean time per iteration.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    measure: Duration,
+    result: &'a mut Option<MeasuredTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasuredTime {
+    ns_per_iter: f64,
+}
+
+impl Bencher<'_> {
+    /// Times a closure, recording the mean over enough iterations to fill
+    /// the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            *self.result = Some(MeasuredTime { ns_per_iter: 0.0 });
+            return;
+        }
+        // Calibrate: how many iterations fit in the window?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measure.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = t1.elapsed();
+        *self.result = Some(MeasuredTime {
+            ns_per_iter: total.as_nanos() as f64 / iters as f64,
+        });
+    }
+
+    /// Times a closure with a per-iteration setup whose cost is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            *self.result = Some(MeasuredTime { ns_per_iter: 0.0 });
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.measure.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        *self.result = Some(MeasuredTime {
+            ns_per_iter: total.as_nanos() as f64 / iters as f64,
+        });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for derived throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting happens per benchmark; this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filters = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .collect();
+        Criterion {
+            test_mode,
+            filters,
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into().id;
+        self.run_one(&id, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|x| id.contains(x.as_str())) {
+            return;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            measure: self.measure,
+            result: &mut result,
+        };
+        f(&mut b);
+        match result {
+            Some(_) if self.test_mode => println!("test {id} ... ok"),
+            Some(m) => {
+                let per = format_ns(m.ns_per_iter);
+                match throughput {
+                    Some(Throughput::Elements(n)) if m.ns_per_iter > 0.0 => {
+                        let rate = n as f64 / (m.ns_per_iter * 1e-9);
+                        println!("{id:<48} {per:>12}/iter  {:>14.0} elem/s", rate);
+                    }
+                    Some(Throughput::Bytes(n)) if m.ns_per_iter > 0.0 => {
+                        let rate = n as f64 / (m.ns_per_iter * 1e-9);
+                        println!("{id:<48} {per:>12}/iter  {:>14.0} B/s", rate);
+                    }
+                    _ => println!("{id:<48} {per:>12}/iter"),
+                }
+            }
+            None => println!("{id:<48} (no measurement recorded)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_quiet(test_mode: bool) -> Option<f64> {
+        let mut c = Criterion {
+            test_mode,
+            filters: vec![],
+            measure: Duration::from_millis(5),
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function("f", |b| b.iter(|| black_box(2u64 + 2)));
+            g.finish();
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            test_mode,
+            measure: Duration::from_millis(5),
+            result: &mut result,
+        };
+        b.iter(|| black_box(1u32.wrapping_add(2)));
+        result.map(|m| m.ns_per_iter)
+    }
+
+    #[test]
+    fn measures_something() {
+        let ns = run_quiet(false).expect("measured");
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        assert_eq!(run_quiet(true), Some(0.0));
+    }
+
+    #[test]
+    fn benchmark_ids() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("mbt").id, "mbt");
+        assert_eq!(BenchmarkId::from("x").id, "x");
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup() {
+        let mut result = None;
+        let mut b = Bencher {
+            test_mode: false,
+            measure: Duration::from_millis(2),
+            result: &mut result,
+        };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(result.is_some());
+    }
+}
