@@ -273,7 +273,7 @@ impl Baseline for Dcfl {
             for p in rpr.labels.iter() {
                 accesses += 1;
                 if let Some(&cand) = self.final_map.get(&(m, u32::from(p.label.0))) {
-                    if best.is_none_or(|b| cand < b) {
+                    if best.map_or(true, |b| cand < b) {
                         best = Some(cand);
                     }
                 }

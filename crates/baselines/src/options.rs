@@ -245,7 +245,7 @@ impl Baseline for OptionClassifier {
                             accesses += probe.reads;
                             if let Some(s) = probe.hit {
                                 let cand = (s.rule.priority, s.id);
-                                if best.is_none_or(|x| cand < x) {
+                                if best.map_or(true, |x| cand < x) {
                                     best = Some(cand);
                                 }
                             }

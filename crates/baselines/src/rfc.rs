@@ -161,7 +161,7 @@ impl Rfc {
                 for (i, (id, p)) in by_priority.iter().enumerate() {
                     if set[i / 64] >> (i % 64) & 1 == 1 {
                         let cand = (*p, *id);
-                        if best.is_none_or(|b| cand < b) {
+                        if best.map_or(true, |b| cand < b) {
                             best = Some(cand);
                         }
                     }

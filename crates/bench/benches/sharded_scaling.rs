@@ -1,0 +1,54 @@
+//! Criterion bench: sharded batch throughput as a function of shard
+//! count × batch size, on an 8k-rule ACL set — the data behind the
+//! "first multiplier toward millions-of-users scale" claim. The
+//! unsharded inner engine (shards=1) is the baseline in every group, so
+//! the scaling factor is read straight off the report.
+//!
+//! `SPC_SCALE` overrides the rule count; `--test` (as in CI's
+//! bench-smoke job) runs every body once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spc_bench::{ruleset, scale_or, trace};
+use spc_classbench::FilterKind;
+use spc_engine::{EngineBuilder, PacketClassifier, Verdict};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH_SIZES: [usize; 2] = [512, 4096];
+
+fn build_sharded(
+    rules: &spc_types::RuleSet,
+    shards: usize,
+    strategy: &str,
+) -> Box<dyn PacketClassifier> {
+    EngineBuilder::from_spec(&format!(
+        "sharded:inner=configurable-bst,shards={shards},strategy={strategy}"
+    ))
+    .expect("valid spec")
+    .build(rules)
+    .expect("8k-rule ACL fits the sharded configurable backend")
+}
+
+fn bench_sharded_scaling(c: &mut Criterion) {
+    let rules = ruleset(FilterKind::Acl, scale_or(8192));
+    let full = trace(&rules, *BATCH_SIZES.iter().max().unwrap());
+    for strategy in ["prio", "hash"] {
+        let mut group = c.benchmark_group(format!("sharded_scaling/{strategy}"));
+        for shards in SHARD_COUNTS {
+            let mut engine = build_sharded(&rules, shards, strategy);
+            let mut out: Vec<Verdict> = Vec::new();
+            for batch in BATCH_SIZES {
+                let t = &full[..batch];
+                group.throughput(Throughput::Elements(batch as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("shards{shards}"), batch),
+                    &t,
+                    |b, t| b.iter(|| engine.classify_batch(t, &mut out).hits),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sharded_scaling);
+criterion_main!(benches);

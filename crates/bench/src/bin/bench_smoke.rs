@@ -1,0 +1,155 @@
+//! CI bench-smoke: a fast, deterministic throughput comparison across
+//! the engine registry's interesting configurations — the unsharded
+//! inner engine against `sharded` at increasing shard counts — that
+//! also cross-checks every backend's verdicts against the linear oracle
+//! before timing it (a benchmark of a wrong classifier is worse than no
+//! benchmark).
+//!
+//! Writes the measurements as `BENCH_smoke.json` (override the path
+//! with `SPC_BENCH_OUT`) so CI can upload the perf trajectory as a
+//! workflow artifact, and prints the same numbers as a table. Scale
+//! with `SPC_SCALE` (rule count, default 4096).
+//!
+//! Run: `cargo run --release -p spc-bench --bin bench_smoke`
+
+use spc_bench::{print_table, ruleset, scale_or, trace, Row, ToJson};
+use spc_classbench::FilterKind;
+use spc_engine::{build_engine, Verdict};
+use std::time::Instant;
+
+/// Timed repetitions per spec; the best (lowest-noise) rep is reported.
+const REPS: usize = 3;
+const TRACE_LEN: usize = 4096;
+
+struct Record {
+    experiment: &'static str,
+    filter_kind: &'static str,
+    rules: usize,
+    trace_len: usize,
+    reps: usize,
+    rows: Vec<SpecRec>,
+}
+
+struct SpecRec {
+    spec: String,
+    engine: String,
+    rules: usize,
+    memory_kbits: f64,
+    build_ms: f64,
+    batch_melems_per_s: f64,
+    avg_mem_reads: f64,
+    hit_rate: f64,
+    oracle_agrees: bool,
+}
+
+spc_bench::json_object!(Record {
+    experiment,
+    filter_kind,
+    rules,
+    trace_len,
+    reps,
+    rows
+});
+spc_bench::json_object!(SpecRec {
+    spec,
+    engine,
+    rules,
+    memory_kbits,
+    build_ms,
+    batch_melems_per_s,
+    avg_mem_reads,
+    hit_rate,
+    oracle_agrees
+});
+
+fn main() {
+    let n = scale_or(4096);
+    let rules = ruleset(FilterKind::Acl, n);
+    let t = trace(&rules, TRACE_LEN);
+    eprintln!("bench_smoke: {} rules, {} headers", rules.len(), t.len());
+
+    let oracle = build_engine("linear", &rules).expect("linear always builds");
+    let want: Vec<Verdict> = t.iter().map(|h| oracle.classify(h)).collect();
+
+    let specs = [
+        "linear".to_string(),
+        "configurable-bst".to_string(),
+        "sharded:inner=configurable-bst,shards=2,strategy=hash".to_string(),
+        "sharded:inner=configurable-bst,shards=4,strategy=hash".to_string(),
+        "sharded:inner=configurable-bst,shards=8,strategy=hash".to_string(),
+        "sharded:inner=configurable-bst,shards=8,strategy=prio".to_string(),
+        "sharded:inner=linear,shards=8,strategy=prio".to_string(),
+    ];
+
+    let mut rows = Vec::new();
+    let mut recs = Vec::new();
+    let mut all_agree = true;
+    for spec in &specs {
+        let t0 = Instant::now();
+        let mut engine =
+            build_engine(spec, &rules).unwrap_or_else(|e| panic!("{spec} must build: {e}"));
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut out = Vec::new();
+        let mut stats = engine.classify_batch(&t, &mut out);
+        let oracle_agrees = out
+            .iter()
+            .zip(&want)
+            .all(|(g, w)| g.rule == w.rule && g.priority == w.priority && g.action == w.action);
+        all_agree &= oracle_agrees;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t1 = Instant::now();
+            stats = engine.classify_batch(&t, &mut out);
+            best = best.min(t1.elapsed().as_secs_f64());
+        }
+        let melems = t.len() as f64 / best / 1e6;
+
+        rows.push(Row {
+            name: spec.clone(),
+            values: vec![
+                format!("{melems:.2}"),
+                format!("{:.2}", stats.avg_mem_reads()),
+                format!("{:.0}", engine.memory_bits() as f64 / 1e3),
+                format!("{build_ms:.0}"),
+                if oracle_agrees { "yes" } else { "NO" }.to_string(),
+            ],
+        });
+        recs.push(SpecRec {
+            spec: spec.clone(),
+            engine: engine.name().to_string(),
+            rules: engine.rules(),
+            memory_kbits: engine.memory_bits() as f64 / 1e3,
+            build_ms,
+            batch_melems_per_s: melems,
+            avg_mem_reads: stats.avg_mem_reads(),
+            hit_rate: stats.hit_rate(),
+            oracle_agrees,
+        });
+    }
+
+    print_table(
+        &format!(
+            "bench-smoke (acl, {} rules, batch {})",
+            rules.len(),
+            t.len()
+        ),
+        &["Melem/s", "avg reads", "mem Kb", "build ms", "oracle"],
+        &rows,
+    );
+
+    let record = Record {
+        experiment: "bench_smoke",
+        filter_kind: "acl",
+        rules: rules.len(),
+        trace_len: t.len(),
+        reps: REPS,
+        rows: recs,
+    };
+    let path = std::env::var("SPC_BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
+    std::fs::write(&path, record.to_json().pretty() + "\n").expect("write bench record");
+    eprintln!("wrote {path}");
+
+    assert!(all_agree, "a backend disagreed with the linear oracle");
+}

@@ -1,5 +1,5 @@
 //! Table IV — port field labelling example: for destination port 7812
-//! against A=[0,65535], B=[7812,7812], C=[7810,7820], the label order must
+//! against A=`[0,65535]`, B=`[7812,7812]`, C=`[7810,7820]`, the label order must
 //! be B (exact), C (tightest range), A (widest).
 
 use spc_bench::{emit_json, print_table, Row};

@@ -1,7 +1,7 @@
 //! Seeded, ClassBench-style rule-set and packet-trace generators.
 //!
 //! The paper evaluates on the public filter sets of Song's ClassBench
-//! project (`www.arl.wustl.edu/~hs1/project/filterset` — reference [12]):
+//! project (`www.arl.wustl.edu/~hs1/project/filterset` — reference \[12\]):
 //! Access Control Lists (ACL), Firewalls (FW) and IP Chains (IPC) at
 //! roughly 1K/5K/10K rules (Table III). Those archives are no longer
 //! distributable, so this crate regenerates *structurally equivalent* sets:

@@ -1,0 +1,299 @@
+//! Shard-aware rule-set splitting.
+//!
+//! The paper scales its hardware by replicating single-field engines in
+//! parallel; the software analogue is to partition one [`RuleSet`] across
+//! N independent classifiers and merge their verdicts by priority. This
+//! module owns the *partitioning* half of that story: a pluggable
+//! [`ShardStrategy`] and a [`plan`] function that splits a rule set into
+//! per-shard [`ShardSlice`]s while remembering, for every shard-local
+//! rule id, which global rule it came from.
+//!
+//! Correctness does not depend on the strategy: a sharded classifier
+//! queries *every* shard and keeps the highest-priority hit, so any
+//! assignment of rules to shards yields the same merged verdict. The
+//! strategy only shapes load balance and per-shard structure size.
+
+use spc_hwsim::HashUnit;
+use spc_types::{Dim, DimValue, Priority, Rule, RuleId, RuleSet};
+
+/// How rules are assigned to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Contiguous priority bands: rules are sorted by `(priority, id)` and
+    /// cut into equal-sized runs, so shard 0 holds the highest-priority
+    /// band. High-priority traffic then resolves entirely inside one
+    /// small structure, and band boundaries make shard contents easy to
+    /// reason about.
+    PriorityBands,
+    /// Deterministic hash of the rule's projection onto one 16-bit lookup
+    /// dimension, folded through the same [`HashUnit`] the Rule Filter
+    /// uses — the software mirror of the paper's per-field engines.
+    /// Rules sharing a field value (and hence a label) land in the same
+    /// shard, which keeps per-shard label tables dense.
+    FieldHash(Dim),
+}
+
+impl ShardStrategy {
+    /// Short display token (`prio` / `hash:<dim>`), the inverse of the
+    /// engine-spec syntax.
+    pub fn token(self) -> String {
+        match self {
+            ShardStrategy::PriorityBands => "prio".to_string(),
+            ShardStrategy::FieldHash(dim) => format!("hash:{dim}"),
+        }
+    }
+}
+
+/// One shard's slice of the original rule set.
+///
+/// `rules` re-indexes the shard's rules from zero (every inner classifier
+/// sees a dense, self-contained [`RuleSet`]); `global_ids[local]` recovers
+/// the id the rule had in the original set. Priorities are preserved
+/// verbatim, and rules are pushed in ascending global-id order, so a
+/// priority tie inside a shard resolves to the lowest *global* id — the
+/// same tie-break [`RuleSet::classify`] uses.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSlice {
+    /// The shard's rules, re-indexed from zero.
+    pub rules: RuleSet,
+    /// Maps shard-local [`RuleId`] index to the global [`RuleId`].
+    pub global_ids: Vec<RuleId>,
+}
+
+impl ShardSlice {
+    /// Translates a shard-local rule id back to the global id.
+    pub fn global_id(&self, local: RuleId) -> RuleId {
+        self.global_ids[local.0 as usize]
+    }
+}
+
+/// The outcome of splitting a rule set: one [`ShardSlice`] per shard.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The strategy that produced this plan.
+    pub strategy: ShardStrategy,
+    /// Per-shard slices. Never empty; slices with zero rules are dropped,
+    /// so `shards.len()` can be smaller than the requested count (an
+    /// empty input yields one empty slice).
+    pub shards: Vec<ShardSlice>,
+}
+
+impl ShardPlan {
+    /// Total rules across all shards (equals the input set's length).
+    pub fn total_rules(&self) -> usize {
+        self.shards.iter().map(|s| s.rules.len()).sum()
+    }
+
+    /// Length of the largest shard — the load-balance worst case.
+    pub fn max_shard_len(&self) -> usize {
+        self.shards.iter().map(|s| s.rules.len()).max().unwrap_or(0)
+    }
+}
+
+/// Encodes a rule's field projection as a stable hash key.
+///
+/// The encoding is injective per [`DimValue`] variant (discriminant byte
+/// plus the value's canonical fields), so equal projections — which the
+/// label method would give one label — always hash to the same shard.
+fn dim_key(v: DimValue) -> u128 {
+    match v {
+        DimValue::Seg(s) => (1u128 << 64) | (u128::from(s.value()) << 8) | u128::from(s.len()),
+        DimValue::Port(r) => (2u128 << 64) | (u128::from(r.lo()) << 16) | u128::from(r.hi()),
+        DimValue::Proto(p) => match p {
+            spc_types::ProtoSpec::Any => 3u128 << 64,
+            spc_types::ProtoSpec::Exact(x) => (4u128 << 64) | u128::from(x),
+        },
+    }
+}
+
+/// Splits `rules` into at most `shards` slices under `strategy`.
+///
+/// A requested count of 0 is treated as 1. Empty slices are dropped (a
+/// hash strategy over few distinct field values may fill fewer shards
+/// than requested); an empty input produces a single empty slice so
+/// callers always have at least one shard to build.
+pub fn plan(rules: &RuleSet, shards: usize, strategy: ShardStrategy) -> ShardPlan {
+    let n = shards.max(1);
+    let mut slices: Vec<ShardSlice> = (0..n).map(|_| ShardSlice::default()).collect();
+    match strategy {
+        ShardStrategy::PriorityBands => {
+            // Sort global ids by (priority, id), then cut contiguous bands.
+            let mut order: Vec<(Priority, RuleId, &Rule)> =
+                rules.iter().map(|(id, r)| (r.priority, id, r)).collect();
+            order.sort_unstable_by_key(|&(p, id, _)| (p, id));
+            let band = order.len().div_ceil(n).max(1);
+            for (pos, (_, id, rule)) in order.into_iter().enumerate() {
+                let slice = &mut slices[(pos / band).min(n - 1)];
+                slice.rules.push(*rule);
+                slice.global_ids.push(id);
+            }
+            // Bands are built in sorted order, which can interleave the
+            // global-id order inside a band; restore ascending global id
+            // so local tie-breaks equal global tie-breaks.
+            for slice in &mut slices {
+                let mut pairs: Vec<(RuleId, Rule)> = slice
+                    .global_ids
+                    .iter()
+                    .copied()
+                    .zip(slice.rules.rules().iter().copied())
+                    .collect();
+                pairs.sort_unstable_by_key(|&(id, _)| id);
+                slice.global_ids = pairs.iter().map(|&(id, _)| id).collect();
+                slice.rules = pairs.into_iter().map(|(_, r)| r).collect();
+            }
+        }
+        ShardStrategy::FieldHash(dim) => {
+            // Fold through the hardware hash unit at the smallest width
+            // that addresses every shard, then reduce modulo the count.
+            let bits = (usize::BITS - (n - 1).max(1).leading_zeros()).clamp(1, 32);
+            let hash = HashUnit::new(bits);
+            for (id, rule) in rules.iter() {
+                let shard = hash.fold(dim_key(rule.dim_value(dim))) % n;
+                slices[shard].rules.push(*rule);
+                slices[shard].global_ids.push(id);
+            }
+        }
+    }
+    slices.retain(|s| !s.rules.is_empty());
+    if slices.is_empty() {
+        slices.push(ShardSlice::default());
+    }
+    ShardPlan {
+        strategy,
+        shards: slices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_types::{PortRange, Priority, ProtoSpec, Rule};
+
+    fn set(n: u32) -> RuleSet {
+        (0..n)
+            .map(|i| {
+                Rule::builder(Priority(n - 1 - i)) // descending priority values
+                    .dst_port(PortRange::exact(i as u16))
+                    .proto(ProtoSpec::Exact((i % 2) as u8 * 11 + 6))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn assert_partition(rules: &RuleSet, p: &ShardPlan) {
+        assert_eq!(p.total_rules(), rules.len());
+        let mut seen: Vec<RuleId> = p
+            .shards
+            .iter()
+            .flat_map(|s| s.global_ids.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        let want: Vec<RuleId> = rules.iter().map(|(id, _)| id).collect();
+        assert_eq!(seen, want, "every rule lands in exactly one shard");
+        for s in &p.shards {
+            assert_eq!(s.rules.len(), s.global_ids.len());
+            for (local, rule) in s.rules.iter() {
+                assert_eq!(rules.get(s.global_id(local)), Some(rule), "rules intact");
+            }
+            // Local order must be ascending global id so the lowest-id
+            // tie-break survives re-indexing.
+            assert!(s.global_ids.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn priority_bands_partition_and_order() {
+        let rules = set(10);
+        let p = plan(&rules, 3, ShardStrategy::PriorityBands);
+        assert_partition(&rules, &p);
+        assert!(p.shards.len() <= 3);
+        // Band 0 holds the highest-priority (smallest Priority) rules.
+        let band0_max = p.shards[0]
+            .rules
+            .rules()
+            .iter()
+            .map(|r| r.priority)
+            .max()
+            .unwrap();
+        let band_last_min = p
+            .shards
+            .last()
+            .unwrap()
+            .rules
+            .rules()
+            .iter()
+            .map(|r| r.priority)
+            .min()
+            .unwrap();
+        assert!(
+            !band_last_min.beats(band0_max),
+            "bands are ordered by priority"
+        );
+    }
+
+    #[test]
+    fn field_hash_partitions_and_groups_equal_values() {
+        let rules = set(64);
+        for dim in [Dim::DstPort, Dim::Proto, Dim::SipHi] {
+            let p = plan(&rules, 4, ShardStrategy::FieldHash(dim));
+            assert_partition(&rules, &p);
+        }
+        // Only two distinct protocol values exist, so hashing on Proto
+        // fills at most two shards — and both rules of a value co-locate.
+        let p = plan(&rules, 8, ShardStrategy::FieldHash(Dim::Proto));
+        assert!(p.shards.len() <= 2, "{} shards", p.shards.len());
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let rules = set(5);
+        for strategy in [
+            ShardStrategy::PriorityBands,
+            ShardStrategy::FieldHash(Dim::DstPort),
+        ] {
+            let one = plan(&rules, 1, strategy);
+            assert_eq!(one.shards.len(), 1);
+            assert_eq!(one.shards[0].rules.len(), 5);
+            let zero = plan(&rules, 0, strategy);
+            assert_eq!(zero.total_rules(), 5, "0 is clamped to 1");
+            let many = plan(&rules, 64, strategy);
+            assert_partition(&rules, &many);
+            assert!(many.shards.len() <= 5, "no empty shards survive");
+        }
+        let empty = plan(&RuleSet::new(), 4, ShardStrategy::PriorityBands);
+        assert_eq!(empty.shards.len(), 1);
+        assert!(empty.shards[0].rules.is_empty());
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let rules = set(40);
+        for strategy in [
+            ShardStrategy::PriorityBands,
+            ShardStrategy::FieldHash(Dim::SipLo),
+        ] {
+            let a = plan(&rules, 8, strategy);
+            let b = plan(&rules, 8, strategy);
+            assert_eq!(a.shards.len(), b.shards.len());
+            for (x, y) in a.shards.iter().zip(&b.shards) {
+                assert_eq!(x.global_ids, y.global_ids);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_tokens() {
+        assert_eq!(ShardStrategy::PriorityBands.token(), "prio");
+        assert_eq!(
+            ShardStrategy::FieldHash(Dim::DstPort).token(),
+            "hash:dst_port"
+        );
+    }
+
+    #[test]
+    fn max_shard_len_reports_imbalance() {
+        let rules = set(9);
+        let p = plan(&rules, 2, ShardStrategy::PriorityBands);
+        assert_eq!(p.max_shard_len(), 5);
+    }
+}

@@ -1,12 +1,13 @@
 //! Constructing any backend from an [`EngineKind`] or a config string.
 
 use crate::kind::ParseEngineKindError;
-use crate::{BaselineEngine, ConfigurableEngine, EngineKind, PacketClassifier};
+use crate::{BaselineEngine, ConfigurableEngine, EngineKind, PacketClassifier, ShardedEngine};
 use spc_baselines::{
     Dcfl, HyperCuts, HyperCutsConfig, LinearSearch, OptionClassifier, OptionKind, Rfc,
 };
+use spc_core::shard::{self, ShardStrategy};
 use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
-use spc_types::RuleSet;
+use spc_types::{Dim, RuleSet};
 use std::fmt;
 
 /// Default RFC phase-table entry cap (the Table I harness value).
@@ -21,10 +22,22 @@ pub enum BuildError {
         /// The parse failure.
         source: ParseEngineKindError,
     },
-    /// A spec option was malformed (`key=value` expected) or unknown.
+    /// A spec option was malformed: not `key=value`, or the value did
+    /// not parse for its key.
     BadOption {
         /// The offending option text.
         option: String,
+    },
+    /// A well-formed `key=value` pair the spec cannot accept: an unknown
+    /// key, a key belonging to a different backend, a duplicated key, or
+    /// an inconsistent combination. Unknown keys are a hard error on
+    /// every path — a sweep must never silently measure a configuration
+    /// it didn't ask for.
+    ConfigError {
+        /// The offending option text.
+        option: String,
+        /// Why it was rejected.
+        reason: String,
     },
     /// The backend could not hold the rule set (capacity, duplicate
     /// 5-tuples, RFC table blow-up, ...).
@@ -43,8 +56,12 @@ impl fmt::Display for BuildError {
             BuildError::BadOption { option } => {
                 write!(
                     f,
-                    "bad engine option {option:?}; expected key=value with keys rf_bits, combine"
+                    "bad engine option {option:?}; expected key=value \
+                     (keys: rf_bits, combine, inner, shards, strategy, hash_dim)"
                 )
+            }
+            BuildError::ConfigError { option, reason } => {
+                write!(f, "bad engine config {option:?}: {reason}")
             }
             BuildError::Rejected { kind, reason } => {
                 write!(f, "{kind} cannot hold this rule set: {reason}")
@@ -76,10 +93,37 @@ pub struct EngineBuilder {
     combine: Option<CombineStrategy>,
     rfc_entry_cap: u64,
     hypercuts: HyperCutsConfig,
+    shard_count: usize,
+    shard_strategy: ShardStrategy,
+    shard_inner: EngineKind,
+}
+
+/// Default shard count for `sharded` specs that don't say.
+const DEFAULT_SHARDS: usize = 4;
+
+/// Default dimension for `strategy=hash` when `hash_dim` is absent: the
+/// low destination-IP segment, typically the most value-diverse field in
+/// ClassBench-style sets.
+const DEFAULT_HASH_DIM: Dim = Dim::DipLo;
+
+fn parse_dim(s: &str) -> Option<Dim> {
+    Some(match s {
+        "sip_hi" => Dim::SipHi,
+        "sip_lo" => Dim::SipLo,
+        "dip_hi" => Dim::DipHi,
+        "dip_lo" => Dim::DipLo,
+        "src_port" => Dim::SrcPort,
+        "dst_port" => Dim::DstPort,
+        "proto" => Dim::Proto,
+        _ => return None,
+    })
 }
 
 impl EngineBuilder {
     /// A builder for the given backend with default provisioning.
+    ///
+    /// For [`EngineKind::Sharded`] the defaults are 4 shards of
+    /// `configurable-bst` split by priority bands.
     pub fn new(kind: EngineKind) -> Self {
         EngineBuilder {
             kind,
@@ -88,20 +132,32 @@ impl EngineBuilder {
             combine: None,
             rfc_entry_cap: DEFAULT_RFC_ENTRY_CAP,
             hypercuts: HyperCutsConfig::default(),
+            shard_count: DEFAULT_SHARDS,
+            shard_strategy: ShardStrategy::PriorityBands,
+            shard_inner: EngineKind::ConfigurableBst,
         }
     }
 
     /// Parses a config string: a backend name, optionally followed by
     /// `:key=value[,key=value...]` options.
     ///
-    /// Options (configurable backends only — other kinds reject them, so
-    /// a sweep never silently measures a configuration it didn't ask
-    /// for): `rf_bits=N` sets the Rule Filter address width;
-    /// `combine=first|probe` selects the phase-3 strategy.
+    /// Configurable backends take `rf_bits=N` (Rule Filter address
+    /// width) and `combine=first|probe` (phase-3 strategy). The sharded
+    /// backend takes `inner=<kind>`, `shards=N`, `strategy=prio|hash`
+    /// and `hash_dim=<dimension>` (e.g. `dst_port`; implies nothing on
+    /// its own — it refines `strategy=hash`), plus `rf_bits`/`combine`
+    /// when its inner engine is configurable.
+    ///
+    /// Every key is checked against the kind it is for: unknown keys,
+    /// keys for another backend, and duplicated keys are hard
+    /// [`BuildError::ConfigError`]s, never silently ignored.
     ///
     /// # Errors
     ///
-    /// [`BuildError::UnknownKind`] / [`BuildError::BadOption`].
+    /// [`BuildError::UnknownKind`] for an unregistered backend name,
+    /// [`BuildError::BadOption`] for malformed `key=value` text, and
+    /// [`BuildError::ConfigError`] for unknown/duplicate/inconsistent
+    /// keys.
     pub fn from_spec(spec: &str) -> Result<Self, BuildError> {
         let (kind_str, opts) = match spec.split_once(':') {
             Some((k, o)) => (k, Some(o)),
@@ -112,6 +168,10 @@ impl EngineBuilder {
             .parse()
             .map_err(|source| BuildError::UnknownKind { source })?;
         let mut b = EngineBuilder::new(kind);
+        let mut seen: Vec<String> = Vec::new();
+        let mut hash_dim: Option<Dim> = None;
+        let mut strategy_set = false;
+        let takes_configurable_opts = kind.is_configurable() || kind == EngineKind::Sharded;
         for opt in opts.into_iter().flat_map(|o| o.split(',')) {
             let opt = opt.trim();
             if opt.is_empty() {
@@ -120,20 +180,92 @@ impl EngineBuilder {
             let bad = || BuildError::BadOption {
                 option: opt.to_string(),
             };
+            let config_err = |reason: String| BuildError::ConfigError {
+                option: opt.to_string(),
+                reason,
+            };
             let (key, value) = opt.split_once('=').ok_or_else(bad)?;
-            match key.trim() {
-                "rf_bits" if kind.is_configurable() => {
-                    b.rule_filter_bits = Some(value.trim().parse().map_err(|_| bad())?);
+            let (key, value) = (key.trim(), value.trim());
+            if seen.iter().any(|k| k == key) {
+                return Err(config_err(format!(
+                    "duplicate key {key:?}; each key may appear once"
+                )));
+            }
+            seen.push(key.to_string());
+            match key {
+                "rf_bits" if takes_configurable_opts => {
+                    b.rule_filter_bits = Some(value.parse().map_err(|_| bad())?);
                 }
-                "combine" if kind.is_configurable() => {
-                    b.combine = Some(match value.trim() {
+                "combine" if takes_configurable_opts => {
+                    b.combine = Some(match value {
                         "first" => CombineStrategy::FirstLabel,
                         "probe" => CombineStrategy::PriorityProbe,
                         _ => return Err(bad()),
                     });
                 }
-                _ => return Err(bad()),
+                "inner" if kind == EngineKind::Sharded => {
+                    let inner: EngineKind = value
+                        .parse()
+                        .map_err(|source| BuildError::UnknownKind { source })?;
+                    if inner == EngineKind::Sharded {
+                        return Err(config_err(
+                            "the inner engine cannot itself be sharded".to_string(),
+                        ));
+                    }
+                    b.shard_inner = inner;
+                }
+                "shards" if kind == EngineKind::Sharded => {
+                    let n: usize = value.parse().map_err(|_| bad())?;
+                    if n == 0 {
+                        return Err(config_err("shards must be >= 1".to_string()));
+                    }
+                    b.shard_count = n;
+                }
+                "strategy" if kind == EngineKind::Sharded => {
+                    strategy_set = true;
+                    b.shard_strategy = match value {
+                        "prio" | "priority" | "bands" => ShardStrategy::PriorityBands,
+                        "hash" | "field-hash" => ShardStrategy::FieldHash(DEFAULT_HASH_DIM),
+                        _ => return Err(bad()),
+                    };
+                }
+                "hash_dim" if kind == EngineKind::Sharded => {
+                    // An unknown dimension is an unparseable value, the
+                    // same class as combine=middle: BadOption.
+                    hash_dim = Some(parse_dim(value).ok_or_else(bad)?);
+                }
+                _ => {
+                    return Err(config_err(format!(
+                        "unknown key {key:?} for backend {kind}"
+                    )))
+                }
             }
+        }
+        // Cross-key validation (spec key order must not matter).
+        if let Some(dim) = hash_dim {
+            match b.shard_strategy {
+                ShardStrategy::FieldHash(_) if strategy_set => {
+                    b.shard_strategy = ShardStrategy::FieldHash(dim);
+                }
+                _ => {
+                    return Err(BuildError::ConfigError {
+                        option: format!("hash_dim={dim}"),
+                        reason: "hash_dim requires strategy=hash".to_string(),
+                    })
+                }
+            }
+        }
+        if kind == EngineKind::Sharded
+            && !b.shard_inner.is_configurable()
+            && (b.rule_filter_bits.is_some() || b.combine.is_some())
+        {
+            return Err(BuildError::ConfigError {
+                option: spec.to_string(),
+                reason: format!(
+                    "rf_bits/combine apply to configurable inner engines, not {}",
+                    b.shard_inner
+                ),
+            });
         }
         Ok(b)
     }
@@ -174,6 +306,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the shard count (sharded backend; 0 is clamped to 1 at
+    /// build time).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shard_count = shards;
+        self
+    }
+
+    /// Sets the rule-partitioning strategy (sharded backend).
+    pub fn with_shard_strategy(mut self, strategy: ShardStrategy) -> Self {
+        self.shard_strategy = strategy;
+        self
+    }
+
+    /// Sets the inner backend each shard runs (sharded backend).
+    pub fn with_shard_inner(mut self, inner: EngineKind) -> Self {
+        self.shard_inner = inner;
+        self
+    }
+
     fn arch_for(&self, alg: IpAlg, rules: &RuleSet) -> ArchConfig {
         let mut cfg = self.arch.clone().unwrap_or_else(ArchConfig::large);
         cfg.ip_alg = alg;
@@ -205,6 +356,35 @@ impl EngineBuilder {
             reason: e.to_string(),
         })?;
         Ok(ConfigurableEngine::new(cls))
+    }
+
+    fn build_sharded(&self, rules: &RuleSet) -> Result<ShardedEngine, BuildError> {
+        if self.shard_inner == EngineKind::Sharded {
+            return Err(BuildError::ConfigError {
+                option: "inner=sharded".to_string(),
+                reason: "the inner engine cannot itself be sharded".to_string(),
+            });
+        }
+        let plan = shard::plan(rules, self.shard_count, self.shard_strategy);
+        // Each shard gets its own inner engine, provisioned for its own
+        // slice (Rule Filter autosizing sees the shard's rule count, not
+        // the global one — that per-shard right-sizing is half the win).
+        let mut inner = EngineBuilder::new(self.shard_inner);
+        inner.arch.clone_from(&self.arch);
+        inner.rule_filter_bits = self.rule_filter_bits;
+        inner.combine = self.combine;
+        inner.rfc_entry_cap = self.rfc_entry_cap;
+        inner.hypercuts = self.hypercuts;
+        let mut parts = Vec::with_capacity(plan.shards.len());
+        for slice in plan.shards {
+            let engine = inner.build(&slice.rules)?;
+            parts.push((engine, slice));
+        }
+        Ok(ShardedEngine::from_parts(
+            parts,
+            self.shard_strategy,
+            self.shard_inner,
+        ))
     }
 
     /// Builds the backend over a rule set.
@@ -246,6 +426,7 @@ impl EngineBuilder {
                 OptionClassifier::build(rules, OptionKind::Two),
                 rules,
             )),
+            EngineKind::Sharded => Box::new(self.build_sharded(rules)?),
         })
     }
 }
@@ -310,10 +491,16 @@ mod tests {
             EngineBuilder::from_spec("warp-drive"),
             Err(BuildError::UnknownKind { .. })
         ));
+        // Unknown keys are a hard ConfigError on every kind.
         assert!(matches!(
             EngineBuilder::from_spec("linear:frobnicate=1"),
-            Err(BuildError::BadOption { .. })
+            Err(BuildError::ConfigError { .. })
         ));
+        assert!(matches!(
+            EngineBuilder::from_spec("sharded:frobnicate=1"),
+            Err(BuildError::ConfigError { .. })
+        ));
+        // Malformed values stay BadOption.
         assert!(matches!(
             EngineBuilder::from_spec("configurable-mbt:rf_bits=banana"),
             Err(BuildError::BadOption { .. })
@@ -322,16 +509,112 @@ mod tests {
             EngineBuilder::from_spec("configurable-mbt:combine=middle"),
             Err(BuildError::BadOption { .. })
         ));
-        // Configurable-only options on a fixed backend must fail loudly,
-        // not be silently discarded.
+        assert!(matches!(
+            EngineBuilder::from_spec("configurable-mbt:rf_bits"),
+            Err(BuildError::BadOption { .. })
+        ));
+        // Keys for another backend must fail loudly, not be silently
+        // discarded.
         assert!(matches!(
             EngineBuilder::from_spec("rfc:combine=first"),
-            Err(BuildError::BadOption { .. })
+            Err(BuildError::ConfigError { .. })
         ));
         assert!(matches!(
             EngineBuilder::from_spec("dcfl:rf_bits=20"),
+            Err(BuildError::ConfigError { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("linear:shards=4"),
+            Err(BuildError::ConfigError { .. })
+        ));
+        // Duplicated keys are ambiguous, not last-wins.
+        assert!(matches!(
+            EngineBuilder::from_spec("configurable-mbt:rf_bits=14,rf_bits=12"),
+            Err(BuildError::ConfigError { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_spec_options_reach_the_engine() {
+        let rules = rules();
+        let b = EngineBuilder::from_spec(
+            "sharded:inner=linear,shards=2,strategy=hash,hash_dim=dst_port",
+        )
+        .unwrap();
+        assert_eq!(b.kind(), EngineKind::Sharded);
+        let engine = b.build_sharded(&rules).unwrap();
+        assert_eq!(engine.inner_kind(), EngineKind::Linear);
+        assert_eq!(engine.strategy(), ShardStrategy::FieldHash(Dim::DstPort));
+        assert!(engine.shard_count() <= 2);
+        assert_eq!(engine.rules(), 2);
+
+        // strategy=hash alone picks the default dimension.
+        let b = EngineBuilder::from_spec("sharded:strategy=hash").unwrap();
+        let engine = b.build_sharded(&rules).unwrap();
+        assert!(matches!(engine.strategy(), ShardStrategy::FieldHash(_)));
+
+        // rf_bits flows through to configurable inner shards.
+        let b =
+            EngineBuilder::from_spec("sharded:inner=configurable-mbt,shards=2,rf_bits=13").unwrap();
+        assert!(b.build_sharded(&rules).is_ok());
+    }
+
+    #[test]
+    fn sharded_spec_inconsistencies_are_config_errors() {
+        for spec in [
+            "sharded:inner=sharded",                // recursive sharding
+            "sharded:shards=0",                     // no shards
+            "sharded:hash_dim=dst_port",            // hash_dim without strategy=hash
+            "sharded:strategy=prio,hash_dim=proto", // same, explicit prio
+            "sharded:inner=linear,rf_bits=14",      // rf_bits needs configurable inner
+            "sharded:inner=linear,combine=probe",   // combine likewise
+        ] {
+            assert!(
+                matches!(
+                    EngineBuilder::from_spec(spec),
+                    Err(BuildError::ConfigError { .. })
+                ),
+                "{spec} must be a ConfigError"
+            );
+        }
+        assert!(matches!(
+            EngineBuilder::from_spec("sharded:inner=quantum"),
+            Err(BuildError::UnknownKind { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("sharded:shards=many"),
             Err(BuildError::BadOption { .. })
         ));
+        // An unknown dimension name is an unparseable value: BadOption,
+        // like combine=middle.
+        assert!(matches!(
+            EngineBuilder::from_spec("sharded:strategy=hash,hash_dim=warp"),
+            Err(BuildError::BadOption { .. })
+        ));
+        // The builder-method path is validated at build time.
+        let e = EngineBuilder::new(EngineKind::Sharded)
+            .with_shard_inner(EngineKind::Sharded)
+            .build(&rules());
+        assert!(matches!(e, Err(BuildError::ConfigError { .. })));
+    }
+
+    #[test]
+    fn spec_key_order_does_not_matter() {
+        let rules = rules();
+        for spec in [
+            "sharded:strategy=hash,hash_dim=proto,inner=linear",
+            "sharded:hash_dim=proto,strategy=hash,inner=linear",
+            "sharded:inner=linear,hash_dim=proto,strategy=hash",
+        ] {
+            let e = EngineBuilder::from_spec(spec)
+                .unwrap()
+                .build_sharded(&rules);
+            assert_eq!(
+                e.unwrap().strategy(),
+                ShardStrategy::FieldHash(Dim::Proto),
+                "{spec}"
+            );
+        }
     }
 
     #[test]

@@ -27,11 +27,15 @@ pub enum EngineKind {
     Option1,
     /// Table I "Option 2": 4-level IP tries + 5-level port tries.
     Option2,
+    /// Partitioned multi-classifier: N inner engines over rule-set
+    /// shards, verdicts merged by priority (see `ShardedEngine`).
+    Sharded,
 }
 
 impl EngineKind {
-    /// Every backend, in the order the paper's tables list them.
-    pub const ALL: [EngineKind; 8] = [
+    /// Every backend, in the order the paper's tables list them
+    /// (workspace-grown backends follow the paper's rows).
+    pub const ALL: [EngineKind; 9] = [
         EngineKind::ConfigurableMbt,
         EngineKind::ConfigurableBst,
         EngineKind::Linear,
@@ -40,6 +44,7 @@ impl EngineKind {
         EngineKind::Dcfl,
         EngineKind::Option1,
         EngineKind::Option2,
+        EngineKind::Sharded,
     ];
 
     /// The canonical config-string spelling ([`FromStr`] inverse).
@@ -53,6 +58,7 @@ impl EngineKind {
             EngineKind::Dcfl => "dcfl",
             EngineKind::Option1 => "option1",
             EngineKind::Option2 => "option2",
+            EngineKind::Sharded => "sharded",
         }
     }
 
@@ -105,6 +111,7 @@ impl FromStr for EngineKind {
             "dcfl" => EngineKind::Dcfl,
             "option1" | "option-1" => EngineKind::Option1,
             "option2" | "option-2" => EngineKind::Option2,
+            "sharded" => EngineKind::Sharded,
             _ => {
                 return Err(ParseEngineKindError {
                     input: s.to_string(),

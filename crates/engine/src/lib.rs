@@ -15,8 +15,9 @@
 //! * [`Verdict`] / [`LookupStats`] — one result vocabulary replacing the
 //!   `Classification` vs `BaselineResult` split;
 //! * [`EngineKind`] — the registry of all backends (the paper's
-//!   configurable architecture in both `IPalg_s` settings, plus the five
-//!   Table I comparators);
+//!   configurable architecture in both `IPalg_s` settings, the five
+//!   Table I comparators, and the [`ShardedEngine`] partitioned
+//!   multi-classifier);
 //! * [`EngineBuilder`] — constructs any backend as
 //!   `Box<dyn PacketClassifier>` from an [`EngineKind`] or a config
 //!   string such as `"configurable-bst:rf_bits=14"`, enabling scenario
@@ -53,11 +54,15 @@ mod baseline;
 mod builder;
 mod configurable;
 mod kind;
+mod sharded;
 
 pub use baseline::BaselineEngine;
 pub use builder::{build_engine, BuildError, EngineBuilder};
 pub use configurable::ConfigurableEngine;
 pub use kind::EngineKind;
+pub use sharded::ShardedEngine;
+// Re-exported so callers can configure sharding without a spc-core dep.
+pub use spc_core::shard::ShardStrategy;
 
 use spc_hwsim::AccessCounts;
 use spc_types::{Action, Header, Priority, Rule, RuleId};

@@ -1,0 +1,473 @@
+//! [`PacketClassifier`] that partitions the rule set across N inner
+//! engines and merges their verdicts by priority.
+//!
+//! The paper scales by replicating single-field engines in parallel
+//! hardware; [`ShardedEngine`] is the software analogue one level up:
+//! a [`spc_core::shard::ShardPlan`] splits the rule set (by priority
+//! band or field hash), one inner [`PacketClassifier`] is built per
+//! slice, and every lookup queries all shards, keeping the hit with the
+//! best `(priority, global rule id)`. Because each shard sees every
+//! header, correctness is independent of the partitioning strategy —
+//! the differential oracle enforces exactly that.
+//!
+//! The batch path is where sharding pays. It fans out over one scoped
+//! worker thread per shard (`std::thread::scope`), each worker running
+//! its inner engine's own amortised `classify_batch` chunk by chunk (so
+//! a configurable inner reuses its [`spc_core::ClassifyScratch`] across
+//! the whole batch), with verdict chunks streaming through `mpsc`
+//! channels. The wiring depends on the strategy:
+//!
+//! * [`ShardStrategy::FieldHash`] — *broadcast*: every worker sees every
+//!   chunk, remapped verdicts stream back to one merge loop. All shards
+//!   are always queried; shard structures are smaller and (given cores)
+//!   run concurrently.
+//! * [`ShardStrategy::PriorityBands`] — *cascade*: band workers form a
+//!   channel-fed pipeline in band order. Priority bands are totally
+//!   ordered by `(priority, global id)`, so a hit in band `k` cannot be
+//!   beaten by any later band — each worker resolves its hits on the
+//!   spot and forwards only unresolved headers downstream. High-priority
+//!   traffic never pays for the long tail, and chunks ripple through the
+//!   pipeline concurrently.
+
+use crate::{EngineKind, LookupStats, PacketClassifier, Verdict};
+use spc_core::shard::{ShardSlice, ShardStrategy};
+use spc_hwsim::AccessCounts;
+use spc_types::{Header, RuleId};
+use std::sync::mpsc;
+
+/// Headers per work unit on the batch path. Small enough that merge
+/// overlaps shard work, large enough that channel traffic is noise.
+const CHUNK: usize = 1024;
+
+/// One shard: an inner engine plus the local→global rule-id map.
+#[derive(Debug)]
+struct Shard {
+    engine: Box<dyn PacketClassifier>,
+    global_ids: Vec<RuleId>,
+}
+
+impl Shard {
+    /// Rewrites a shard-local verdict into global rule-id space.
+    fn remap(&self, v: Verdict) -> Verdict {
+        Verdict {
+            rule: v.rule.map(|id| self.global_ids[id.0 as usize]),
+            ..v
+        }
+    }
+}
+
+/// A partitioned multi-classifier backend: N inner engines, one merged
+/// verdict. Built by [`crate::EngineBuilder`] from specs like
+/// `sharded:inner=configurable-bst,shards=8,strategy=prio`.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    strategy: ShardStrategy,
+    inner_kind: EngineKind,
+    rules: usize,
+}
+
+impl ShardedEngine {
+    /// Assembles a sharded engine from built inner engines and their
+    /// id maps (one per [`ShardSlice`] of the plan that produced them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or an engine's rule count disagrees
+    /// with its slice — both indicate a builder bug, not user error.
+    pub fn from_parts(
+        parts: Vec<(Box<dyn PacketClassifier>, ShardSlice)>,
+        strategy: ShardStrategy,
+        inner_kind: EngineKind,
+    ) -> Self {
+        assert!(!parts.is_empty(), "a sharded engine needs >= 1 shard");
+        let mut shards = Vec::with_capacity(parts.len());
+        let mut rules = 0;
+        for (engine, slice) in parts {
+            assert_eq!(engine.rules(), slice.global_ids.len(), "slice mismatch");
+            rules += slice.global_ids.len();
+            shards.push(Shard {
+                engine,
+                global_ids: slice.global_ids,
+            });
+        }
+        ShardedEngine {
+            shards,
+            strategy,
+            inner_kind,
+            rules,
+        }
+    }
+
+    /// Number of shards actually built (empty slices are dropped by the
+    /// plan, so this can be below the requested count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioning strategy in force.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// The registry kind of the inner engines.
+    pub fn inner_kind(&self) -> EngineKind {
+        self.inner_kind
+    }
+
+    /// Per-shard rule counts, for load-balance inspection.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.engine.rules()).collect()
+    }
+
+    /// Folds `from` into `into`: the hit with the better
+    /// `(priority, global rule id)` wins, memory reads accumulate (all
+    /// shards are queried, so every shard's reads are real work). The
+    /// merge is commutative and associative, which is what lets the
+    /// batch path fold chunks in arrival order.
+    fn merge(into: &mut Verdict, from: &Verdict) {
+        into.mem_reads = into.mem_reads.saturating_add(from.mem_reads);
+        let wins = match (from.rule, into.rule) {
+            (None, _) => false,
+            (Some(_), None) => true,
+            (Some(f), Some(i)) => (from.priority, f) < (into.priority, i),
+        };
+        if wins {
+            into.rule = from.rule;
+            into.priority = from.priority;
+            into.action = from.action;
+        }
+    }
+
+    /// Broadcast fan-out: every worker classifies every chunk; remapped
+    /// verdict chunks stream back over one channel and merge in arrival
+    /// order (the merge is commutative, so order doesn't matter).
+    /// Returns the inner stats folded with `+`.
+    fn batch_broadcast(
+        shards: &mut [Shard],
+        headers: &[Header],
+        out: &mut [Verdict],
+    ) -> LookupStats {
+        let (tx, rx) = mpsc::channel::<(usize, Vec<Verdict>, LookupStats)>();
+        let mut folded = LookupStats::default();
+        std::thread::scope(|scope| {
+            for shard in shards.iter_mut() {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut buf = Vec::new();
+                    for (ci, chunk) in headers.chunks(CHUNK).enumerate() {
+                        let stats = shard.engine.classify_batch(chunk, &mut buf);
+                        let remapped = buf.iter().map(|&v| shard.remap(v)).collect();
+                        // A send only fails if the receiver is gone, and
+                        // the merge loop below outlives every worker.
+                        let _ = tx.send((ci * CHUNK, remapped, stats));
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok((offset, chunk, stats)) = rx.recv() {
+                folded = folded + stats;
+                for (slot, v) in out[offset..].iter_mut().zip(&chunk) {
+                    Self::merge(slot, v);
+                }
+            }
+        });
+        folded
+    }
+
+    /// Cascade pipeline for priority bands: worker `k` receives chunks
+    /// of `(header index, reads so far)`, resolves every hit (band
+    /// order guarantees no later band can beat it) straight to the
+    /// result channel, and forwards only unresolved headers to worker
+    /// `k + 1`. The last band resolves its misses too. Returns the
+    /// inner stats folded with `+` (only `combos_probed` survives into
+    /// the caller's restatement).
+    fn batch_cascade(shards: &mut [Shard], headers: &[Header], out: &mut [Verdict]) -> LookupStats {
+        type Work = Vec<(usize, u32)>;
+        let n = shards.len();
+        let (res_tx, res_rx) = mpsc::channel::<Vec<(usize, Verdict)>>();
+        let (stat_tx, stat_rx) = mpsc::channel::<LookupStats>();
+        std::thread::scope(|scope| {
+            // Seed band 0 with the whole batch, nothing read yet.
+            let (seed_tx, seed_rx) = mpsc::channel::<Work>();
+            for chunk_start in (0..headers.len()).step_by(CHUNK) {
+                let chunk_end = (chunk_start + CHUNK).min(headers.len());
+                let _ = seed_tx.send((chunk_start..chunk_end).map(|i| (i, 0u32)).collect());
+            }
+            drop(seed_tx);
+
+            let mut rx = seed_rx;
+            for (k, shard) in shards.iter_mut().enumerate() {
+                let is_last = k + 1 == n;
+                let (fwd_tx, fwd_rx) = mpsc::channel::<Work>();
+                let my_rx = std::mem::replace(&mut rx, fwd_rx);
+                let res_tx = res_tx.clone();
+                let stat_tx = stat_tx.clone();
+                scope.spawn(move || {
+                    let mut gathered: Vec<Header> = Vec::new();
+                    let mut buf: Vec<Verdict> = Vec::new();
+                    let mut folded = LookupStats::default();
+                    while let Ok(items) = my_rx.recv() {
+                        gathered.clear();
+                        gathered.extend(items.iter().map(|&(i, _)| headers[i]));
+                        folded = folded + shard.engine.classify_batch(&gathered, &mut buf);
+                        let mut resolved = Vec::new();
+                        let mut unresolved: Work = Vec::new();
+                        for (&(i, carried), v) in items.iter().zip(&buf) {
+                            let mut v = shard.remap(*v);
+                            v.mem_reads = v.mem_reads.saturating_add(carried);
+                            if v.is_hit() || is_last {
+                                resolved.push((i, v));
+                            } else {
+                                unresolved.push((i, v.mem_reads));
+                            }
+                        }
+                        if !resolved.is_empty() {
+                            let _ = res_tx.send(resolved);
+                        }
+                        if !unresolved.is_empty() {
+                            let _ = fwd_tx.send(unresolved);
+                        }
+                    }
+                    // Dropping fwd_tx here closes the downstream band's
+                    // inbox, draining the pipeline stage by stage.
+                    let _ = stat_tx.send(folded);
+                });
+            }
+            drop(res_tx);
+            drop(stat_tx);
+            while let Ok(batch) = res_rx.recv() {
+                for (i, v) in batch {
+                    out[i] = v;
+                }
+            }
+        });
+        let mut folded = LookupStats::default();
+        while let Ok(s) = stat_rx.try_recv() {
+            folded = folded + s;
+        }
+        folded
+    }
+}
+
+impl PacketClassifier for ShardedEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sharded
+    }
+
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    fn rules(&self) -> usize {
+        self.rules
+    }
+
+    fn classify(&self, header: &Header) -> Verdict {
+        match self.strategy {
+            // Bands are (priority, id)-ordered: the first band that hits
+            // holds the global HPMR, and later bands are never read.
+            ShardStrategy::PriorityBands => {
+                let mut reads = 0u32;
+                for shard in &self.shards {
+                    let mut v = shard.remap(shard.engine.classify(header));
+                    v.mem_reads = v.mem_reads.saturating_add(reads);
+                    if v.is_hit() {
+                        return v;
+                    }
+                    reads = v.mem_reads;
+                }
+                Verdict::miss(reads)
+            }
+            // Hash shards are unordered: query all, keep the best.
+            ShardStrategy::FieldHash(_) => {
+                let mut merged = Verdict::miss(0);
+                for shard in &self.shards {
+                    let v = shard.remap(shard.engine.classify(header));
+                    Self::merge(&mut merged, &v);
+                }
+                merged
+            }
+        }
+    }
+
+    /// Fans the batch out over one scoped worker per shard (broadcast
+    /// for hash shards, a channel-fed cascade pipeline for priority
+    /// bands — see the module docs) and merges verdict chunks as they
+    /// stream back.
+    ///
+    /// The returned [`LookupStats`] is the per-shard stats folded with
+    /// `+` and then restated in merged terms: `packets` is the batch
+    /// length (not shards × batch) and `hits` counts merged hits, while
+    /// `mem_reads` always equals the sum of the emitted verdicts' reads
+    /// — for hash shards that is every shard's reads for every header
+    /// (N parallel hardware engines all do the work); for priority
+    /// bands only the bands a header actually visited.
+    fn classify_batch(&mut self, headers: &[Header], out: &mut Vec<Verdict>) -> LookupStats {
+        out.clear();
+        if headers.is_empty() {
+            return LookupStats::default();
+        }
+        out.resize(headers.len(), Verdict::miss(0));
+
+        if self.shards.len() == 1 {
+            // No fan-out to pay for: delegate and remap in place.
+            let shard = &mut self.shards[0];
+            let mut stats = shard.engine.classify_batch(headers, out);
+            for v in out.iter_mut() {
+                *v = shard.remap(*v);
+            }
+            stats.hits = out.iter().filter(|v| v.is_hit()).count() as u64;
+            return stats;
+        }
+
+        let folded = match self.strategy {
+            ShardStrategy::FieldHash(_) => Self::batch_broadcast(&mut self.shards, headers, out),
+            ShardStrategy::PriorityBands => Self::batch_cascade(&mut self.shards, headers, out),
+        };
+        LookupStats {
+            packets: headers.len() as u64,
+            hits: out.iter().filter(|v| v.is_hit()).count() as u64,
+            mem_reads: out.iter().map(|v| u64::from(v.mem_reads)).sum(),
+            combos_probed: folded.combos_probed,
+        }
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.memory_bits()).sum()
+    }
+
+    fn access_counts(&self) -> AccessCounts {
+        self.shards
+            .iter()
+            .map(|s| s.engine.access_counts())
+            .fold(AccessCounts::default(), |a, b| a + b)
+    }
+
+    fn reset_access_counts(&self) {
+        for s in &self.shards {
+            s.engine.reset_access_counts();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineBuilder;
+    use spc_types::{Action, PortRange, Priority, ProtoSpec, Rule, RuleSet};
+
+    fn rules(n: u32) -> RuleSet {
+        (0..n)
+            .map(|i| {
+                Rule::builder(Priority(i))
+                    .dst_port(PortRange::exact(i as u16))
+                    .proto(ProtoSpec::Exact(6))
+                    .action(Action::Forward(i as u16))
+                    .build()
+            })
+            .collect()
+    }
+
+    fn hdr(port: u16) -> Header {
+        Header::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 7, port, 6)
+    }
+
+    fn sharded(n_rules: u32, shards: usize) -> Box<dyn PacketClassifier> {
+        EngineBuilder::from_spec(&format!("sharded:inner=linear,shards={shards}"))
+            .unwrap()
+            .build(&rules(n_rules))
+            .unwrap()
+    }
+
+    #[test]
+    fn merged_verdicts_carry_global_ids() {
+        let mut e = sharded(20, 4);
+        assert_eq!(e.rules(), 20);
+        assert_eq!(e.kind(), EngineKind::Sharded);
+        for port in 0..20u16 {
+            let v = e.classify(&hdr(port));
+            assert_eq!(v.rule, Some(RuleId(u32::from(port))), "global id restored");
+            assert_eq!(v.action, Some(Action::Forward(port)));
+        }
+        assert!(!e.classify(&hdr(999)).is_hit());
+        let trace: Vec<Header> = (0..64).map(|i| hdr(i % 25)).collect();
+        let mut out = Vec::new();
+        let stats = e.classify_batch(&trace, &mut out);
+        assert_eq!(stats.packets, 64);
+        assert_eq!(out.len(), 64);
+        for (h, v) in trace.iter().zip(&out) {
+            assert_eq!(*v, e.classify(h), "batch equals single at {h}");
+        }
+        assert_eq!(stats.hits, out.iter().filter(|v| v.is_hit()).count() as u64);
+        assert_eq!(
+            stats.mem_reads,
+            out.iter().map(|v| u64::from(v.mem_reads)).sum::<u64>(),
+            "folded reads equal the per-verdict sums"
+        );
+    }
+
+    #[test]
+    fn merge_prefers_priority_then_global_id() {
+        let hit = |rule: u32, prio: u32, reads: u32| Verdict {
+            rule: Some(RuleId(rule)),
+            priority: Some(Priority(prio)),
+            action: Some(Action::Forward(rule as u16)),
+            mem_reads: reads,
+        };
+        let mut m = Verdict::miss(2);
+        ShardedEngine::merge(&mut m, &hit(9, 5, 3));
+        assert_eq!(m.rule, Some(RuleId(9)));
+        assert_eq!(m.mem_reads, 5);
+        // Lower priority value wins...
+        ShardedEngine::merge(&mut m, &hit(30, 1, 1));
+        assert_eq!(m.rule, Some(RuleId(30)));
+        // ...equal priority falls back to the lower global id...
+        ShardedEngine::merge(&mut m, &hit(12, 1, 1));
+        assert_eq!(m.rule, Some(RuleId(12)));
+        // ...and a worse hit or miss changes nothing but the reads.
+        ShardedEngine::merge(&mut m, &hit(50, 8, 1));
+        ShardedEngine::merge(&mut m, &Verdict::miss(4));
+        assert_eq!(m.rule, Some(RuleId(12)));
+        assert_eq!(m.priority, Some(Priority(1)));
+        assert_eq!(m.mem_reads, 12);
+    }
+
+    #[test]
+    fn single_shard_skips_fanout_but_matches_semantics() {
+        let mut one = sharded(12, 1);
+        let mut four = sharded(12, 4);
+        let trace: Vec<Header> = (0..40).map(|i| hdr(i % 14)).collect();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let sa = one.classify_batch(&trace, &mut a);
+        let sb = four.classify_batch(&trace, &mut b);
+        // Matches agree; mem_reads legitimately differ (every shard
+        // scans its slice, so totals depend on the partition).
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rule, y.rule);
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.action, y.action);
+        }
+        assert_eq!(sa.packets, sb.packets);
+        assert_eq!(sa.hits, sb.hits);
+    }
+
+    #[test]
+    fn batch_on_empty_input_is_empty() {
+        let mut e = sharded(8, 2);
+        let mut out = vec![Verdict::miss(1)];
+        let stats = e.classify_batch(&[], &mut out);
+        assert!(out.is_empty());
+        assert_eq!(stats, LookupStats::default());
+    }
+
+    #[test]
+    fn memory_and_rules_aggregate() {
+        let one = sharded(16, 1);
+        let four = sharded(16, 4);
+        assert_eq!(one.rules(), four.rules());
+        // Four linear shards hold the same rules overall; per-shard
+        // structures can only add overhead.
+        assert!(four.memory_bits() >= one.memory_bits() / 2);
+    }
+}

@@ -36,6 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rules: 1500,
             why: "offline exactness at any memory cost",
         },
+        AppProfile {
+            name: "metro-core aggregation",
+            spec: "sharded:inner=configurable-bst,shards=8,strategy=hash",
+            rules: 8000,
+            why: "rule count beyond one engine: shard by field hash, merge by priority",
+        },
     ];
     for app in apps {
         let rules = RuleSetGenerator::new(FilterKind::Acl, app.rules)
