@@ -1,0 +1,84 @@
+//! Criterion bench: `IngestPipeline` batch throughput on a *non-sharded*
+//! backend as a function of worker count, on an 8k-rule ACL set — the
+//! measurement behind the "any engine can be driven from a header
+//! stream" claim. The sequential `classify_batch` of a single engine is
+//! the baseline in every group, so the scaling factor is read straight
+//! off the report; replicated (per-worker clone) and shared (`Arc`)
+//! sources are benchmarked side by side since they are the pipeline's
+//! central trade-off.
+//!
+//! `SPC_SCALE` overrides the rule count; `--test` (as in CI's
+//! bench-smoke job) runs every body once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spc_bench::{ruleset, scale_or, trace};
+use spc_classbench::FilterKind;
+use spc_engine::{
+    EngineBuilder, EngineSource, IngestConfig, IngestPipeline, PacketClassifier, Verdict,
+};
+use std::sync::Arc;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 8192;
+const SPEC: &str = "configurable-bst";
+
+fn bench_ingest_throughput(c: &mut Criterion) {
+    let rules = ruleset(FilterKind::Acl, scale_or(8192));
+    let t = trace(&rules, BATCH);
+    let builder = EngineBuilder::from_spec(SPEC).expect("valid spec");
+
+    let mut group = c.benchmark_group("ingest_throughput");
+    group.throughput(Throughput::Elements(t.len() as u64));
+
+    // Baseline: one engine, sequential amortised batch path.
+    let mut sequential = builder.build(&rules).expect("8k-rule ACL fits");
+    let mut out: Vec<Verdict> = Vec::new();
+    group.bench_with_input(BenchmarkId::new("sequential", SPEC), &t, |b, t| {
+        b.iter(|| sequential.classify_batch(t, &mut out).hits)
+    });
+
+    // Replicated engines: each worker owns a clone and runs the
+    // amortised batch path with private scratch.
+    for workers in WORKER_COUNTS {
+        let source = EngineSource::replicated(&builder, &rules, workers).expect("replicas build");
+        let mut pipe = IngestPipeline::spawn(
+            source,
+            IngestConfig {
+                workers,
+                queue_chunks: 2 * workers,
+                chunk: 1024,
+            },
+        )
+        .expect("valid pipeline config");
+        group.bench_with_input(
+            BenchmarkId::new("cloned", format!("workers{workers}")),
+            &t,
+            |b, t| b.iter(|| pipe.run_batch(t, &mut out).hits),
+        );
+    }
+
+    // Shared engine behind `Arc`: lowest memory, single-shot lookups.
+    for workers in WORKER_COUNTS {
+        let engine: Arc<dyn PacketClassifier> =
+            Arc::from(builder.build(&rules).expect("8k-rule ACL fits"));
+        let mut pipe = IngestPipeline::spawn(
+            EngineSource::Shared(engine),
+            IngestConfig {
+                workers,
+                queue_chunks: 2 * workers,
+                chunk: 1024,
+            },
+        )
+        .expect("valid pipeline config");
+        group.bench_with_input(
+            BenchmarkId::new("shared", format!("workers{workers}")),
+            &t,
+            |b, t| b.iter(|| pipe.run_batch(t, &mut out).hits),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_throughput);
+criterion_main!(benches);

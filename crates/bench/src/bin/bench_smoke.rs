@@ -1,9 +1,10 @@
 //! CI bench-smoke: a fast, deterministic throughput comparison across
 //! the engine registry's interesting configurations — the unsharded
-//! inner engine against `sharded` at increasing shard counts — that
-//! also cross-checks every backend's verdicts against the linear oracle
-//! before timing it (a benchmark of a wrong classifier is worse than no
-//! benchmark).
+//! inner engine against `sharded` at increasing shard counts, and a
+//! non-sharded backend driven through the `IngestPipeline` worker pool
+//! at increasing worker counts — that also cross-checks every
+//! configuration's verdicts against the linear oracle before timing it
+//! (a benchmark of a wrong classifier is worse than no benchmark).
 //!
 //! Writes the measurements as `BENCH_smoke.json` (override the path
 //! with `SPC_BENCH_OUT`) so CI can upload the perf trajectory as a
@@ -14,7 +15,9 @@
 
 use spc_bench::{print_table, ruleset, scale_or, trace, Row, ToJson};
 use spc_classbench::FilterKind;
-use spc_engine::{build_engine, Verdict};
+use spc_engine::{
+    build_engine, EngineBuilder, EngineSource, IngestConfig, IngestPipeline, Verdict,
+};
 use std::time::Instant;
 
 /// Timed repetitions per spec; the best (lowest-noise) rep is reported.
@@ -121,6 +124,67 @@ fn main() {
             engine: engine.name().to_string(),
             rules: engine.rules(),
             memory_kbits: engine.memory_bits() as f64 / 1e3,
+            build_ms,
+            batch_melems_per_s: melems,
+            avg_mem_reads: stats.avg_mem_reads(),
+            hit_rate: stats.hit_rate(),
+            oracle_agrees,
+        });
+    }
+
+    // The same trace through the generalised ingest pipeline: one
+    // non-sharded backend, replicated per worker — scaling with worker
+    // count is this PR's acceptance measurement, so it lands in the
+    // artifact next to the sharded numbers.
+    const INGEST_SPEC: &str = "configurable-bst";
+    let builder = EngineBuilder::from_spec(INGEST_SPEC).expect("valid ingest spec");
+    for workers in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let source =
+            EngineSource::replicated(&builder, &rules, workers).expect("replicas must build");
+        let mut pipe = IngestPipeline::spawn(
+            source,
+            IngestConfig {
+                workers,
+                queue_chunks: 2 * workers,
+                chunk: 1024,
+            },
+        )
+        .expect("valid pipeline config");
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut out = Vec::new();
+        let mut stats = pipe.run_batch(&t, &mut out);
+        let oracle_agrees = out
+            .iter()
+            .zip(&want)
+            .all(|(g, w)| g.rule == w.rule && g.priority == w.priority && g.action == w.action);
+        all_agree &= oracle_agrees;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t1 = Instant::now();
+            stats = pipe.run_batch(&t, &mut out);
+            best = best.min(t1.elapsed().as_secs_f64());
+        }
+        let melems = t.len() as f64 / best / 1e6;
+
+        let spec = format!("ingest:{INGEST_SPEC},workers={workers}");
+        rows.push(Row {
+            name: spec.clone(),
+            values: vec![
+                format!("{melems:.2}"),
+                format!("{:.2}", stats.avg_mem_reads()),
+                "-".to_string(),
+                format!("{build_ms:.0}"),
+                if oracle_agrees { "yes" } else { "NO" }.to_string(),
+            ],
+        });
+        recs.push(SpecRec {
+            spec,
+            engine: format!("IngestPipeline({INGEST_SPEC} x{workers})"),
+            rules: rules.len(),
+            memory_kbits: 0.0, // replicas share nothing; memory is workers x backend
             build_ms,
             batch_melems_per_s: melems,
             avg_mem_reads: stats.avg_mem_reads(),

@@ -91,7 +91,9 @@ struct Installed {
 /// buffer clears — the amortisation behind `spc-engine`'s batch path.
 #[derive(Debug, Default)]
 pub struct ClassifyScratch {
-    /// Phase-2 output: one label list per dimension.
+    /// Phase-2 output: one label list per dimension. The lists themselves
+    /// are reused across lookups via `FieldEngine::lookup_into`, so after
+    /// warm-up not even the per-dimension label vectors reallocate.
     lists: Vec<LabelList>,
     /// Priority-sorted copies of the lists (probe order).
     dims: [Vec<LabelEntry>; 7],
@@ -454,25 +456,25 @@ impl Classifier {
     ///
     /// As [`Classifier::classify`].
     pub fn classify_with(&self, header: &Header, scratch: &mut ClassifyScratch) -> Classification {
-        // Phase 2: parallel single-field lookups.
-        scratch.lists.clear();
+        // Phase 2: parallel single-field lookups, each writing into the
+        // scratch's per-dimension list so nothing allocates after warm-up.
+        scratch.lists.resize_with(ALL_DIMS.len(), LabelList::new);
         let mut engine_latency = 0u32;
         let mut engine_ii = 1u32;
         let mut engine_reads = 0u32;
         let mut any_empty = false;
         for (i, &dim) in ALL_DIMS.iter().enumerate() {
             let unit = &self.dims[i];
-            let r = unit
+            let cost = unit
                 .engine
-                .lookup(&unit.store, dim.query(header))
+                .lookup_into(&unit.store, dim.query(header), &mut scratch.lists[i])
                 .expect("engines are flushed on every update path");
-            engine_latency = engine_latency.max(r.cycles);
+            engine_latency = engine_latency.max(cost.cycles);
             if !unit.engine.is_pipelined() {
-                engine_ii = engine_ii.max(r.cycles);
+                engine_ii = engine_ii.max(cost.cycles);
             }
-            engine_reads += r.mem_reads;
-            any_empty |= r.labels.is_empty();
-            scratch.lists.push(r.labels);
+            engine_reads += cost.mem_reads;
+            any_empty |= scratch.lists[i].is_empty();
         }
         if any_empty {
             // Some dimension matched nothing: no rule can match.

@@ -46,7 +46,7 @@ impl<B: fmt::Debug> fmt::Debug for BaselineEngine<B> {
     }
 }
 
-impl<B: Baseline + fmt::Debug + Send> PacketClassifier for BaselineEngine<B> {
+impl<B: Baseline + fmt::Debug + Send + Sync> PacketClassifier for BaselineEngine<B> {
     fn kind(&self) -> EngineKind {
         self.kind
     }

@@ -21,7 +21,13 @@
 //! * [`EngineBuilder`] — constructs any backend as
 //!   `Box<dyn PacketClassifier>` from an [`EngineKind`] or a config
 //!   string such as `"configurable-bst:rf_bits=14"`, enabling scenario
-//!   sweeps from CLIs and benches.
+//!   sweeps from CLIs and benches;
+//! * [`pipeline`] — the generalised ingest worker pool
+//!   ([`IngestPipeline`]): any backend driven from a header stream
+//!   through a bounded, backpressure-aware queue, over per-worker
+//!   engine replicas or one shared `Arc` engine. The sharded backend's
+//!   batch paths run on the same machinery
+//!   ([`pipeline::broadcast_batch`] / [`pipeline::cascade_batch`]).
 //!
 //! # Example
 //!
@@ -54,12 +60,16 @@ mod baseline;
 mod builder;
 mod configurable;
 mod kind;
+pub mod pipeline;
 mod sharded;
 
 pub use baseline::BaselineEngine;
 pub use builder::{build_engine, BuildError, EngineBuilder};
 pub use configurable::ConfigurableEngine;
 pub use kind::EngineKind;
+pub use pipeline::{
+    BatchWorker, EngineSource, IngestConfig, IngestPipeline, PipelineError, SharedWorker,
+};
 pub use sharded::ShardedEngine;
 // Re-exported so callers can configure sharding without a spc-core dep.
 pub use spc_core::shard::ShardStrategy;
@@ -205,7 +215,30 @@ impl std::error::Error for UpdateError {}
 /// `Box<dyn PacketClassifier>`; harnesses, tests and examples never need
 /// to know which algorithm is behind the box. See the crate docs for the
 /// design rationale and `docs/engine_design.md` for how to add a backend.
-pub trait PacketClassifier: fmt::Debug + Send {
+///
+/// Engines are `Send + Sync`: lookups take `&self` and all hardware-model
+/// access counters are atomic, so a built engine can serve concurrent
+/// readers — `Arc<dyn PacketClassifier>` behind
+/// [`pipeline::IngestPipeline`]'s shared mode relies on exactly this.
+/// Only the `&mut self` paths (batch scratch reuse, incremental updates)
+/// need exclusive access.
+///
+/// # Example
+///
+/// ```
+/// use spc_engine::{build_engine, PacketClassifier};
+/// use spc_types::{Header, Priority, Rule, RuleSet};
+///
+/// let rules = RuleSet::from_rules(vec![Rule::any(Priority(0))]);
+/// let mut engine = build_engine("configurable-mbt", &rules).unwrap();
+/// let h = Header::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 9, 80, 6);
+/// // Single-shot lookups share `&self`; the batch path amortises scratch.
+/// assert!(engine.classify(&h).is_hit());
+/// let mut verdicts = Vec::new();
+/// let stats = engine.classify_batch(&[h; 10], &mut verdicts);
+/// assert_eq!(stats.hits, 10);
+/// ```
+pub trait PacketClassifier: fmt::Debug + Send + Sync {
     /// Which registry entry this engine is.
     fn kind(&self) -> EngineKind;
 

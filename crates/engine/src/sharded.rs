@@ -10,34 +10,30 @@
 //! header, correctness is independent of the partitioning strategy —
 //! the differential oracle enforces exactly that.
 //!
-//! The batch path is where sharding pays. It fans out over one scoped
-//! worker thread per shard (`std::thread::scope`), each worker running
-//! its inner engine's own amortised `classify_batch` chunk by chunk (so
-//! a configurable inner reuses its [`spc_core::ClassifyScratch`] across
-//! the whole batch), with verdict chunks streaming through `mpsc`
-//! channels. The wiring depends on the strategy:
+//! The batch path is where sharding pays, and it runs entirely on the
+//! shared [`crate::pipeline`] worker-pool machinery — each shard is one
+//! [`pipeline::BatchWorker`] (its inner engine's own amortised
+//! `classify_batch`, so a configurable inner reuses its
+//! [`spc_core::ClassifyScratch`] across the whole batch, plus the
+//! local→global rule-id remap). The topology depends on the strategy:
 //!
-//! * [`ShardStrategy::FieldHash`] — *broadcast*: every worker sees every
-//!   chunk, remapped verdicts stream back to one merge loop. All shards
-//!   are always queried; shard structures are smaller and (given cores)
-//!   run concurrently.
-//! * [`ShardStrategy::PriorityBands`] — *cascade*: band workers form a
-//!   channel-fed pipeline in band order. Priority bands are totally
-//!   ordered by `(priority, global id)`, so a hit in band `k` cannot be
-//!   beaten by any later band — each worker resolves its hits on the
-//!   spot and forwards only unresolved headers downstream. High-priority
-//!   traffic never pays for the long tail, and chunks ripple through the
-//!   pipeline concurrently.
+//! * [`ShardStrategy::FieldHash`] — [`pipeline::broadcast_batch`]: every
+//!   worker sees every chunk, remapped verdicts stream back to one merge
+//!   loop. All shards are always queried; shard structures are smaller
+//!   and (given cores) run concurrently.
+//! * [`ShardStrategy::PriorityBands`] — [`pipeline::cascade_batch`]:
+//!   band workers form a channel-fed pipeline in band order. Priority
+//!   bands are totally ordered by `(priority, global id)`, so a hit in
+//!   band `k` cannot be beaten by any later band — each worker resolves
+//!   its hits on the spot and forwards only unresolved headers
+//!   downstream. High-priority traffic never pays for the long tail, and
+//!   chunks ripple through the pipeline concurrently.
 
+use crate::pipeline::{self, BatchWorker};
 use crate::{EngineKind, LookupStats, PacketClassifier, Verdict};
 use spc_core::shard::{ShardSlice, ShardStrategy};
 use spc_hwsim::AccessCounts;
 use spc_types::{Header, RuleId};
-use std::sync::mpsc;
-
-/// Headers per work unit on the batch path. Small enough that merge
-/// overlaps shard work, large enough that channel traffic is noise.
-const CHUNK: usize = 1024;
 
 /// One shard: an inner engine plus the local→global rule-id map.
 #[derive(Debug)]
@@ -53,6 +49,18 @@ impl Shard {
             rule: v.rule.map(|id| self.global_ids[id.0 as usize]),
             ..v
         }
+    }
+}
+
+/// A shard is one pool worker: the inner engine's amortised batch path,
+/// with every verdict remapped into global rule-id space on the way out.
+impl BatchWorker for Shard {
+    fn process(&mut self, headers: &[Header], out: &mut Vec<Verdict>) -> LookupStats {
+        let stats = self.engine.classify_batch(headers, out);
+        for v in out.iter_mut() {
+            *v = self.remap(*v);
+        }
+        stats
     }
 }
 
@@ -138,116 +146,6 @@ impl ShardedEngine {
             into.action = from.action;
         }
     }
-
-    /// Broadcast fan-out: every worker classifies every chunk; remapped
-    /// verdict chunks stream back over one channel and merge in arrival
-    /// order (the merge is commutative, so order doesn't matter).
-    /// Returns the inner stats folded with `+`.
-    fn batch_broadcast(
-        shards: &mut [Shard],
-        headers: &[Header],
-        out: &mut [Verdict],
-    ) -> LookupStats {
-        let (tx, rx) = mpsc::channel::<(usize, Vec<Verdict>, LookupStats)>();
-        let mut folded = LookupStats::default();
-        std::thread::scope(|scope| {
-            for shard in shards.iter_mut() {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    let mut buf = Vec::new();
-                    for (ci, chunk) in headers.chunks(CHUNK).enumerate() {
-                        let stats = shard.engine.classify_batch(chunk, &mut buf);
-                        let remapped = buf.iter().map(|&v| shard.remap(v)).collect();
-                        // A send only fails if the receiver is gone, and
-                        // the merge loop below outlives every worker.
-                        let _ = tx.send((ci * CHUNK, remapped, stats));
-                    }
-                });
-            }
-            drop(tx);
-            while let Ok((offset, chunk, stats)) = rx.recv() {
-                folded = folded + stats;
-                for (slot, v) in out[offset..].iter_mut().zip(&chunk) {
-                    Self::merge(slot, v);
-                }
-            }
-        });
-        folded
-    }
-
-    /// Cascade pipeline for priority bands: worker `k` receives chunks
-    /// of `(header index, reads so far)`, resolves every hit (band
-    /// order guarantees no later band can beat it) straight to the
-    /// result channel, and forwards only unresolved headers to worker
-    /// `k + 1`. The last band resolves its misses too. Returns the
-    /// inner stats folded with `+` (only `combos_probed` survives into
-    /// the caller's restatement).
-    fn batch_cascade(shards: &mut [Shard], headers: &[Header], out: &mut [Verdict]) -> LookupStats {
-        type Work = Vec<(usize, u32)>;
-        let n = shards.len();
-        let (res_tx, res_rx) = mpsc::channel::<Vec<(usize, Verdict)>>();
-        let (stat_tx, stat_rx) = mpsc::channel::<LookupStats>();
-        std::thread::scope(|scope| {
-            // Seed band 0 with the whole batch, nothing read yet.
-            let (seed_tx, seed_rx) = mpsc::channel::<Work>();
-            for chunk_start in (0..headers.len()).step_by(CHUNK) {
-                let chunk_end = (chunk_start + CHUNK).min(headers.len());
-                let _ = seed_tx.send((chunk_start..chunk_end).map(|i| (i, 0u32)).collect());
-            }
-            drop(seed_tx);
-
-            let mut rx = seed_rx;
-            for (k, shard) in shards.iter_mut().enumerate() {
-                let is_last = k + 1 == n;
-                let (fwd_tx, fwd_rx) = mpsc::channel::<Work>();
-                let my_rx = std::mem::replace(&mut rx, fwd_rx);
-                let res_tx = res_tx.clone();
-                let stat_tx = stat_tx.clone();
-                scope.spawn(move || {
-                    let mut gathered: Vec<Header> = Vec::new();
-                    let mut buf: Vec<Verdict> = Vec::new();
-                    let mut folded = LookupStats::default();
-                    while let Ok(items) = my_rx.recv() {
-                        gathered.clear();
-                        gathered.extend(items.iter().map(|&(i, _)| headers[i]));
-                        folded = folded + shard.engine.classify_batch(&gathered, &mut buf);
-                        let mut resolved = Vec::new();
-                        let mut unresolved: Work = Vec::new();
-                        for (&(i, carried), v) in items.iter().zip(&buf) {
-                            let mut v = shard.remap(*v);
-                            v.mem_reads = v.mem_reads.saturating_add(carried);
-                            if v.is_hit() || is_last {
-                                resolved.push((i, v));
-                            } else {
-                                unresolved.push((i, v.mem_reads));
-                            }
-                        }
-                        if !resolved.is_empty() {
-                            let _ = res_tx.send(resolved);
-                        }
-                        if !unresolved.is_empty() {
-                            let _ = fwd_tx.send(unresolved);
-                        }
-                    }
-                    // Dropping fwd_tx here closes the downstream band's
-                    // inbox, draining the pipeline stage by stage.
-                    let _ = stat_tx.send(folded);
-                });
-            }
-            drop(res_tx);
-            drop(stat_tx);
-            while let Ok(batch) = res_rx.recv() {
-                for (i, v) in batch {
-                    out[i] = v;
-                }
-            }
-        });
-        let mut folded = LookupStats::default();
-        while let Ok(s) = stat_rx.try_recv() {
-            folded = folded + s;
-        }
-        folded
-    }
 }
 
 impl PacketClassifier for ShardedEngine {
@@ -291,10 +189,10 @@ impl PacketClassifier for ShardedEngine {
         }
     }
 
-    /// Fans the batch out over one scoped worker per shard (broadcast
-    /// for hash shards, a channel-fed cascade pipeline for priority
-    /// bands — see the module docs) and merges verdict chunks as they
-    /// stream back.
+    /// Fans the batch out over one scoped pool worker per shard —
+    /// [`pipeline::broadcast_batch`] for hash shards,
+    /// [`pipeline::cascade_batch`] for priority bands (see the module
+    /// docs) — and merges verdict chunks as they stream back.
     ///
     /// The returned [`LookupStats`] is the per-shard stats folded with
     /// `+` and then restated in merged terms: `packets` is the batch
@@ -311,19 +209,23 @@ impl PacketClassifier for ShardedEngine {
         out.resize(headers.len(), Verdict::miss(0));
 
         if self.shards.len() == 1 {
-            // No fan-out to pay for: delegate and remap in place.
-            let shard = &mut self.shards[0];
-            let mut stats = shard.engine.classify_batch(headers, out);
-            for v in out.iter_mut() {
-                *v = shard.remap(*v);
-            }
+            // No fan-out to pay for: one worker, processed inline.
+            let mut stats = self.shards[0].process(headers, out);
             stats.hits = out.iter().filter(|v| v.is_hit()).count() as u64;
             return stats;
         }
 
         let folded = match self.strategy {
-            ShardStrategy::FieldHash(_) => Self::batch_broadcast(&mut self.shards, headers, out),
-            ShardStrategy::PriorityBands => Self::batch_cascade(&mut self.shards, headers, out),
+            ShardStrategy::FieldHash(_) => pipeline::broadcast_batch(
+                &mut self.shards,
+                headers,
+                out,
+                Self::merge,
+                pipeline::DEFAULT_CHUNK,
+            ),
+            ShardStrategy::PriorityBands => {
+                pipeline::cascade_batch(&mut self.shards, headers, out, pipeline::DEFAULT_CHUNK)
+            }
         };
         LookupStats {
             packets: headers.len() as u64,

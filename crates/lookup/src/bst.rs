@@ -17,7 +17,7 @@
 //! the engine dirty and [`FieldEngine::flush`] performs the rebuild;
 //! lookups on a dirty engine return [`EngineError::Dirty`].
 
-use crate::engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+use crate::engine::{EngineError, EngineKind, FieldEngine, LookupCost};
 use crate::label::{Label, LabelEntry, LabelList};
 use crate::store::{LabelStore, ListPtr};
 use spc_hwsim::{AccessCounts, MemoryBlock};
@@ -212,14 +212,19 @@ impl FieldEngine for RangeBst {
         Ok(())
     }
 
-    fn lookup(&self, store: &LabelStore, query: u16) -> Result<LookupResult, EngineError> {
+    fn lookup_into(
+        &self,
+        store: &LabelStore,
+        query: u16,
+        out: &mut LabelList,
+    ) -> Result<LookupCost, EngineError> {
+        out.clear();
         if self.dirty {
             return Err(EngineError::Dirty);
         }
         let n = self.intervals.len();
         if n == 0 {
-            return Ok(LookupResult {
-                labels: LabelList::new(),
+            return Ok(LookupCost {
                 mem_reads: 0,
                 cycles: 1,
             });
@@ -241,10 +246,9 @@ impl FieldEngine for RangeBst {
             }
         }
         let w = hit.expect("interval 0 starts at 0");
-        let labels = store.read_all(w.list)?;
-        let list_reads = (labels.len() as u32).max(1);
-        Ok(LookupResult {
-            labels,
+        // One sorted run into an empty list: the invariant holds as-is.
+        let list_reads = store.read_all_into(w.list, out)?.max(1);
+        Ok(LookupCost {
             mem_reads: reads + list_reads,
             cycles: reads + 1, // search walk + head read
         })

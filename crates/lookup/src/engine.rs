@@ -52,6 +52,22 @@ pub struct LookupResult {
     pub cycles: u32,
 }
 
+/// Accounting of one engine lookup, separate from the label payload.
+///
+/// [`FieldEngine::lookup_into`] returns this while writing the labels
+/// into a caller-owned [`crate::label::LabelList`], so a batch caller
+/// that hands in the same list every packet pays no per-lookup
+/// allocation — the deepest layer of the batch-amortisation story
+/// (`ClassifyScratch` reuses the list buffers, this reuses what fills
+/// them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LookupCost {
+    /// Memory-word reads performed (structure nodes + label lists).
+    pub mem_reads: u32,
+    /// Clock cycles of this lookup in the hardware model.
+    pub cycles: u32,
+}
+
 /// Error from engine operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -131,7 +147,11 @@ impl From<LabelError> for EngineError {
 /// they only map field values to label lists. The per-dimension
 /// [`LabelStore`] is passed in from outside so the same label memory serves
 /// whichever engine `IPalg_s` currently selects (§IV.C.2).
-pub trait FieldEngine: fmt::Debug + Send {
+///
+/// Engines are `Sync` because lookups take `&self` and all access
+/// accounting is atomic: a built engine can be queried from many threads
+/// at once (the ingest-pipeline's shared-engine mode relies on this).
+pub trait FieldEngine: fmt::Debug + Send + Sync {
     /// The algorithm this engine implements.
     fn kind(&self) -> EngineKind;
 
@@ -175,13 +195,43 @@ pub trait FieldEngine: fmt::Debug + Send {
         Ok(())
     }
 
-    /// Looks up all labels matching a 16-bit query value.
+    /// Looks up all labels matching `query`, writing them into `out`
+    /// (cleared first) and returning only the cost counters.
+    ///
+    /// This is the allocation-free primitive behind
+    /// [`FieldEngine::lookup`]: batch callers hand in the same
+    /// [`crate::label::LabelList`] for every packet, so across a batch
+    /// the per-dimension label-list allocations collapse to buffer
+    /// clears. The filled `out` satisfies the usual list invariant (HPML
+    /// first).
     ///
     /// # Errors
     ///
     /// [`EngineError::Dirty`] when updates are pending and the engine
     /// requires a [`FieldEngine::flush`] first.
-    fn lookup(&self, store: &LabelStore, query: u16) -> Result<LookupResult, EngineError>;
+    fn lookup_into(
+        &self,
+        store: &LabelStore,
+        query: u16,
+        out: &mut crate::label::LabelList,
+    ) -> Result<LookupCost, EngineError>;
+
+    /// Looks up all labels matching a 16-bit query value, allocating a
+    /// fresh list (single-shot convenience over
+    /// [`FieldEngine::lookup_into`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FieldEngine::lookup_into`].
+    fn lookup(&self, store: &LabelStore, query: u16) -> Result<LookupResult, EngineError> {
+        let mut labels = crate::label::LabelList::new();
+        let cost = self.lookup_into(store, query, &mut labels)?;
+        Ok(LookupResult {
+            labels,
+            mem_reads: cost.mem_reads,
+            cycles: cost.cycles,
+        })
+    }
 
     /// Bits of structural memory provisioned (label store excluded).
     fn provisioned_bits(&self) -> u64;

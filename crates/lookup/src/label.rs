@@ -109,6 +109,35 @@ impl LabelList {
         self.entries.iter()
     }
 
+    /// Removes every entry, keeping the allocation — the scratch-reuse
+    /// primitive behind `FieldEngine::lookup_into`.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Replaces this list's contents with `other`'s, reusing the
+    /// existing allocation where capacity allows.
+    pub fn copy_from(&mut self, other: &LabelList) {
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
+    }
+
+    /// Appends already-sorted entries *without* restoring the global sort
+    /// invariant. Engine lookups use this to gather per-level runs into a
+    /// caller-owned list; they must call [`LabelList::restore_sorted`]
+    /// before the list escapes (crate-internal so the invariant cannot
+    /// leak).
+    pub(crate) fn append_run(&mut self, entries: &[LabelEntry]) {
+        self.entries.extend_from_slice(entries);
+    }
+
+    /// Re-establishes the `(order, label)` sort invariant after one or
+    /// more [`LabelList::append_run`] calls. `sort_unstable` so no
+    /// allocation happens on the lookup hot path.
+    pub(crate) fn restore_sorted(&mut self) {
+        self.entries.sort_unstable_by_key(|e| (e.order, e.label.0));
+    }
+
     /// Inserts an entry, keeping order. If the label is already present its
     /// entry is replaced (upsert), preserving the list invariant.
     pub fn insert(&mut self, e: LabelEntry) {

@@ -33,7 +33,7 @@ mod segtrie;
 mod store;
 
 pub use bst::RangeBst;
-pub use engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+pub use engine::{EngineError, EngineKind, FieldEngine, LookupCost, LookupResult};
 pub use label::{Label, LabelAllocator, LabelEntry, LabelError, LabelList, LabelWidths};
 pub use mbt::{MbtConfig, MultiBitTrie};
 pub use portregs::PortRegisters;

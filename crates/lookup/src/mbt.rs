@@ -9,7 +9,7 @@
 //! The trie is *width-generic*: the same type implements the 32-bit,
 //! 5-level tries evaluated as "Option 1/2" in Table I.
 
-use crate::engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+use crate::engine::{EngineError, EngineKind, FieldEngine, LookupCost, LookupResult};
 use crate::label::{Label, LabelEntry, LabelList};
 use crate::store::{LabelStore, ListPtr};
 use spc_hwsim::{AccessCounts, MemoryBlock};
@@ -348,13 +348,35 @@ impl MultiBitTrie {
     ///
     /// Never fails for in-range keys; `Result` mirrors the trait.
     pub fn lookup_key(&self, store: &LabelStore, key: u32) -> Result<LookupResult, EngineError> {
-        let mut reads = 0u32;
         let mut labels = LabelList::new();
+        let cost = self.lookup_key_into(store, key, &mut labels)?;
+        Ok(LookupResult {
+            labels,
+            mem_reads: cost.mem_reads,
+            cycles: cost.cycles,
+        })
+    }
+
+    /// As [`MultiBitTrie::lookup_key`], but writing into a caller-owned
+    /// list (cleared first) so batch callers pay no per-lookup
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// As [`MultiBitTrie::lookup_key`].
+    pub fn lookup_key_into(
+        &self,
+        store: &LabelStore,
+        key: u32,
+        out: &mut LabelList,
+    ) -> Result<LookupCost, EngineError> {
+        out.clear();
+        let mut reads = 0u32;
+        let mut runs = 0u32;
         if let Some(ptr) = self.wildcard {
             if store.len_untracked(ptr)? > 0 {
-                let l = store.read_all(ptr)?;
-                reads += l.len() as u32;
-                labels = labels.merged(&l);
+                reads += store.read_all_into(ptr, out)?;
+                runs += 1;
             }
         }
         let mut node = 0u32;
@@ -364,17 +386,20 @@ impl MultiBitTrie {
             let slot = *self.levels[level].read(addr)?;
             reads += 1;
             if let Some(ptr) = slot.list {
-                let l = store.read_all(ptr)?;
-                reads += l.len() as u32;
-                labels = labels.merged(&l);
+                reads += store.read_all_into(ptr, out)?;
+                runs += 1;
             }
             match slot.child {
                 Some(c) => node = c,
                 None => break,
             }
         }
-        Ok(LookupResult {
-            labels,
+        if runs > 1 {
+            // Each run is sorted; one unstable sort restores the global
+            // invariant without allocating.
+            out.restore_sorted();
+        }
+        Ok(LookupCost {
             mem_reads: reads,
             cycles: self.latency_cycles(),
         })
@@ -411,8 +436,13 @@ impl FieldEngine for MultiBitTrie {
         self.remove_prefix(store, u32::from(seg.value()), seg.len(), label)
     }
 
-    fn lookup(&self, store: &LabelStore, query: u16) -> Result<LookupResult, EngineError> {
-        self.lookup_key(store, u32::from(query))
+    fn lookup_into(
+        &self,
+        store: &LabelStore,
+        query: u16,
+        out: &mut LabelList,
+    ) -> Result<LookupCost, EngineError> {
+        self.lookup_key_into(store, u32::from(query), out)
     }
 
     fn provisioned_bits(&self) -> u64 {

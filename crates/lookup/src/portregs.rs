@@ -8,7 +8,7 @@
 //! output order is B, C, A. The whole lookup takes two clock cycles
 //! (compare + encode, §V.B) and no block-memory accesses.
 
-use crate::engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+use crate::engine::{EngineError, EngineKind, FieldEngine, LookupCost};
 use crate::label::{Label, LabelEntry, LabelList};
 use crate::store::LabelStore;
 use spc_hwsim::AccessCounts;
@@ -125,15 +125,17 @@ impl FieldEngine for PortRegisters {
         Ok(())
     }
 
-    fn lookup(&self, _store: &LabelStore, query: u16) -> Result<LookupResult, EngineError> {
-        let labels: LabelList = self
-            .regs
-            .iter()
-            .filter(|r| r.range.contains(query))
-            .map(|r| r.entry)
-            .collect();
-        Ok(LookupResult {
-            labels,
+    fn lookup_into(
+        &self,
+        _store: &LabelStore,
+        query: u16,
+        out: &mut LabelList,
+    ) -> Result<LookupCost, EngineError> {
+        out.clear();
+        for r in self.regs.iter().filter(|r| r.range.contains(query)) {
+            out.insert(r.entry);
+        }
+        Ok(LookupCost {
             mem_reads: 0,
             cycles: 2,
         })

@@ -7,7 +7,7 @@
 //! Protocol lookup is determined by the exact matching value"). Lookup is
 //! a single clock cycle (§V.B).
 
-use crate::engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+use crate::engine::{EngineError, EngineKind, FieldEngine, LookupCost};
 use crate::label::{Label, LabelEntry, LabelList};
 use crate::store::LabelStore;
 use spc_hwsim::{AccessCounts, MemoryBlock};
@@ -126,18 +126,22 @@ impl FieldEngine for ProtocolLut {
         }
     }
 
-    fn lookup(&self, _store: &LabelStore, query: u16) -> Result<LookupResult, EngineError> {
-        let mut labels = LabelList::new();
+    fn lookup_into(
+        &self,
+        _store: &LabelStore,
+        query: u16,
+        out: &mut LabelList,
+    ) -> Result<LookupCost, EngineError> {
+        out.clear();
         if query <= 0xff {
             if let Some(e) = self.table.read(usize::from(query))? {
-                labels.insert(*e);
+                out.insert(*e);
             }
         }
         if let Some(e) = self.any {
-            labels.insert(e);
+            out.insert(e);
         }
-        Ok(LookupResult {
-            labels,
+        Ok(LookupCost {
             mem_reads: 1,
             cycles: 1,
         })

@@ -7,7 +7,7 @@
 //! concatenates the label lists it passes — the same access pattern as the
 //! MBT, but for arbitrary ranges instead of prefixes.
 
-use crate::engine::{EngineError, EngineKind, FieldEngine, LookupResult};
+use crate::engine::{EngineError, EngineKind, FieldEngine, LookupCost};
 use crate::label::{Label, LabelEntry, LabelList};
 use crate::store::{LabelStore, ListPtr};
 use spc_hwsim::{AccessCounts, MemoryBlock};
@@ -334,9 +334,15 @@ impl FieldEngine for SegmentTrie {
         self.remove_range(store, range, label)
     }
 
-    fn lookup(&self, store: &LabelStore, query: u16) -> Result<LookupResult, EngineError> {
+    fn lookup_into(
+        &self,
+        store: &LabelStore,
+        query: u16,
+        out: &mut LabelList,
+    ) -> Result<LookupCost, EngineError> {
+        out.clear();
         let mut reads = 0u32;
-        let mut labels = LabelList::new();
+        let mut runs = 0u32;
         let mut node = 0u32;
         for level in 0..self.num_levels() {
             let shift = 16 - u32::from(self.cum[level]);
@@ -345,17 +351,18 @@ impl FieldEngine for SegmentTrie {
             let slot = *self.levels[level].read(addr)?;
             reads += 1;
             if let Some(ptr) = slot.list {
-                let l = store.read_all(ptr)?;
-                reads += l.len() as u32;
-                labels = labels.merged(&l);
+                reads += store.read_all_into(ptr, out)?;
+                runs += 1;
             }
             match slot.child {
                 Some(c) => node = c,
                 None => break,
             }
         }
-        Ok(LookupResult {
-            labels,
+        if runs > 1 {
+            out.restore_sorted();
+        }
+        Ok(LookupCost {
             mem_reads: reads,
             cycles: self.latency_cycles(),
         })

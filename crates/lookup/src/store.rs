@@ -202,6 +202,29 @@ impl LabelStore {
         Ok(list)
     }
 
+    /// Reads a whole list by *appending* its entries (already in list
+    /// order) to `out`, charging `len` accesses (minimum 1) — the
+    /// allocation-free sibling of [`LabelStore::read_all`] behind
+    /// `FieldEngine::lookup_into`. Appending to a non-empty `out` breaks
+    /// its sort invariant until the caller restores it, which is why
+    /// both this method's mutation primitive and the restore are
+    /// crate-internal.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BadPtr`] on a dangling pointer.
+    pub(crate) fn read_all_into(
+        &self,
+        ptr: ListPtr,
+        out: &mut LabelList,
+    ) -> Result<u32, StoreError> {
+        let list = self.list(ptr)?;
+        let n = list.len() as u32;
+        self.reads.fetch_add(u64::from(n).max(1), Ordering::Relaxed);
+        out.append_run(list.entries());
+        Ok(n)
+    }
+
     /// Length of a list without charging an access (controller-side).
     pub fn len_untracked(&self, ptr: ListPtr) -> Result<usize, StoreError> {
         Ok(self.list(ptr)?.len())
