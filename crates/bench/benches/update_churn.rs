@@ -1,0 +1,78 @@
+//! Criterion bench: incremental update churn through the unified engine
+//! API — interleaved insert/classify/remove on the sharded backend at
+//! {1, 2, 8} shards (both strategies) vs the unsharded configurable
+//! inner. This measures the cost of keeping the paper's §V.A fast
+//! update path alive under sharding: hash routing re-folds one
+//! dimension per insert, priority bands pay occasional split
+//! migrations, and both pay the global↔local id bookkeeping.
+//!
+//! Each iteration inserts the whole churn pool, classifies a slice of
+//! trace traffic, then removes everything it inserted, so the engine
+//! returns to its base state and iterations are independent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spc_bench::{ruleset, trace};
+use spc_classbench::{FilterKind, RuleSetGenerator};
+use spc_engine::{build_engine, UpdateError};
+use spc_types::{Priority, Rule};
+
+const BASE_RULES: usize = 2048;
+const POOL: usize = 64;
+const CLASSIFIES: usize = 32;
+
+fn bench_update_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_churn");
+    group.sample_size(10);
+    let base = ruleset(FilterKind::Acl, BASE_RULES);
+    let headers = trace(&base, 256);
+    // A separate family keeps dimension collisions with the base set
+    // rare; the ones that remain surface as Duplicate and are skipped,
+    // identically for every spec.
+    let pool: Vec<Rule> = RuleSetGenerator::new(FilterKind::Fw, POOL)
+        .seed(2014 ^ 0x77)
+        .generate()
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = *r;
+            r.priority = Priority(60_000 + i as u32);
+            r
+        })
+        .collect();
+    let specs = [
+        "configurable-bst".to_string(),
+        "sharded:inner=configurable-bst,shards=1,strategy=prio".to_string(),
+        "sharded:inner=configurable-bst,shards=2,strategy=prio".to_string(),
+        "sharded:inner=configurable-bst,shards=8,strategy=prio".to_string(),
+        "sharded:inner=configurable-bst,shards=2,strategy=hash".to_string(),
+        "sharded:inner=configurable-bst,shards=8,strategy=hash".to_string(),
+    ];
+    for spec in &specs {
+        let mut engine =
+            build_engine(spec, &base).unwrap_or_else(|e| panic!("{spec} must build: {e}"));
+        assert!(engine.supports_updates(), "{spec} must be updatable");
+        group.bench_function(BenchmarkId::new("insert_classify_remove", spec), |b| {
+            b.iter(|| {
+                let mut ids = Vec::with_capacity(pool.len());
+                for rule in &pool {
+                    match engine.insert(*rule) {
+                        Ok(id) => ids.push(id),
+                        Err(UpdateError::Duplicate { .. }) => {}
+                        Err(e) => panic!("{spec}: churn insert rejected: {e}"),
+                    }
+                }
+                for h in &headers[..CLASSIFIES] {
+                    engine.classify(h);
+                }
+                for id in ids {
+                    engine.remove(id).expect("inserted this iteration");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_churn);
+criterion_main!(benches);

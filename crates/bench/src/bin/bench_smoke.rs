@@ -14,10 +14,11 @@
 //! Run: `cargo run --release -p spc-bench --bin bench_smoke`
 
 use spc_bench::{print_table, ruleset, scale_or, trace, Row, ToJson};
-use spc_classbench::FilterKind;
+use spc_classbench::{FilterKind, RuleSetGenerator};
 use spc_engine::{
-    build_engine, EngineBuilder, EngineSource, IngestConfig, IngestPipeline, Verdict,
+    build_engine, EngineBuilder, EngineSource, IngestConfig, IngestPipeline, UpdateError, Verdict,
 };
+use spc_types::{Header, Priority, Rule, RuleId, RuleSet};
 use std::time::Instant;
 
 /// Timed repetitions per spec; the best (lowest-noise) rep is reported.
@@ -31,6 +32,7 @@ struct Record {
     trace_len: usize,
     reps: usize,
     rows: Vec<SpecRec>,
+    update_churn: Vec<ChurnRec>,
 }
 
 struct SpecRec {
@@ -45,13 +47,34 @@ struct SpecRec {
     oracle_agrees: bool,
 }
 
+/// One update-churn measurement: interleaved insert/remove/classify on
+/// an updatable spec, oracle-checked against a linear engine built over
+/// the post-churn rule set.
+struct ChurnRec {
+    spec: String,
+    rules: usize,
+    ops: usize,
+    churn_kops_per_s: f64,
+    avg_update_cycles: f64,
+    oracle_agrees: bool,
+}
+
 spc_bench::json_object!(Record {
     experiment,
     filter_kind,
     rules,
     trace_len,
     reps,
-    rows
+    rows,
+    update_churn
+});
+spc_bench::json_object!(ChurnRec {
+    spec,
+    rules,
+    ops,
+    churn_kops_per_s,
+    avg_update_cycles,
+    oracle_agrees
 });
 spc_bench::json_object!(SpecRec {
     spec,
@@ -64,6 +87,73 @@ spc_bench::json_object!(SpecRec {
     hit_rate,
     oracle_agrees
 });
+
+/// Drives `spec` through a deterministic churn workload — insert one
+/// pool rule, every second step remove the oldest surviving insert,
+/// classify one trace header after every update — then cross-checks the
+/// post-churn engine against a linear oracle built over the rules that
+/// are actually live (global ids mapped through insertion order).
+fn churn_row(spec: &str, base: &RuleSet, pool: &[Rule], headers: &[Header]) -> ChurnRec {
+    let mut engine = build_engine(spec, base).unwrap_or_else(|e| panic!("{spec} must build: {e}"));
+    assert!(engine.supports_updates(), "{spec} must be updatable");
+    let mut live: Vec<(RuleId, Rule)> = base.iter().map(|(id, r)| (id, *r)).collect();
+    let mut inserted: Vec<RuleId> = Vec::new();
+    let (mut ops, mut update_ops, mut cycles) = (0usize, 0usize, 0u64);
+    let t0 = Instant::now();
+    for (i, rule) in pool.iter().enumerate() {
+        match engine.insert(*rule) {
+            Ok(id) => {
+                cycles += engine
+                    .last_update_report()
+                    .expect("insert must report")
+                    .hw_write_cycles;
+                update_ops += 1;
+                live.push((id, *rule));
+                inserted.push(id);
+            }
+            Err(UpdateError::Duplicate { .. }) => {}
+            Err(e) => panic!("{spec}: churn insert rejected: {e}"),
+        }
+        ops += 1;
+        if i % 2 == 1 {
+            if let Some(id) = inserted.first().copied() {
+                inserted.remove(0);
+                engine
+                    .remove(id)
+                    .unwrap_or_else(|e| panic!("{spec}: churn remove {id}: {e}"));
+                cycles += engine
+                    .last_update_report()
+                    .expect("remove must report")
+                    .hw_write_cycles;
+                update_ops += 1;
+                ops += 1;
+                live.retain(|&(g, _)| g != id);
+            }
+        }
+        engine.classify(&headers[i % headers.len()]);
+        ops += 1;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let final_rules: RuleSet = live.iter().map(|&(_, r)| r).collect();
+    let oracle = build_engine("linear", &final_rules).expect("linear always builds");
+    let oracle_agrees = headers.iter().all(|h| {
+        let want = oracle.classify(h);
+        let got = engine.classify(h);
+        got.rule == want.rule.map(|pos| live[pos.0 as usize].0)
+            && got.priority == want.priority
+            && got.action == want.action
+    });
+
+    ChurnRec {
+        spec: spec.to_string(),
+        rules: engine.rules(),
+        ops,
+        churn_kops_per_s: ops as f64 / elapsed / 1e3,
+        avg_update_cycles: cycles as f64 / update_ops.max(1) as f64,
+        oracle_agrees,
+    }
+}
 
 fn main() {
     let n = scale_or(4096);
@@ -193,6 +283,49 @@ fn main() {
         });
     }
 
+    // Update churn: the §V.A fast-update path under sharding —
+    // interleaved insert/remove/classify, sharded at {1, 2, 8} shards
+    // (both strategies) against the unsharded configurable inner, every
+    // row oracle-checked over its post-churn rule set.
+    let churn_pool: Vec<Rule> = RuleSetGenerator::new(FilterKind::Fw, 192)
+        .seed(spc_bench::SEED_RULES ^ 0x77)
+        .generate()
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = *r;
+            // Fresh priorities past the base set keep the workload
+            // identical for every spec (and exercise band appends).
+            r.priority = Priority(1_000_000 + i as u32);
+            r
+        })
+        .collect();
+    let churn_specs = [
+        "configurable-bst".to_string(),
+        "sharded:inner=configurable-bst,shards=1,strategy=prio".to_string(),
+        "sharded:inner=configurable-bst,shards=2,strategy=prio".to_string(),
+        "sharded:inner=configurable-bst,shards=8,strategy=prio".to_string(),
+        "sharded:inner=configurable-bst,shards=2,strategy=hash".to_string(),
+        "sharded:inner=configurable-bst,shards=8,strategy=hash".to_string(),
+    ];
+    let mut churn_rows = Vec::new();
+    let mut churn_recs = Vec::new();
+    for spec in &churn_specs {
+        let rec = churn_row(spec, &rules, &churn_pool, &t);
+        all_agree &= rec.oracle_agrees;
+        churn_rows.push(Row {
+            name: format!("update_churn:{spec}"),
+            values: vec![
+                format!("{:.1}", rec.churn_kops_per_s),
+                format!("{:.1}", rec.avg_update_cycles),
+                format!("{}", rec.rules),
+                if rec.oracle_agrees { "yes" } else { "NO" }.to_string(),
+            ],
+        });
+        churn_recs.push(rec);
+    }
+
     print_table(
         &format!(
             "bench-smoke (acl, {} rules, batch {})",
@@ -202,6 +335,11 @@ fn main() {
         &["Melem/s", "avg reads", "mem Kb", "build ms", "oracle"],
         &rows,
     );
+    print_table(
+        &format!("update-churn (acl base {}, fw pool {})", rules.len(), 192),
+        &["Kops/s", "avg cycles", "rules after", "oracle"],
+        &churn_rows,
+    );
 
     let record = Record {
         experiment: "bench_smoke",
@@ -210,6 +348,7 @@ fn main() {
         trace_len: t.len(),
         reps: REPS,
         rows: recs,
+        update_churn: churn_recs,
     };
     let path = std::env::var("SPC_BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
     std::fs::write(&path, record.to_json().pretty() + "\n").expect("write bench record");

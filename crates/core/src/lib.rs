@@ -37,4 +37,4 @@ pub use labels::{InsertOutcome, LabelState, LabelTable, RemoveOutcome};
 pub use memory::{BlockUsage, MemoryReport, SharingReport};
 pub use pipeline::{LookupTiming, PHASE1_CYCLES, PHASE3_CYCLES, PHASE4_BASE_CYCLES};
 pub use rulefilter::{ProbeResult, RuleFilter, StoredRule};
-pub use shard::{ShardPlan, ShardSlice, ShardStrategy};
+pub use shard::{RouteTarget, RuleLocation, ShardPlan, ShardRouter, ShardSlice, ShardStrategy};

@@ -15,6 +15,7 @@
 
 use spc_hwsim::HashUnit;
 use spc_types::{Dim, DimValue, Priority, Rule, RuleId, RuleSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// How rules are assigned to shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +107,19 @@ fn dim_key(v: DimValue) -> u128 {
     }
 }
 
+/// The hash slot (in `0..n`, `n` = *requested* shard count) that owns
+/// `rule` under [`ShardStrategy::FieldHash`] on `dim`.
+///
+/// Folds through the hardware [`HashUnit`] at the smallest width that
+/// addresses every shard, then reduces modulo the count. Shared by
+/// [`plan`] (build-time placement) and [`ShardRouter`] (churn-time
+/// routing) so the two always agree on ownership.
+pub fn hash_slot(dim: Dim, n: usize, rule: &Rule) -> usize {
+    let n = n.max(1);
+    let bits = (usize::BITS - (n - 1).max(1).leading_zeros()).clamp(1, 32);
+    HashUnit::new(bits).fold(dim_key(rule.dim_value(dim))) % n
+}
+
 /// Splits `rules` into at most `shards` slices under `strategy`.
 ///
 /// A requested count of 0 is treated as 1. Empty slices are dropped (a
@@ -143,12 +157,8 @@ pub fn plan(rules: &RuleSet, shards: usize, strategy: ShardStrategy) -> ShardPla
             }
         }
         ShardStrategy::FieldHash(dim) => {
-            // Fold through the hardware hash unit at the smallest width
-            // that addresses every shard, then reduce modulo the count.
-            let bits = (usize::BITS - (n - 1).max(1).leading_zeros()).clamp(1, 32);
-            let hash = HashUnit::new(bits);
             for (id, rule) in rules.iter() {
-                let shard = hash.fold(dim_key(rule.dim_value(dim))) % n;
+                let shard = hash_slot(dim, n, rule);
                 slices[shard].rules.push(*rule);
                 slices[shard].global_ids.push(id);
             }
@@ -161,6 +171,311 @@ pub fn plan(rules: &RuleSet, shards: usize, strategy: ShardStrategy) -> ShardPla
     ShardPlan {
         strategy,
         shards: slices,
+    }
+}
+
+/// Where [`ShardRouter::route`] says an insert should land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTarget {
+    /// An existing live shard owns the rule.
+    Existing(usize),
+    /// No live shard owns the rule yet: its hash slot is empty. The
+    /// caller must build a fresh inner classifier, append it as the
+    /// next shard, and claim the slot via [`ShardRouter::register_shard`].
+    NewShard {
+        /// The empty hash slot the rule folds to.
+        slot: usize,
+    },
+}
+
+/// A live rule's location: which shard holds it, under which
+/// shard-local id, and the rule itself (needed to key the duplicate
+/// index on removal and to re-install the rule during band migration).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleLocation {
+    /// Index of the owning shard.
+    pub shard: usize,
+    /// The rule's id inside that shard's classifier.
+    pub local: RuleId,
+    /// The installed rule.
+    pub rule: Rule,
+}
+
+/// Live routing state for an updatable sharded classifier — the
+/// build-once [`ShardPlan`] turned into a bidirectional map that
+/// survives churn.
+///
+/// [`plan`] assigns rules to shards exactly once; incremental updates
+/// need the same decisions answerable forever after: which shard owns a
+/// new rule (`route`), which shard holds an installed global id
+/// (`location`), and what the shard-local id maps back to (the engine
+/// layer keeps the local→global direction next to each inner engine,
+/// this router keeps global→local). It also owns the two pieces of
+/// bookkeeping the strategies need under churn: the hash-slot→shard
+/// table (slots can gain their first rule after build) and the per-band
+/// ordered key sets that keep the `(priority, global id)` cascade
+/// invariant checkable and band splits plannable.
+///
+/// The router records decisions; it never touches classifiers. The
+/// engine layer performs the actual insert/remove and reports the
+/// resulting shard-local ids back via [`ShardRouter::record_insert`] /
+/// [`ShardRouter::record_remove`] / [`ShardRouter::apply_band_split`].
+#[derive(Debug, Clone)]
+pub struct ShardRouter {
+    strategy: ShardStrategy,
+    /// Hash strategy: requested-slot → live-shard table (`None` = the
+    /// slot has never held a rule; the plan drops empty slices).
+    slots: Vec<Option<usize>>,
+    /// Priority-band strategy: each band's live `(priority, id)` keys,
+    /// ordered — band `k`'s greatest key is below band `k+1`'s smallest.
+    bands: Vec<BTreeSet<(Priority, RuleId)>>,
+    /// Live rule count per shard (both strategies).
+    lens: Vec<usize>,
+    /// Global id → live location.
+    entries: HashMap<u32, RuleLocation>,
+    /// Dimension-projection → live global ids, the sharded mirror of the
+    /// Rule Filter's duplicate-key check: under priority bands two rules
+    /// with identical projections can land in *different* shards, where
+    /// no inner classifier would spot the collision. A multi-map rather
+    /// than a map because a *planned* set may legally carry projection
+    /// twins split across bands (each inner built fine); removing one
+    /// twin must not make the survivors invisible to the check.
+    dups: HashMap<[DimValue; 7], Vec<RuleId>>,
+    /// Next global id to hand out (never reused, so ids stay monotonic
+    /// and the lowest-id tie-break matches insertion order).
+    next_global: u32,
+}
+
+impl ShardRouter {
+    /// Builds the live router describing exactly the rules of `plan`.
+    ///
+    /// `requested` is the shard count the plan was asked for (before
+    /// empty slices were dropped); the hash strategy needs it to keep
+    /// folding rules onto the same slots.
+    pub fn from_plan(plan: &ShardPlan, requested: usize) -> Self {
+        let n = requested.max(1);
+        let mut router = ShardRouter {
+            strategy: plan.strategy,
+            slots: match plan.strategy {
+                ShardStrategy::FieldHash(_) => vec![None; n],
+                ShardStrategy::PriorityBands => Vec::new(),
+            },
+            bands: match plan.strategy {
+                ShardStrategy::PriorityBands => vec![BTreeSet::new(); plan.shards.len()],
+                ShardStrategy::FieldHash(_) => Vec::new(),
+            },
+            lens: vec![0; plan.shards.len()],
+            entries: HashMap::new(),
+            dups: HashMap::new(),
+            next_global: 0,
+        };
+        for (shard, slice) in plan.shards.iter().enumerate() {
+            if let ShardStrategy::FieldHash(dim) = plan.strategy {
+                // Every rule of a slice folds to the same slot; recover
+                // it from the first one.
+                if let Some((_, first)) = slice.rules.iter().next() {
+                    router.slots[hash_slot(dim, n, first)] = Some(shard);
+                }
+            }
+            for (local, rule) in slice.rules.iter() {
+                let global = slice.global_id(local);
+                router.install(global, *rule, shard, local);
+                router.next_global = router.next_global.max(global.0 + 1);
+            }
+        }
+        router
+    }
+
+    fn install(&mut self, global: RuleId, rule: Rule, shard: usize, local: RuleId) {
+        if self.strategy == ShardStrategy::PriorityBands {
+            self.bands[shard].insert((rule.priority, global));
+        }
+        self.lens[shard] += 1;
+        self.dups.entry(rule.dim_values()).or_default().push(global);
+        self.entries
+            .insert(global.0, RuleLocation { shard, local, rule });
+    }
+
+    /// The strategy this router routes for.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Live rule count across all shards.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no rules are live.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of live shards (grows when churn creates one).
+    pub fn shard_count(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Live rule count of one shard.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.lens[shard]
+    }
+
+    /// The earliest-installed live rule with a dimension projection
+    /// identical to `rule`'s, if any — the same collision the Rule
+    /// Filter's duplicate-key check rejects, detected across shard
+    /// boundaries.
+    pub fn duplicate_of(&self, rule: &Rule) -> Option<RuleId> {
+        self.dups
+            .get(&rule.dim_values())
+            .and_then(|ids| ids.first())
+            .copied()
+    }
+
+    /// Which shard an insert of `rule` must target.
+    ///
+    /// Hash strategy: the rule's slot, or [`RouteTarget::NewShard`] when
+    /// that slot has no live shard yet. Priority bands: the first band
+    /// whose greatest `(priority, id)` key exceeds the rule's prospective
+    /// key — every earlier band's keys are provably smaller, so placing
+    /// the rule there preserves the cascade invariant; a rule beyond
+    /// every band's range joins the last band.
+    pub fn route(&self, rule: &Rule) -> RouteTarget {
+        match self.strategy {
+            ShardStrategy::FieldHash(dim) => {
+                let slot = hash_slot(dim, self.slots.len(), rule);
+                match self.slots[slot] {
+                    Some(shard) => RouteTarget::Existing(shard),
+                    None => RouteTarget::NewShard { slot },
+                }
+            }
+            ShardStrategy::PriorityBands => {
+                let key = (rule.priority, RuleId(self.next_global));
+                let band = self
+                    .bands
+                    .iter()
+                    .position(|b| b.last().is_some_and(|&hi| hi > key))
+                    .unwrap_or(self.bands.len() - 1);
+                RouteTarget::Existing(band)
+            }
+        }
+    }
+
+    /// Claims an empty hash `slot` for a freshly created shard, which
+    /// the caller must have appended after the existing ones; returns
+    /// the new shard's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy is not [`ShardStrategy::FieldHash`] or the
+    /// slot is already claimed.
+    pub fn register_shard(&mut self, slot: usize) -> usize {
+        assert!(
+            matches!(self.strategy, ShardStrategy::FieldHash(_)),
+            "only hash slots create shards on demand"
+        );
+        assert!(self.slots[slot].is_none(), "slot {slot} already claimed");
+        let shard = self.lens.len();
+        self.lens.push(0);
+        self.slots[slot] = Some(shard);
+        shard
+    }
+
+    /// Records a successful insert into `shard` under shard-local id
+    /// `local`, allocating and returning the rule's global id.
+    pub fn record_insert(&mut self, rule: Rule, shard: usize, local: RuleId) -> RuleId {
+        let global = RuleId(self.next_global);
+        self.next_global += 1;
+        self.install(global, rule, shard, local);
+        global
+    }
+
+    /// The live location of a global id.
+    pub fn location(&self, id: RuleId) -> Option<&RuleLocation> {
+        self.entries.get(&id.0)
+    }
+
+    /// Records a successful removal, returning where the rule lived
+    /// (`None` if the id was never installed or already removed).
+    pub fn record_remove(&mut self, id: RuleId) -> Option<RuleLocation> {
+        let loc = self.entries.remove(&id.0)?;
+        self.lens[loc.shard] -= 1;
+        // Drop only this id from the projection's twin list; a planned
+        // set can hold several live rules with one projection.
+        if let Some(ids) = self.dups.get_mut(&loc.rule.dim_values()) {
+            ids.retain(|&g| g != id);
+            if ids.is_empty() {
+                self.dups.remove(&loc.rule.dim_values());
+            }
+        }
+        if self.strategy == ShardStrategy::PriorityBands {
+            self.bands[loc.shard].remove(&(loc.rule.priority, id));
+        }
+        Some(loc)
+    }
+
+    /// The global ids a split of `band` would migrate: the upper half of
+    /// its keys, in ascending `(priority, id)` order. Empty when the
+    /// band holds fewer than two rules.
+    pub fn split_moves(&self, band: usize) -> Vec<RuleId> {
+        let keys = &self.bands[band];
+        let keep = keys.len() - keys.len() / 2;
+        keys.iter().skip(keep).map(|&(_, id)| id).collect()
+    }
+
+    /// Commits a band split: the caller migrated `moved` (global id →
+    /// new shard-local id, in [`ShardRouter::split_moves`] order) into a
+    /// fresh classifier spliced in at `band + 1`. Shifts every later
+    /// shard index up by one and relocates the moved rules, preserving
+    /// the cascade invariant (the moved keys were the band's upper half,
+    /// so old band < new band < old band + 1 holds by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy is not [`ShardStrategy::PriorityBands`] or
+    /// a moved id is not installed in `band`.
+    pub fn apply_band_split(&mut self, band: usize, moved: &[(RuleId, RuleId)]) {
+        assert_eq!(
+            self.strategy,
+            ShardStrategy::PriorityBands,
+            "only priority bands split"
+        );
+        for loc in self.entries.values_mut() {
+            if loc.shard > band {
+                loc.shard += 1;
+            }
+        }
+        self.bands.insert(band + 1, BTreeSet::new());
+        self.lens.insert(band + 1, 0);
+        for &(global, local) in moved {
+            let loc = self
+                .entries
+                .get_mut(&global.0)
+                .expect("moved rule is installed");
+            assert_eq!(loc.shard, band, "moved rule must come from the split band");
+            let key = (loc.rule.priority, global);
+            self.bands[band].remove(&key);
+            self.bands[band + 1].insert(key);
+            self.lens[band] -= 1;
+            self.lens[band + 1] += 1;
+            loc.shard = band + 1;
+            loc.local = local;
+        }
+    }
+
+    /// Checks the cascade invariant: every band's keys lie strictly
+    /// below the next non-empty band's. Test/debug aid.
+    pub fn bands_ordered(&self) -> bool {
+        let mut prev: Option<(Priority, RuleId)> = None;
+        for band in &self.bands {
+            if let (Some(p), Some(&lo)) = (prev, band.first()) {
+                if lo <= p {
+                    return false;
+                }
+            }
+            prev = band.last().copied().or(prev);
+        }
+        true
     }
 }
 
@@ -295,5 +610,214 @@ mod tests {
         let rules = set(9);
         let p = plan(&rules, 2, ShardStrategy::PriorityBands);
         assert_eq!(p.max_shard_len(), 5);
+    }
+
+    fn rule(prio: u32, port: u16) -> Rule {
+        Rule::builder(Priority(prio))
+            .dst_port(PortRange::exact(port))
+            .build()
+    }
+
+    #[test]
+    fn router_mirrors_the_plan() {
+        let rules = set(20);
+        for strategy in [
+            ShardStrategy::PriorityBands,
+            ShardStrategy::FieldHash(Dim::DstPort),
+        ] {
+            let p = plan(&rules, 4, strategy);
+            let router = ShardRouter::from_plan(&p, 4);
+            assert_eq!(router.len(), 20);
+            assert_eq!(router.shard_count(), p.shards.len());
+            for (shard, slice) in p.shards.iter().enumerate() {
+                assert_eq!(router.shard_len(shard), slice.rules.len());
+                for (local, r) in slice.rules.iter() {
+                    let loc = router.location(slice.global_id(local)).unwrap();
+                    assert_eq!((loc.shard, loc.local), (shard, local));
+                    assert_eq!(loc.rule, *r);
+                    assert_eq!(router.duplicate_of(r), Some(slice.global_id(local)));
+                }
+            }
+            assert!(router.bands_ordered());
+        }
+    }
+
+    #[test]
+    fn router_hash_routing_matches_plan_placement() {
+        let rules = set(32);
+        let p = plan(&rules, 4, ShardStrategy::FieldHash(Dim::DstPort));
+        let router = ShardRouter::from_plan(&p, 4);
+        // A rule that was planned into shard s must route back to s.
+        for (shard, slice) in p.shards.iter().enumerate() {
+            for (_, r) in slice.rules.iter() {
+                let mut probe = *r;
+                probe.priority = Priority(9999); // priority is irrelevant to hashing
+                assert_eq!(router.route(&probe), RouteTarget::Existing(shard));
+            }
+        }
+    }
+
+    #[test]
+    fn router_hash_empty_slot_demands_new_shard() {
+        // Hashing on Proto with only one distinct value leaves slots
+        // empty; a rule with a fresh value may route to one of them.
+        let rules: RuleSet = (0..8)
+            .map(|i| {
+                Rule::builder(Priority(i))
+                    .dst_port(PortRange::exact(i as u16))
+                    .proto(ProtoSpec::Exact(6))
+                    .build()
+            })
+            .collect();
+        let p = plan(&rules, 8, ShardStrategy::FieldHash(Dim::Proto));
+        assert_eq!(p.shards.len(), 1);
+        let mut router = ShardRouter::from_plan(&p, 8);
+        let newcomers = (0u8..40).map(|x| {
+            Rule::builder(Priority(100 + u32::from(x)))
+                .proto(ProtoSpec::Exact(x))
+                .build()
+        });
+        let mut created = 0;
+        for (i, r) in newcomers.enumerate() {
+            match router.route(&r) {
+                RouteTarget::Existing(shard) => {
+                    let local = RuleId(router.shard_len(shard) as u32);
+                    router.record_insert(r, shard, local);
+                }
+                RouteTarget::NewShard { slot } => {
+                    let shard = router.register_shard(slot);
+                    assert_eq!(shard, router.shard_count() - 1);
+                    router.record_insert(r, shard, RuleId(0));
+                    created += 1;
+                }
+            }
+            assert_eq!(router.len(), 8 + i + 1);
+        }
+        assert!(created > 0, "some protocol value must hit an empty slot");
+        // Once claimed, the slot routes Existing.
+        let again = Rule::builder(Priority(999))
+            .src_port(PortRange::exact(7))
+            .proto(ProtoSpec::Exact(0))
+            .build();
+        assert!(matches!(router.route(&again), RouteTarget::Existing(_)));
+    }
+
+    #[test]
+    fn router_band_insert_preserves_cascade_order() {
+        let rules = set(12);
+        let p = plan(&rules, 3, ShardStrategy::PriorityBands);
+        let mut router = ShardRouter::from_plan(&p, 3);
+        let mut local_next = vec![0u32; router.shard_count()];
+        for (i, s) in p.shards.iter().enumerate() {
+            local_next[i] = s.rules.len() as u32;
+        }
+        // Priorities across the whole spectrum, including ties with
+        // existing rules: every insert must keep bands ordered.
+        for prio in [0u32, 5, 11, 3, 3, 20, 0] {
+            let r = rule(prio, 40_000 + prio as u16);
+            let RouteTarget::Existing(band) = router.route(&r) else {
+                panic!("priority bands never demand new shards on insert");
+            };
+            let local = RuleId(local_next[band]);
+            local_next[band] += 1;
+            router.record_insert(r, band, local);
+            assert!(
+                router.bands_ordered(),
+                "insert of p{prio} broke the cascade"
+            );
+        }
+    }
+
+    #[test]
+    fn router_duplicate_and_remove_roundtrip() {
+        let rules = set(6);
+        let p = plan(&rules, 2, ShardStrategy::PriorityBands);
+        let mut router = ShardRouter::from_plan(&p, 2);
+        let existing = rules.rules()[2];
+        // Identical dims with a different priority is still a duplicate
+        // (the Rule Filter keys on labels, not priority).
+        let mut dup = existing;
+        dup.priority = Priority(999);
+        assert!(router.duplicate_of(&dup).is_some());
+        let id = router.duplicate_of(&existing).unwrap();
+        let loc = router.record_remove(id).unwrap();
+        assert_eq!(loc.rule, existing);
+        assert!(router.duplicate_of(&existing).is_none());
+        assert!(
+            router.record_remove(id).is_none(),
+            "second remove is a no-op"
+        );
+        assert_eq!(router.len(), 5);
+        // Re-inserting hands out a fresh id.
+        let RouteTarget::Existing(band) = router.route(&existing) else {
+            unreachable!()
+        };
+        let fresh = router.record_insert(existing, band, RuleId(77));
+        assert!(fresh > id, "global ids are never reused");
+        assert_eq!(router.location(fresh).unwrap().local, RuleId(77));
+    }
+
+    #[test]
+    fn router_duplicate_index_survives_twin_removal() {
+        // A planned set may legally carry projection twins split across
+        // bands (priorities at the extremes); removing one twin must not
+        // blind the duplicate check to the survivor.
+        let twin = |p: u32| {
+            Rule::builder(Priority(p))
+                .dst_port(PortRange::exact(7))
+                .build()
+        };
+        let mut rules = RuleSet::new();
+        let first = rules.push(twin(0));
+        for i in 0..8u16 {
+            rules.push(rule(10 + u32::from(i), 100 + i));
+        }
+        let second = rules.push(twin(1000));
+        let p = plan(&rules, 2, ShardStrategy::PriorityBands);
+        let mut router = ShardRouter::from_plan(&p, 2);
+        assert_ne!(
+            router.location(first).unwrap().shard,
+            router.location(second).unwrap().shard,
+            "twins must land in different bands for this test to bite"
+        );
+        router.record_remove(second).unwrap();
+        assert_eq!(
+            router.duplicate_of(&twin(5)),
+            Some(first),
+            "the surviving twin stays visible to the duplicate check"
+        );
+        router.record_remove(first).unwrap();
+        assert!(router.duplicate_of(&twin(5)).is_none());
+    }
+
+    #[test]
+    fn router_band_split_moves_upper_half() {
+        let rules = set(16);
+        let p = plan(&rules, 2, ShardStrategy::PriorityBands);
+        let mut router = ShardRouter::from_plan(&p, 2);
+        let band0_before = router.shard_len(0);
+        let moves = router.split_moves(0);
+        assert_eq!(moves.len(), band0_before / 2);
+        // The moved ids are the band's worst-priority suffix.
+        let moved: Vec<(RuleId, RuleId)> = moves
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, RuleId(i as u32)))
+            .collect();
+        let displaced: Vec<usize> = (0..router.shard_count())
+            .map(|s| router.shard_len(s))
+            .collect();
+        router.apply_band_split(0, &moved);
+        assert_eq!(router.shard_count(), 3);
+        assert_eq!(router.shard_len(0), band0_before - moves.len());
+        assert_eq!(router.shard_len(1), moves.len());
+        assert_eq!(router.shard_len(2), displaced[1], "old band 1 shifted");
+        assert!(router.bands_ordered(), "split must preserve the cascade");
+        for (i, &(g, _)) in moved.iter().enumerate() {
+            let loc = router.location(g).unwrap();
+            assert_eq!(loc.shard, 1);
+            assert_eq!(loc.local, RuleId(i as u32));
+        }
+        assert_eq!(router.len(), 16, "split moves rules, it doesn't drop them");
     }
 }

@@ -1,7 +1,9 @@
 //! Constructing any backend from an [`EngineKind`] or a config string.
 
 use crate::kind::ParseEngineKindError;
-use crate::{BaselineEngine, ConfigurableEngine, EngineKind, PacketClassifier, ShardedEngine};
+use crate::{
+    BaselineEngine, ConfigurableEngine, EngineKind, InnerFactory, PacketClassifier, ShardedEngine,
+};
 use spc_baselines::{
     Dcfl, HyperCuts, HyperCutsConfig, LinearSearch, OptionClassifier, OptionKind, Rfc,
 };
@@ -57,7 +59,7 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "bad engine option {option:?}; expected key=value \
-                     (keys: rf_bits, combine, inner, shards, strategy, hash_dim)"
+                     (keys: rf_bits, combine, inner, shards, strategy, hash_dim, skew)"
                 )
             }
             BuildError::ConfigError { option, reason } => {
@@ -96,10 +98,15 @@ pub struct EngineBuilder {
     shard_count: usize,
     shard_strategy: ShardStrategy,
     shard_inner: EngineKind,
+    band_skew: f64,
 }
 
 /// Default shard count for `sharded` specs that don't say.
 const DEFAULT_SHARDS: usize = 4;
+
+/// Default band-rebalance skew factor for updatable priority-band
+/// sharding: a band splits once it exceeds twice its build-time quota.
+const DEFAULT_BAND_SKEW: f64 = 2.0;
 
 /// Default dimension for `strategy=hash` when `hash_dim` is absent: the
 /// low destination-IP segment, typically the most value-diverse field in
@@ -135,6 +142,7 @@ impl EngineBuilder {
             shard_count: DEFAULT_SHARDS,
             shard_strategy: ShardStrategy::PriorityBands,
             shard_inner: EngineKind::ConfigurableBst,
+            band_skew: DEFAULT_BAND_SKEW,
         }
     }
 
@@ -143,9 +151,11 @@ impl EngineBuilder {
     ///
     /// Configurable backends take `rf_bits=N` (Rule Filter address
     /// width) and `combine=first|probe` (phase-3 strategy). The sharded
-    /// backend takes `inner=<kind>`, `shards=N`, `strategy=prio|hash`
-    /// and `hash_dim=<dimension>` (e.g. `dst_port`; implies nothing on
-    /// its own — it refines `strategy=hash`), plus `rf_bits`/`combine`
+    /// backend takes `inner=<kind>`, `shards=N`, `strategy=prio|hash`,
+    /// `hash_dim=<dimension>` (e.g. `dst_port`; implies nothing on
+    /// its own — it refines `strategy=hash`) and `skew=F` (band-split
+    /// factor ≥ 1.0; refines `strategy=prio`, see
+    /// [`ShardedEngine::enable_updates`]), plus `rf_bits`/`combine`
     /// when its inner engine is configurable.
     ///
     /// Every key is checked against the kind it is for: unknown keys,
@@ -171,6 +181,7 @@ impl EngineBuilder {
         let mut seen: Vec<String> = Vec::new();
         let mut hash_dim: Option<Dim> = None;
         let mut strategy_set = false;
+        let mut skew_set = false;
         let takes_configurable_opts = kind.is_configurable() || kind == EngineKind::Sharded;
         for opt in opts.into_iter().flat_map(|o| o.split(',')) {
             let opt = opt.trim();
@@ -234,6 +245,16 @@ impl EngineBuilder {
                     // same class as combine=middle: BadOption.
                     hash_dim = Some(parse_dim(value).ok_or_else(bad)?);
                 }
+                "skew" if kind == EngineKind::Sharded => {
+                    let skew: f64 = value.parse().map_err(|_| bad())?;
+                    if !skew.is_finite() || skew < 1.0 {
+                        return Err(config_err(format!(
+                            "skew must be a finite factor >= 1.0, got {value}"
+                        )));
+                    }
+                    skew_set = true;
+                    b.band_skew = skew;
+                }
                 _ => {
                     return Err(config_err(format!(
                         "unknown key {key:?} for backend {kind}"
@@ -254,6 +275,12 @@ impl EngineBuilder {
                     })
                 }
             }
+        }
+        if skew_set && matches!(b.shard_strategy, ShardStrategy::FieldHash(_)) {
+            return Err(BuildError::ConfigError {
+                option: format!("skew={}", b.band_skew),
+                reason: "skew tunes priority-band splitting; it requires strategy=prio".to_string(),
+            });
         }
         if kind == EngineKind::Sharded
             && !b.shard_inner.is_configurable()
@@ -325,6 +352,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the band-rebalance skew factor (sharded backend, priority
+    /// bands): under incremental updates a band splits once it exceeds
+    /// `skew ×` its build-time quota. Values below 1.0 are clamped.
+    pub fn with_band_skew(mut self, skew: f64) -> Self {
+        self.band_skew = skew;
+        self
+    }
+
     fn arch_for(&self, alg: IpAlg, rules: &RuleSet) -> ArchConfig {
         let mut cfg = self.arch.clone().unwrap_or_else(ArchConfig::large);
         cfg.ip_alg = alg;
@@ -358,7 +393,7 @@ impl EngineBuilder {
         Ok(ConfigurableEngine::new(cls))
     }
 
-    fn build_sharded(&self, rules: &RuleSet) -> Result<ShardedEngine, BuildError> {
+    pub(crate) fn build_sharded(&self, rules: &RuleSet) -> Result<ShardedEngine, BuildError> {
         if self.shard_inner == EngineKind::Sharded {
             return Err(BuildError::ConfigError {
                 option: "inner=sharded".to_string(),
@@ -366,6 +401,7 @@ impl EngineBuilder {
             });
         }
         let plan = shard::plan(rules, self.shard_count, self.shard_strategy);
+        let router = shard::ShardRouter::from_plan(&plan, self.shard_count);
         // Each shard gets its own inner engine, provisioned for its own
         // slice (Rule Filter autosizing sees the shard's rule count, not
         // the global one — that per-shard right-sizing is half the win).
@@ -380,11 +416,25 @@ impl EngineBuilder {
             let engine = inner.build(&slice.rules)?;
             parts.push((engine, slice));
         }
-        Ok(ShardedEngine::from_parts(
-            parts,
-            self.shard_strategy,
-            self.shard_inner,
-        ))
+        // Capability probing delegates to the engines actually built,
+        // not their registry kind: sharding stays updatable exactly when
+        // every inner shard is.
+        let updatable = parts.iter().all(|(engine, _)| engine.supports_updates());
+        let mut engine = ShardedEngine::from_parts(parts, self.shard_strategy, self.shard_inner);
+        if updatable {
+            // Churn can open shards the plan never built (an empty hash
+            // slot gaining its first rule, a band split): hand the
+            // engine a factory for empty inners with identical
+            // provisioning.
+            let inner_builder = inner.clone();
+            let factory: InnerFactory = Box::new(move || {
+                inner_builder
+                    .build(&RuleSet::new())
+                    .map_err(|e| e.to_string())
+            });
+            engine.enable_updates(router, factory, self.band_skew);
+        }
+        Ok(engine)
     }
 
     /// Builds the backend over a rule set.
@@ -466,8 +516,62 @@ mod tests {
             assert_eq!(e.rules(), 2, "{kind}");
             assert_eq!(e.classify(&h).priority, Some(Priority(0)), "{kind}");
             assert!(e.memory_bits() > 0, "{kind}");
-            assert_eq!(e.supports_updates(), kind.is_configurable(), "{kind}");
+            // Update capability delegates to the built engine, not the
+            // registry kind: the default sharded config wraps
+            // configurable-bst inners, so it is updatable too.
+            let expected = kind.is_configurable() || kind == EngineKind::Sharded;
+            assert_eq!(e.supports_updates(), expected, "{kind}");
         }
+    }
+
+    #[test]
+    fn sharded_capability_follows_the_inner_engines() {
+        let rules = rules();
+        // Configurable inners keep the §V.A update path alive...
+        for spec in [
+            "sharded:inner=configurable-bst,shards=2,strategy=prio",
+            "sharded:inner=configurable-mbt,shards=2,strategy=hash",
+        ] {
+            let e = build_engine(spec, &rules).unwrap();
+            assert!(e.supports_updates(), "{spec}");
+        }
+        // ...build-once inners do not.
+        for spec in ["sharded:inner=linear,shards=2", "sharded:inner=hypercuts"] {
+            let mut e = build_engine(spec, &rules).unwrap();
+            assert!(!e.supports_updates(), "{spec}");
+            assert!(matches!(
+                e.insert(Rule::any(Priority(9))),
+                Err(crate::UpdateError::Unsupported { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn skew_spec_rules() {
+        // skew parses and reaches the builder on the prio strategy.
+        let b = EngineBuilder::from_spec("sharded:strategy=prio,skew=1.5").unwrap();
+        assert!((b.band_skew - 1.5).abs() < 1e-12);
+        // Default strategy is prio, so a bare skew is fine too.
+        assert!(EngineBuilder::from_spec("sharded:skew=3").is_ok());
+        // Malformed values are BadOption; out-of-range and
+        // strategy-mismatched ones are ConfigError.
+        assert!(matches!(
+            EngineBuilder::from_spec("sharded:skew=fast"),
+            Err(BuildError::BadOption { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("sharded:skew=0.5"),
+            Err(BuildError::ConfigError { .. })
+        ));
+        assert!(matches!(
+            EngineBuilder::from_spec("sharded:strategy=hash,skew=2"),
+            Err(BuildError::ConfigError { .. })
+        ));
+        // skew is a sharded key, nobody else's.
+        assert!(matches!(
+            EngineBuilder::from_spec("linear:skew=2"),
+            Err(BuildError::ConfigError { .. })
+        ));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! [`PacketClassifier`] for the paper's configurable architecture.
 
-use crate::{EngineKind, LookupStats, PacketClassifier, UpdateError, Verdict};
+use crate::{EngineKind, LookupStats, PacketClassifier, UpdateError, UpdateReport, Verdict};
 use spc_core::{Classification, Classifier, ClassifierError, ClassifyScratch, IpAlg};
 use spc_hwsim::AccessCounts;
 use spc_types::{Header, Rule, RuleId};
@@ -18,6 +18,7 @@ use spc_types::{Header, Rule, RuleId};
 pub struct ConfigurableEngine {
     cls: Classifier,
     scratch: ClassifyScratch,
+    last_report: Option<UpdateReport>,
 }
 
 impl ConfigurableEngine {
@@ -26,6 +27,7 @@ impl ConfigurableEngine {
         ConfigurableEngine {
             cls,
             scratch: ClassifyScratch::new(),
+            last_report: None,
         }
     }
 
@@ -124,12 +126,21 @@ impl PacketClassifier for ConfigurableEngine {
     }
 
     fn insert(&mut self, rule: Rule) -> Result<RuleId, UpdateError> {
-        Ok(self.cls.insert(rule)?.rule_id)
+        self.last_report = None;
+        let report = self.cls.insert(rule)?;
+        self.last_report = Some(report);
+        Ok(report.rule_id)
     }
 
     fn remove(&mut self, id: RuleId) -> Result<(), UpdateError> {
-        self.cls.remove(id)?;
+        self.last_report = None;
+        let (_, report) = self.cls.remove(id)?;
+        self.last_report = Some(report);
         Ok(())
+    }
+
+    fn last_update_report(&self) -> Option<UpdateReport> {
+        self.last_report
     }
 }
 
@@ -164,6 +175,25 @@ mod tests {
         e.remove(id).unwrap();
         assert!(!e.classify(&hdr(80)).is_hit());
         assert!(matches!(e.remove(id), Err(UpdateError::UnknownRule { .. })));
+    }
+
+    #[test]
+    fn update_reports_surface_cycle_costs() {
+        let mut e = ConfigurableEngine::new(Classifier::new(ArchConfig::default()));
+        assert!(e.last_update_report().is_none(), "no update yet");
+        let id = e.insert(web_rule(0, 80)).unwrap();
+        let ins = e.last_update_report().expect("insert must report");
+        assert_eq!(ins.rule_id, id);
+        assert_eq!(ins.created_labels, 7);
+        assert!(ins.hw_write_cycles >= 3, "§V.A floor: 2 data + 1 hash");
+        // A failed update clears the report rather than leaving a stale one.
+        assert!(e.insert(web_rule(1, 80)).is_err());
+        assert!(e.last_update_report().is_none());
+        e.remove(id).unwrap();
+        let del = e.last_update_report().expect("remove must report");
+        assert_eq!(del.rule_id, id);
+        assert_eq!(del.freed_labels, 7);
+        assert!(del.hw_write_cycles >= 3);
     }
 
     #[test]

@@ -70,9 +70,12 @@ pub use kind::EngineKind;
 pub use pipeline::{
     BatchWorker, EngineSource, IngestConfig, IngestPipeline, PipelineError, SharedWorker,
 };
-pub use sharded::ShardedEngine;
+pub use sharded::{InnerFactory, ShardedEngine};
 // Re-exported so callers can configure sharding without a spc-core dep.
 pub use spc_core::shard::ShardStrategy;
+// Re-exported so callers can read update-cost accounting
+// ([`PacketClassifier::last_update_report`]) without a spc-core dep.
+pub use spc_core::UpdateReport;
 
 use spc_hwsim::AccessCounts;
 use spc_types::{Action, Header, Priority, Rule, RuleId};
@@ -106,6 +109,16 @@ impl Verdict {
     pub fn is_hit(&self) -> bool {
         self.rule.is_some()
     }
+
+    /// Folds `reads` more memory reads into this verdict, saturating.
+    ///
+    /// Every merge/cascade path accumulates reads through this one
+    /// helper so overflow behaviour is uniform with [`LookupStats`]:
+    /// counters peg at the maximum instead of aborting a run (debug
+    /// builds panic on bare `+` overflow).
+    pub fn add_reads(&mut self, reads: u32) {
+        self.mem_reads = self.mem_reads.saturating_add(reads);
+    }
 }
 
 /// Aggregate accounting over a batch of lookups.
@@ -124,10 +137,13 @@ pub struct LookupStats {
 
 impl LookupStats {
     /// Folds one verdict into the totals.
+    ///
+    /// Saturating, like every stats fold in this crate: a pegged
+    /// counter is a measurement artefact, an aborted run is lost work.
     pub fn absorb(&mut self, v: &Verdict) {
-        self.packets += 1;
-        self.hits += u64::from(v.is_hit());
-        self.mem_reads += u64::from(v.mem_reads);
+        self.packets = self.packets.saturating_add(1);
+        self.hits = self.hits.saturating_add(u64::from(v.is_hit()));
+        self.mem_reads = self.mem_reads.saturating_add(u64::from(v.mem_reads));
     }
 
     /// Mean memory reads per packet.
@@ -151,12 +167,14 @@ impl LookupStats {
 
 impl std::ops::Add for LookupStats {
     type Output = LookupStats;
+    /// Saturating per field, matching [`LookupStats::absorb`] — the two
+    /// fold paths (per-verdict and per-chunk) must agree on overflow.
     fn add(self, rhs: LookupStats) -> LookupStats {
         LookupStats {
-            packets: self.packets + rhs.packets,
-            hits: self.hits + rhs.hits,
-            mem_reads: self.mem_reads + rhs.mem_reads,
-            combos_probed: self.combos_probed + rhs.combos_probed,
+            packets: self.packets.saturating_add(rhs.packets),
+            hits: self.hits.saturating_add(rhs.hits),
+            mem_reads: self.mem_reads.saturating_add(rhs.mem_reads),
+            combos_probed: self.combos_probed.saturating_add(rhs.combos_probed),
         }
     }
 }
@@ -314,6 +332,18 @@ pub trait PacketClassifier: fmt::Debug + Send + Sync {
         Err(UpdateError::Unsupported {
             engine: self.name(),
         })
+    }
+
+    /// The §V.A cost accounting of the most recent *successful*
+    /// [`PacketClassifier::insert`] / [`PacketClassifier::remove`]:
+    /// hardware write cycles (the paper's 2 data cycles + 1 hash cycle
+    /// floor plus structural writes) and labels created/freed.
+    ///
+    /// `None` before the first update, after a failed one, and on
+    /// build-once backends — so benches can measure update cost, not
+    /// just assert success.
+    fn last_update_report(&self) -> Option<UpdateReport> {
+        None
     }
 }
 

@@ -603,7 +603,7 @@ pub fn cascade_batch<W: BatchWorker>(
                     let mut unresolved: Work = Vec::new();
                     for (&(i, carried), v) in items.iter().zip(&buf) {
                         let mut v = *v;
-                        v.mem_reads = v.mem_reads.saturating_add(carried);
+                        v.add_reads(carried);
                         if v.is_hit() || is_last {
                             resolved.push((i, v));
                         } else {

@@ -28,12 +28,25 @@
 //!   its hits on the spot and forwards only unresolved headers
 //!   downstream. High-priority traffic never pays for the long tail, and
 //!   chunks ripple through the pipeline concurrently.
+//!
+//! When every inner engine supports the paper's §V.A fast incremental
+//! update (`sharded:inner=configurable-*`), so does the sharded engine:
+//! `insert`/`remove` route to the owning shard through a live
+//! [`ShardRouter`] — the hash strategy re-folds the rule's `hash_dim`
+//! projection through the same hwsim `HashUnit` the plan used (opening
+//! a fresh shard when a slot gains its first rule), and the priority
+//! band strategy places the rule in the band covering its
+//! `(priority, global id)` key, splitting a band that outgrows the skew
+//! threshold by migrating its upper half into a fresh inner engine.
+//! Global ids are allocated monotonically and never reused, so verdict
+//! merging and tie-breaks are unaffected by churn.
 
 use crate::pipeline::{self, BatchWorker};
-use crate::{EngineKind, LookupStats, PacketClassifier, Verdict};
-use spc_core::shard::{ShardSlice, ShardStrategy};
+use crate::{EngineKind, LookupStats, PacketClassifier, UpdateError, UpdateReport, Verdict};
+use spc_core::shard::{RouteTarget, ShardRouter, ShardSlice, ShardStrategy};
 use spc_hwsim::AccessCounts;
-use spc_types::{Header, RuleId};
+use spc_types::{Header, Rule, RuleId};
+use std::fmt;
 
 /// One shard: an inner engine plus the local→global rule-id map.
 #[derive(Debug)]
@@ -50,7 +63,70 @@ impl Shard {
             ..v
         }
     }
+
+    /// Records the global id behind a shard-local id. Inner classifiers
+    /// allocate local ids monotonically and never reuse them, so the map
+    /// stays a dense vector; slots of removed rules go stale harmlessly
+    /// (the inner engine can never hit them again).
+    fn set_global(&mut self, local: RuleId, global: RuleId) {
+        let idx = local.0 as usize;
+        if self.global_ids.len() <= idx {
+            self.global_ids.resize(idx + 1, RuleId(u32::MAX));
+        }
+        self.global_ids[idx] = global;
+    }
+
+    /// Rewrites the rule ids an inner engine's [`UpdateError`] carries
+    /// into global id space — a shard-local id must never leak through
+    /// the sharded engine's API, where it would name an unrelated rule.
+    fn remap_error(&self, e: UpdateError) -> UpdateError {
+        let global = |local: RuleId| {
+            self.global_ids
+                .get(local.0 as usize)
+                .copied()
+                .unwrap_or(local)
+        };
+        match e {
+            UpdateError::Duplicate { existing } => UpdateError::Duplicate {
+                existing: global(existing),
+            },
+            UpdateError::UnknownRule { id } => UpdateError::UnknownRule { id: global(id) },
+            other => other,
+        }
+    }
 }
+
+/// Builds an empty inner engine for shards that churn creates after the
+/// initial plan: a hash slot gaining its first rule, or the upper half
+/// of a split priority band. Errors are backend build failures, already
+/// rendered to text (they surface as [`UpdateError::Rejected`]).
+pub type InnerFactory = Box<dyn Fn() -> Result<Box<dyn PacketClassifier>, String> + Send + Sync>;
+
+/// The incremental-update state of a [`ShardedEngine`] whose inner
+/// engines all support updates: the live router (routing decisions +
+/// global→local id map), the factory for churn-created shards, and the
+/// band-split threshold.
+struct LiveUpdates {
+    router: ShardRouter,
+    factory: InnerFactory,
+    /// A priority band longer than this splits (see
+    /// [`ShardedEngine::enable_updates`] for the policy).
+    band_threshold: usize,
+}
+
+impl fmt::Debug for LiveUpdates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LiveUpdates")
+            .field("router", &self.router)
+            .field("band_threshold", &self.band_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Bands this short never split, whatever the skew factor — splitting
+/// a handful of rules buys nothing and a pathological skew setting must
+/// not shatter the cascade into confetti.
+const MIN_BAND_QUOTA: usize = 16;
 
 /// A shard is one pool worker: the inner engine's amortised batch path,
 /// with every verdict remapped into global rule-id space on the way out.
@@ -73,6 +149,10 @@ pub struct ShardedEngine {
     strategy: ShardStrategy,
     inner_kind: EngineKind,
     rules: usize,
+    /// `Some` when every inner engine supports updates and the builder
+    /// armed the routed `insert`/`remove` path.
+    live: Option<LiveUpdates>,
+    last_report: Option<UpdateReport>,
 }
 
 impl ShardedEngine {
@@ -104,7 +184,37 @@ impl ShardedEngine {
             strategy,
             inner_kind,
             rules,
+            live: None,
+            last_report: None,
         }
+    }
+
+    /// Arms the incremental-update path (the paper's §V.A fast update,
+    /// routed to the owning shard).
+    ///
+    /// `router` must describe exactly the rules the inner engines were
+    /// built from — [`crate::EngineBuilder`] derives both from the same
+    /// [`spc_core::shard::ShardPlan`] — and `factory` builds an empty
+    /// inner engine for shards churn creates later. `skew` sets the
+    /// band-rebalance policy: a priority band splits when it exceeds
+    /// `skew × max(ceil(rules / bands), 16)` rules, both measured at
+    /// arming time, so the threshold is a fixed per-band capacity (no
+    /// feedback loop) and at most one split runs per insert. Values
+    /// below 1.0 are clamped to 1.0; hash strategies ignore it.
+    pub fn enable_updates(&mut self, router: ShardRouter, factory: InnerFactory, skew: f64) {
+        assert_eq!(router.len(), self.rules, "router must mirror the engine");
+        assert_eq!(
+            router.shard_count(),
+            self.shards.len(),
+            "router must cover every shard"
+        );
+        let quota = self.rules.div_ceil(self.shards.len()).max(MIN_BAND_QUOTA);
+        let band_threshold = (quota as f64 * skew.max(1.0)).ceil() as usize;
+        self.live = Some(LiveUpdates {
+            router,
+            factory,
+            band_threshold,
+        });
     }
 
     /// Number of shards actually built (empty slices are dropped by the
@@ -134,7 +244,7 @@ impl ShardedEngine {
     /// merge is commutative and associative, which is what lets the
     /// batch path fold chunks in arrival order.
     fn merge(into: &mut Verdict, from: &Verdict) {
-        into.mem_reads = into.mem_reads.saturating_add(from.mem_reads);
+        into.add_reads(from.mem_reads);
         let wins = match (from.rule, into.rule) {
             (None, _) => false,
             (Some(_), None) => true,
@@ -145,6 +255,84 @@ impl ShardedEngine {
             into.priority = from.priority;
             into.action = from.action;
         }
+    }
+
+    /// Splits priority band `band` by migrating the upper half of its
+    /// rules — a mini rule-set migration — into a fresh inner engine
+    /// spliced in at `band + 1`, preserving the `(priority, global id)`
+    /// cascade invariant so early-exit merging stays correct.
+    ///
+    /// Best-effort: the moved rules are installed into the fresh engine
+    /// *first*, and if any install fails (factory error, capacity) the
+    /// fresh engine is discarded with the live engines untouched — an
+    /// oversized band is a load-balance wart, not a correctness problem.
+    /// Returns the hardware write cycles the migration cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a migrated rule cannot be removed from the source band
+    /// after its copy was installed in the new one — that would leave
+    /// the rule live twice and indicates an inner-engine bug.
+    ///
+    /// An abandoned split doubles `band_threshold` so the failed
+    /// migration is not retried wholesale on every subsequent insert
+    /// into the still-oversized band — retries resume only once the
+    /// band has grown well past the point that failed, bounding the
+    /// wasted work to O(log) attempts over the engine's lifetime.
+    fn split_band(shards: &mut Vec<Shard>, live: &mut LiveUpdates, band: usize) -> u64 {
+        let abandon = |live: &mut LiveUpdates| {
+            live.band_threshold = live.band_threshold.saturating_mul(2);
+            0
+        };
+        let moves = live.router.split_moves(band);
+        if moves.is_empty() {
+            return 0;
+        }
+        let Ok(engine) = (live.factory)() else {
+            return abandon(live);
+        };
+        let mut fresh = Shard {
+            engine,
+            global_ids: Vec::new(),
+        };
+        let mut cycles = 0u64;
+        let mut moved = Vec::with_capacity(moves.len());
+        for &global in &moves {
+            let rule = live
+                .router
+                .location(global)
+                .expect("split move is installed")
+                .rule;
+            match fresh.engine.insert(rule) {
+                Ok(local) => {
+                    fresh.set_global(local, global);
+                    cycles += fresh
+                        .engine
+                        .last_update_report()
+                        .map_or(0, |r| r.hw_write_cycles);
+                    moved.push((global, local));
+                }
+                Err(_) => return abandon(live),
+            }
+        }
+        for &(global, _) in &moved {
+            let local = live
+                .router
+                .location(global)
+                .expect("still installed in the source band")
+                .local;
+            shards[band]
+                .engine
+                .remove(local)
+                .expect("migrated rule is installed in the source band");
+            cycles += shards[band]
+                .engine
+                .last_update_report()
+                .map_or(0, |r| r.hw_write_cycles);
+        }
+        shards.insert(band + 1, fresh);
+        live.router.apply_band_split(band, &moved);
+        cycles
     }
 }
 
@@ -169,7 +357,7 @@ impl PacketClassifier for ShardedEngine {
                 let mut reads = 0u32;
                 for shard in &self.shards {
                     let mut v = shard.remap(shard.engine.classify(header));
-                    v.mem_reads = v.mem_reads.saturating_add(reads);
+                    v.add_reads(reads);
                     if v.is_hit() {
                         return v;
                     }
@@ -250,6 +438,105 @@ impl PacketClassifier for ShardedEngine {
         for s in &self.shards {
             s.engine.reset_access_counts();
         }
+    }
+
+    /// `true` when every inner engine supports updates — then the
+    /// builder armed the routed update path via
+    /// [`ShardedEngine::enable_updates`].
+    fn supports_updates(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// Routes the rule to its owning shard — the hash of its
+    /// `hash_dim` projection, or the priority band covering its
+    /// `(priority, global id)` key — and installs it there, creating
+    /// the shard first if churn just opened it (an empty hash slot).
+    /// Under priority bands, a band grown past the skew threshold is
+    /// split afterwards (see [`ShardedEngine::enable_updates`]).
+    fn insert(&mut self, rule: Rule) -> Result<RuleId, UpdateError> {
+        self.last_report = None;
+        let name = self.name();
+        let live = self
+            .live
+            .as_mut()
+            .ok_or(UpdateError::Unsupported { engine: name })?;
+        // The cross-shard mirror of the Rule Filter's duplicate-key
+        // check: under priority bands the collision can live in a
+        // different band, where no inner engine would see it.
+        if let Some(existing) = live.router.duplicate_of(&rule) {
+            return Err(UpdateError::Duplicate { existing });
+        }
+        let shard = match live.router.route(&rule) {
+            RouteTarget::Existing(shard) => shard,
+            RouteTarget::NewShard { slot } => {
+                let engine = (live.factory)().map_err(|reason| UpdateError::Rejected { reason })?;
+                self.shards.push(Shard {
+                    engine,
+                    global_ids: Vec::new(),
+                });
+                live.router.register_shard(slot)
+            }
+        };
+        let local = match self.shards[shard].engine.insert(rule) {
+            Ok(local) => local,
+            // Inner errors carry shard-local ids; translate before they
+            // escape into the global-id API.
+            Err(e) => return Err(self.shards[shard].remap_error(e)),
+        };
+        let global = live.router.record_insert(rule, shard, local);
+        self.shards[shard].set_global(local, global);
+        self.rules += 1;
+        let mut report = self.shards[shard].engine.last_update_report().map_or_else(
+            || UpdateReport {
+                rule_id: global,
+                created_labels: 0,
+                freed_labels: 0,
+                hw_write_cycles: 0,
+            },
+            |r| UpdateReport {
+                rule_id: global,
+                ..r
+            },
+        );
+        if self.strategy == ShardStrategy::PriorityBands
+            && live.router.shard_len(shard) > live.band_threshold
+        {
+            report.hw_write_cycles = report.hw_write_cycles.saturating_add(Self::split_band(
+                &mut self.shards,
+                live,
+                shard,
+            ));
+        }
+        self.last_report = Some(report);
+        Ok(global)
+    }
+
+    /// Removes a rule from the shard that owns its global id.
+    fn remove(&mut self, id: RuleId) -> Result<(), UpdateError> {
+        self.last_report = None;
+        let name = self.name();
+        let live = self
+            .live
+            .as_mut()
+            .ok_or(UpdateError::Unsupported { engine: name })?;
+        let (shard, local) = match live.router.location(id) {
+            Some(loc) => (loc.shard, loc.local),
+            None => return Err(UpdateError::UnknownRule { id }),
+        };
+        if let Err(e) = self.shards[shard].engine.remove(local) {
+            return Err(self.shards[shard].remap_error(e));
+        }
+        live.router.record_remove(id);
+        self.rules -= 1;
+        self.last_report = self.shards[shard]
+            .engine
+            .last_update_report()
+            .map(|r| UpdateReport { rule_id: id, ..r });
+        Ok(())
+    }
+
+    fn last_update_report(&self) -> Option<UpdateReport> {
+        self.last_report
     }
 }
 
@@ -371,5 +658,202 @@ mod tests {
         // Four linear shards hold the same rules overall; per-shard
         // structures can only add overhead.
         assert!(four.memory_bits() >= one.memory_bits() / 2);
+    }
+
+    #[test]
+    fn non_updatable_inner_keeps_updates_unsupported() {
+        let mut e = sharded(8, 2); // inner=linear
+        assert!(!e.supports_updates());
+        assert!(matches!(
+            e.insert(Rule::builder(Priority(0)).build()),
+            Err(UpdateError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            e.remove(RuleId(0)),
+            Err(UpdateError::Unsupported { .. })
+        ));
+        assert!(e.last_update_report().is_none());
+    }
+
+    fn updatable(spec: &str, n_rules: u32) -> ShardedEngine {
+        let builder = EngineBuilder::from_spec(spec).unwrap();
+        let engine = builder.build_sharded(&rules(n_rules)).unwrap();
+        assert!(engine.supports_updates(), "{spec}");
+        engine
+    }
+
+    #[test]
+    fn insert_and_remove_route_to_owning_shard() {
+        for strategy in ["prio", "hash"] {
+            let spec = format!("sharded:inner=configurable-bst,shards=4,strategy={strategy}");
+            let mut e = updatable(&spec, 20);
+            let before = e.rules();
+            let r = Rule::builder(Priority(3))
+                .dst_port(PortRange::exact(500))
+                .proto(ProtoSpec::Exact(6))
+                .action(Action::Forward(77))
+                .build();
+            let id = e.insert(r).unwrap();
+            assert_eq!(e.rules(), before + 1);
+            assert!(id.0 >= 20, "churn ids continue after the planned ones");
+            let rep = e.last_update_report().expect("insert must report");
+            assert_eq!(rep.rule_id, id);
+            assert!(rep.hw_write_cycles >= 3, "§V.A floor");
+            let v = e.classify(&hdr(500));
+            assert_eq!(v.rule, Some(id), "{spec}");
+            assert_eq!(v.action, Some(Action::Forward(77)));
+            // Duplicate dims are rejected across shard boundaries, even
+            // with a different priority (label keys ignore priority).
+            let mut dup = r;
+            dup.priority = Priority(9999);
+            assert_eq!(
+                e.insert(dup),
+                Err(UpdateError::Duplicate { existing: id }),
+                "{spec}"
+            );
+            e.remove(id).unwrap();
+            let rep = e.last_update_report().expect("remove must report");
+            assert_eq!(rep.rule_id, id);
+            assert!(!e.classify(&hdr(500)).is_hit());
+            assert_eq!(e.rules(), before);
+            assert_eq!(e.remove(id), Err(UpdateError::UnknownRule { id }), "{spec}");
+            // Batch and single paths agree after churn.
+            let trace: Vec<Header> = (0..30).map(|i| hdr(i % 22)).collect();
+            let mut out = Vec::new();
+            e.classify_batch(&trace, &mut out);
+            for (h, v) in trace.iter().zip(&out) {
+                assert_eq!(*v, e.classify(h), "{spec} batch-vs-single at {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_rejection_survives_twin_churn() {
+        // Projection twins at priority extremes land in different bands
+        // (so the planned build succeeds); after one twin is removed the
+        // survivor must still be found by the duplicate check, and the
+        // id the error names must be the *global* id of a live rule.
+        let twin = |p: u32, tag: u16| {
+            Rule::builder(Priority(p))
+                .dst_port(PortRange::exact(900))
+                .proto(ProtoSpec::Exact(6))
+                .action(Action::Forward(tag))
+                .build()
+        };
+        let mut rs = rules(10);
+        let first = rs.push(twin(2, 1));
+        let second = rs.push(twin(5000, 2));
+        let mut e =
+            EngineBuilder::from_spec("sharded:inner=configurable-bst,shards=2,strategy=prio")
+                .unwrap()
+                .build_sharded(&rs)
+                .unwrap();
+        assert!(e.supports_updates());
+        e.remove(second).unwrap();
+        assert_eq!(
+            e.insert(twin(7000, 3)),
+            Err(UpdateError::Duplicate { existing: first }),
+            "duplicate check must survive twin removal and name the live global id"
+        );
+        let v = e.classify(&hdr(900));
+        assert_eq!(v.rule, Some(first), "the surviving twin still matches");
+    }
+
+    #[test]
+    fn hash_insert_opens_empty_slot_as_new_shard() {
+        // All 12 planned rules share proto 6; hashing on proto fills one
+        // slot, so a fresh protocol value must open a new shard.
+        let mut e = updatable(
+            "sharded:inner=configurable-bst,shards=8,strategy=hash,hash_dim=proto",
+            12,
+        );
+        let shards_before = e.shard_count();
+        let mut opened = false;
+        for proto in 0u8..30 {
+            let r = Rule::builder(Priority(100 + u32::from(proto)))
+                .proto(ProtoSpec::Exact(proto))
+                .action(Action::Forward(u16::from(proto)))
+                .build();
+            let id = e.insert(r).unwrap();
+            let h = Header::new([9, 9, 9, 9].into(), [8, 8, 8, 8].into(), 1, 999, proto);
+            let v = e.classify(&h);
+            // Planned rules only match dst_port < 12 headers; port 999
+            // headers resolve to the freshly inserted per-proto rule.
+            assert_eq!(v.rule, Some(id), "proto {proto}");
+            opened |= e.shard_count() > shards_before;
+        }
+        assert!(opened, "some protocol value must land in an empty slot");
+    }
+
+    #[test]
+    fn skewed_inserts_split_priority_bands() {
+        let mut e = updatable("sharded:inner=configurable-bst,shards=2,strategy=prio", 24);
+        let bands_before = e.shard_count();
+        // Everything lands in the top band: priorities 0..24 already
+        // exist, and these all beat them.
+        for i in 0..80u16 {
+            let r = Rule::builder(Priority(0))
+                .dst_port(PortRange::exact(1000 + i))
+                .proto(ProtoSpec::Exact(17))
+                .action(Action::Forward(i))
+                .build();
+            e.insert(r).unwrap();
+        }
+        assert!(
+            e.shard_count() > bands_before,
+            "an oversized band must split ({} bands)",
+            e.shard_count()
+        );
+        // Every rule is still reachable with its own id, and the
+        // early-exit cascade still resolves the right priorities.
+        for i in 0..80u16 {
+            let h = Header::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 5, 1000 + i, 17);
+            let v = e.classify(&h);
+            assert_eq!(v.action, Some(Action::Forward(i)), "port {}", 1000 + i);
+            assert_eq!(v.priority, Some(Priority(0)));
+        }
+        for port in 0..24u16 {
+            assert!(
+                e.classify(&hdr(port)).is_hit(),
+                "planned rule {port} survives"
+            );
+        }
+        let trace: Vec<Header> = (0..60)
+            .map(|i| Header::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 5, 990 + i, 17))
+            .collect();
+        let mut out = Vec::new();
+        e.classify_batch(&trace, &mut out);
+        for (h, v) in trace.iter().zip(&out) {
+            assert_eq!(*v, e.classify(h), "batch-vs-single after split at {h}");
+        }
+    }
+
+    #[test]
+    fn churn_on_initially_empty_engine() {
+        for strategy in ["prio", "hash"] {
+            let spec = format!("sharded:inner=configurable-bst,shards=4,strategy={strategy}");
+            let builder = EngineBuilder::from_spec(&spec).unwrap();
+            let mut e = builder.build_sharded(&RuleSet::new()).unwrap();
+            assert!(e.supports_updates(), "{spec}");
+            assert_eq!(e.rules(), 0);
+            let mut ids = Vec::new();
+            for i in 0..20u16 {
+                let r = Rule::builder(Priority(u32::from(i)))
+                    .dst_port(PortRange::exact(i))
+                    .proto(ProtoSpec::Exact(6))
+                    .action(Action::Forward(i))
+                    .build();
+                ids.push(e.insert(r).unwrap());
+            }
+            for (i, &id) in ids.iter().enumerate() {
+                let v = e.classify(&hdr(i as u16));
+                assert_eq!(v.rule, Some(id), "{spec}");
+            }
+            for &id in &ids {
+                e.remove(id).unwrap();
+            }
+            assert_eq!(e.rules(), 0);
+            assert!(!e.classify(&hdr(3)).is_hit(), "{spec}");
+        }
     }
 }

@@ -171,6 +171,167 @@ fn sharded_build_is_deterministic() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Churn differential oracle: interleaved insert/remove/classify on the
+// sharded engine vs an unsharded inner engine rebuilt from scratch over
+// the current live rule set. The rebuild is the strongest possible
+// reference — it has never seen the churn history, so any state the
+// sharded update path corrupts (stale id maps, broken band ordering,
+// leaked hash slots) shows up as a verdict disagreement.
+// ---------------------------------------------------------------------
+
+use spc::engine::{PacketClassifier, UpdateError};
+
+/// Interleaved churn against `spec`, checked against rebuilds of the
+/// unsharded `inner` every `CHECK_EVERY` operations.
+///
+/// `live` tracks the expected rule set as `(global id, rule)` in
+/// insertion order; since the sharded engine allocates global ids
+/// monotonically and never reuses them, the rebuilt reference's
+/// positional ids map back via `live[pos].0`, and priority ties break
+/// identically on both sides.
+fn churn_check(inner: &str, strategy: &str, shards: usize, skewed: bool) {
+    const OPS: usize = 100;
+    const CHECK_EVERY: usize = 25;
+    let (base, _) = workload(FilterKind::Acl);
+    let pool = RuleSetGenerator::new(FilterKind::Fw, 160)
+        .seed(SEED ^ 0x77)
+        .generate();
+    let skew_opt = if skewed { ",skew=1.5" } else { "" };
+    let spec = format!("sharded:inner={inner},shards={shards},strategy={strategy}{skew_opt}");
+    let mut engine = build_engine(&spec, &base).unwrap();
+    assert!(engine.supports_updates(), "{spec} must be updatable");
+    let mut live: Vec<(spc::types::RuleId, Rule)> = base.iter().map(|(id, r)| (id, *r)).collect();
+    let mut rng = StdRng::seed_from_u64(SEED ^ shards as u64 ^ u64::from(skewed));
+    let mut pool_next = 0usize;
+    for step in 0..OPS {
+        if rng.gen_bool(0.6) || live.is_empty() {
+            let mut rule = pool.rules()[pool_next % pool.len()];
+            pool_next += 1;
+            rule.priority = if skewed {
+                // Skewed workload: everything beats the base rules, so
+                // every insert lands in the top priority band and the
+                // rebalance path must fire.
+                Priority(rng.gen_range(0..4))
+            } else {
+                Priority(rng.gen_range(0..50_000))
+            };
+            match engine.insert(rule) {
+                Ok(id) => {
+                    assert!(
+                        live.iter().all(|&(g, _)| g != id),
+                        "{spec}: global id {id} reused"
+                    );
+                    let report = engine
+                        .last_update_report()
+                        .unwrap_or_else(|| panic!("{spec}: insert must report §V.A costs"));
+                    assert_eq!(report.rule_id, id, "{spec}");
+                    assert!(report.hw_write_cycles >= 3, "{spec}: §V.A floor");
+                    live.push((id, rule));
+                }
+                Err(UpdateError::Duplicate { existing }) => {
+                    // Dimension collision with a live rule; the engine
+                    // must name it and install nothing.
+                    assert!(
+                        live.iter().any(|&(g, _)| g == existing),
+                        "{spec}: duplicate names a dead rule {existing}"
+                    );
+                }
+                Err(e) => panic!("{spec}: insert failed at step {step}: {e}"),
+            }
+        } else {
+            let victim = rng.gen_range(0..live.len());
+            let (id, _) = live.remove(victim);
+            engine
+                .remove(id)
+                .unwrap_or_else(|e| panic!("{spec}: remove {id} at step {step}: {e}"));
+            assert!(
+                engine.last_update_report().is_some(),
+                "{spec}: remove must report §V.A costs"
+            );
+        }
+        assert_eq!(engine.rules(), live.len(), "{spec} rule count at {step}");
+        if step % CHECK_EVERY == CHECK_EVERY - 1 {
+            diff_against_rebuild(&spec, engine.as_mut(), &live, inner, step as u64);
+        }
+    }
+    diff_against_rebuild(&spec, engine.as_mut(), &live, inner, OPS as u64);
+    // Error semantics after heavy churn: unknown ids and duplicates.
+    let dead = spc::types::RuleId(u32::MAX - 1);
+    assert!(matches!(
+        engine.remove(dead),
+        Err(UpdateError::UnknownRule { .. })
+    ));
+    if let Some(&(id, rule)) = live.first() {
+        assert_eq!(
+            engine.insert(rule),
+            Err(UpdateError::Duplicate { existing: id }),
+            "{spec}: re-inserting a live rule must collide"
+        );
+    }
+}
+
+/// One checkpoint: rebuild the unsharded inner from the live rules and
+/// require verdict-for-verdict agreement (ids mapped through `live`),
+/// on the batch and single-shot paths alike.
+fn diff_against_rebuild(
+    spec: &str,
+    engine: &mut dyn PacketClassifier,
+    live: &[(spc::types::RuleId, Rule)],
+    inner: &str,
+    salt: u64,
+) {
+    if live.is_empty() {
+        return;
+    }
+    let rules: RuleSet = live.iter().map(|&(_, r)| r).collect();
+    let mut reference = build_engine(inner, &rules)
+        .unwrap_or_else(|e| panic!("{spec}: rebuild reference must hold live rules: {e}"));
+    let trace = TraceGenerator::new()
+        .seed(SEED ^ 0xdead ^ salt)
+        .match_fraction(0.8)
+        .generate(&rules, 80);
+    let (mut got, mut want) = (Vec::new(), Vec::new());
+    engine.classify_batch(&trace, &mut got);
+    reference.classify_batch(&trace, &mut want);
+    for ((h, w), g) in trace.iter().zip(&want).zip(&got) {
+        let want_global = w.rule.map(|pos| live[pos.0 as usize].0);
+        assert_eq!(g.rule, want_global, "{spec} vs rebuilt {inner} at {h}");
+        assert_eq!(g.priority, w.priority, "{spec} priority at {h}");
+        assert_eq!(g.action, w.action, "{spec} action at {h}");
+        let single = engine.classify(h);
+        assert_eq!(single.rule, g.rule, "{spec} single-vs-batch at {h}");
+    }
+}
+
+#[test]
+fn churn_oracle_prio_bands() {
+    for shards in SHARD_COUNTS {
+        churn_check("configurable-bst", "prio", shards, false);
+    }
+}
+
+#[test]
+fn churn_oracle_field_hash() {
+    for shards in SHARD_COUNTS {
+        churn_check("configurable-bst", "hash", shards, false);
+    }
+}
+
+/// Skewed-priority workload: every insert beats the whole base set, so
+/// one band absorbs all churn and must rebalance (spec `skew=1.5`), and
+/// verdicts must survive the migration.
+#[test]
+fn churn_oracle_skewed_priorities_trigger_rebalance() {
+    churn_check("configurable-bst", "prio", 4, true);
+}
+
+/// The MBT-mode inner takes the same churn path.
+#[test]
+fn churn_oracle_mbt_inner() {
+    churn_check("configurable-mbt", "prio", 2, false);
+}
+
 /// More shards than rules, empty rule sets, and the typed-builder path
 /// all behave.
 #[test]
