@@ -11,7 +11,7 @@
 //! bench-smoke job) runs every body once.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use spc_bench::{ruleset, scale_or, trace};
+use spc_bench::{ruleset, scale_or, trace, trace_source};
 use spc_classbench::FilterKind;
 use spc_engine::{
     EngineBuilder, EngineSource, IngestConfig, IngestPipeline, PacketClassifier, Verdict,
@@ -54,6 +54,34 @@ fn bench_ingest_throughput(c: &mut Criterion) {
             BenchmarkId::new("cloned", format!("workers{workers}")),
             &t,
             |b, t| b.iter(|| pipe.run_batch(t, &mut out).hits),
+        );
+    }
+
+    // Streaming from a lazy TraceSource (headers generated on the fly,
+    // chunk by chunk, under the queue's backpressure) instead of a
+    // pre-materialised batch — the generation cost is part of the
+    // measurement, which is exactly the replay-a-capture shape.
+    for workers in WORKER_COUNTS {
+        let source = EngineSource::replicated(&builder, &rules, workers).expect("replicas build");
+        let mut pipe = IngestPipeline::spawn(
+            source,
+            IngestConfig {
+                workers,
+                queue_chunks: 2 * workers,
+                chunk: 1024,
+            },
+        )
+        .expect("valid pipeline config");
+        group.bench_function(
+            BenchmarkId::new("streamed", format!("workers{workers}")),
+            |b| {
+                b.iter(|| {
+                    let mut src = trace_source(&rules, BATCH);
+                    pipe.run_source(&mut src, &mut out)
+                        .expect("classify-only source")
+                        .hits
+                })
+            },
         );
     }
 

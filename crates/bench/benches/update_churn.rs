@@ -1,30 +1,34 @@
 //! Criterion bench: incremental update churn through the unified engine
-//! API — interleaved insert/classify/remove on the sharded backend at
-//! {1, 2, 8} shards (both strategies) vs the unsharded configurable
-//! inner. This measures the cost of keeping the paper's §V.A fast
-//! update path alive under sharding: hash routing re-folds one
-//! dimension per insert, priority bands pay occasional split
-//! migrations, and both pay the global↔local id bookkeeping.
+//! API — a [`ScenarioScript`] of interleaved insert/classify/remove
+//! bursts on the sharded backend at {1, 2, 8} shards (both strategies)
+//! vs the unsharded configurable inner. This measures the cost of
+//! keeping the paper's §V.A fast update path alive under sharding: hash
+//! routing re-folds one dimension per insert, priority bands pay
+//! occasional split migrations, and both pay the global↔local id
+//! bookkeeping.
 //!
-//! Each iteration inserts the whole churn pool, classifies a slice of
-//! trace traffic, then removes everything it inserted, so the engine
-//! returns to its base state and iterations are independent.
+//! Each iteration replays the same scenario — insert the whole churn
+//! pool in bursts, classify between bursts, then remove everything it
+//! inserted — so the engine returns to its base state and iterations
+//! are independent.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spc_bench::{ruleset, trace};
-use spc_classbench::{FilterKind, RuleSetGenerator};
-use spc_engine::{build_engine, UpdateError};
+use spc_bench::{ruleset, traffic};
+use spc_classbench::{FilterKind, RuleSetGenerator, ScenarioScript};
+use spc_engine::{build_engine, run_scenario};
 use spc_types::{Priority, Rule};
 
 const BASE_RULES: usize = 2048;
 const POOL: usize = 64;
-const CLASSIFIES: usize = 32;
+
+/// Four bursts of 16 inserts, each followed by a classify window, then
+/// everything removed again — net zero, like the old hand-rolled loop.
+const SCRIPT: &str = "repeat 4 { insert 16; classify 8 }; remove 64";
 
 fn bench_update_churn(c: &mut Criterion) {
     let mut group = c.benchmark_group("update_churn");
     group.sample_size(10);
     let base = ruleset(FilterKind::Acl, BASE_RULES);
-    let headers = trace(&base, 256);
     // A separate family keeps dimension collisions with the base set
     // rare; the ones that remain surface as Duplicate and are skipped,
     // identically for every spec.
@@ -40,6 +44,7 @@ fn bench_update_churn(c: &mut Criterion) {
             r
         })
         .collect();
+    let script = ScenarioScript::parse(SCRIPT).expect("valid script");
     let specs = [
         "configurable-bst".to_string(),
         "sharded:inner=configurable-bst,shards=1,strategy=prio".to_string(),
@@ -52,22 +57,21 @@ fn bench_update_churn(c: &mut Criterion) {
         let mut engine =
             build_engine(spec, &base).unwrap_or_else(|e| panic!("{spec} must build: {e}"));
         assert!(engine.supports_updates(), "{spec} must be updatable");
-        group.bench_function(BenchmarkId::new("insert_classify_remove", spec), |b| {
+        let mut verdicts = Vec::new();
+        group.bench_function(BenchmarkId::new("scenario", spec), |b| {
             b.iter(|| {
-                let mut ids = Vec::with_capacity(pool.len());
-                for rule in &pool {
-                    match engine.insert(*rule) {
-                        Ok(id) => ids.push(id),
-                        Err(UpdateError::Duplicate { .. }) => {}
-                        Err(e) => panic!("{spec}: churn insert rejected: {e}"),
-                    }
-                }
-                for h in &headers[..CLASSIFIES] {
-                    engine.classify(h);
-                }
-                for id in ids {
-                    engine.remove(id).expect("inserted this iteration");
-                }
+                verdicts.clear();
+                let mut source = script
+                    .source(&traffic(), &base, &pool)
+                    .expect("scenario binds");
+                let report = run_scenario(engine.as_mut(), &mut source, &mut verdicts)
+                    .unwrap_or_else(|e| panic!("{spec}: churn scenario failed: {e}"));
+                assert_eq!(
+                    report.live_inserts.len(),
+                    0,
+                    "{spec}: the scenario is net zero"
+                );
+                report.update_ops()
             })
         });
     }

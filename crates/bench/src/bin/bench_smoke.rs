@@ -1,10 +1,13 @@
 //! CI bench-smoke: a fast, deterministic throughput comparison across
 //! the engine registry's interesting configurations — the unsharded
-//! inner engine against `sharded` at increasing shard counts, and a
+//! inner engine against `sharded` at increasing shard counts, a
 //! non-sharded backend driven through the `IngestPipeline` worker pool
-//! at increasing worker counts — that also cross-checks every
-//! configuration's verdicts against the linear oracle before timing it
-//! (a benchmark of a wrong classifier is worse than no benchmark).
+//! at increasing worker counts, the same workload replayed from a pcap
+//! capture (`replay:*` rows, covering the reader on every push), and
+//! scripted churn scenarios (`scenario:*` rows) — that also
+//! cross-checks every configuration's verdicts against the linear
+//! oracle before timing it (a benchmark of a wrong classifier is worse
+//! than no benchmark).
 //!
 //! Writes the measurements as `BENCH_smoke.json` (override the path
 //! with `SPC_BENCH_OUT`) so CI can upload the perf trajectory as a
@@ -13,10 +16,12 @@
 //!
 //! Run: `cargo run --release -p spc-bench --bin bench_smoke`
 
-use spc_bench::{print_table, ruleset, scale_or, trace, Row, ToJson};
-use spc_classbench::{FilterKind, RuleSetGenerator};
+use spc_bench::{print_table, ruleset, scale_or, trace, traffic, Row, ToJson};
+use spc_classbench::{
+    write_pcap, FilterKind, PcapReader, RuleSetGenerator, ScenarioScript, TraceSource,
+};
 use spc_engine::{
-    build_engine, EngineBuilder, EngineSource, IngestConfig, IngestPipeline, UpdateError, Verdict,
+    build_engine, run_scenario, EngineBuilder, EngineSource, IngestConfig, IngestPipeline, Verdict,
 };
 use spc_types::{Header, Priority, Rule, RuleId, RuleSet};
 use std::time::Instant;
@@ -32,7 +37,7 @@ struct Record {
     trace_len: usize,
     reps: usize,
     rows: Vec<SpecRec>,
-    update_churn: Vec<ChurnRec>,
+    scenarios: Vec<ScenarioRec>,
 }
 
 struct SpecRec {
@@ -47,14 +52,14 @@ struct SpecRec {
     oracle_agrees: bool,
 }
 
-/// One update-churn measurement: interleaved insert/remove/classify on
-/// an updatable spec, oracle-checked against a linear engine built over
-/// the post-churn rule set.
-struct ChurnRec {
+/// One scripted churn measurement: a `ScenarioScript` driven through
+/// `run_scenario` on an updatable spec, oracle-checked against a linear
+/// engine built over the post-churn rule set.
+struct ScenarioRec {
     spec: String,
     rules: usize,
-    ops: usize,
-    churn_kops_per_s: f64,
+    ops: u64,
+    kops_per_s: f64,
     avg_update_cycles: f64,
     oracle_agrees: bool,
 }
@@ -66,13 +71,13 @@ spc_bench::json_object!(Record {
     trace_len,
     reps,
     rows,
-    update_churn
+    scenarios
 });
-spc_bench::json_object!(ChurnRec {
+spc_bench::json_object!(ScenarioRec {
     spec,
     rules,
     ops,
-    churn_kops_per_s,
+    kops_per_s,
     avg_update_cycles,
     oracle_agrees
 });
@@ -88,56 +93,49 @@ spc_bench::json_object!(SpecRec {
     oracle_agrees
 });
 
-/// Drives `spec` through a deterministic churn workload — insert one
-/// pool rule, every second step remove the oldest surviving insert,
-/// classify one trace header after every update — then cross-checks the
-/// post-churn engine against a linear oracle built over the rules that
-/// are actually live (global ids mapped through insertion order).
-fn churn_row(spec: &str, base: &RuleSet, pool: &[Rule], headers: &[Header]) -> ChurnRec {
+/// Verdict agreement with the oracle vector, field by field.
+fn agrees(got: &[Verdict], want: &[Verdict]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(g, w)| g.rule == w.rule && g.priority == w.priority && g.action == w.action)
+}
+
+/// Drives `spec` through the scripted churn workload — bursty inserts
+/// from a pool interleaved with classify batches and FIFO removes —
+/// then cross-checks the post-churn engine against a linear oracle
+/// built over the rules that are actually live (global ids mapped
+/// through `live`).
+fn scenario_row(
+    spec: &str,
+    script: &ScenarioScript,
+    base: &RuleSet,
+    pool: &[Rule],
+    probe: &[Header],
+) -> ScenarioRec {
     let mut engine = build_engine(spec, base).unwrap_or_else(|e| panic!("{spec} must build: {e}"));
     assert!(engine.supports_updates(), "{spec} must be updatable");
-    let mut live: Vec<(RuleId, Rule)> = base.iter().map(|(id, r)| (id, *r)).collect();
-    let mut inserted: Vec<RuleId> = Vec::new();
-    let (mut ops, mut update_ops, mut cycles) = (0usize, 0usize, 0u64);
+    let mut source = script
+        .source(&traffic(), base, pool)
+        .expect("scenario binds")
+        .with_chunk(256);
+    let mut verdicts = Vec::new();
     let t0 = Instant::now();
-    for (i, rule) in pool.iter().enumerate() {
-        match engine.insert(*rule) {
-            Ok(id) => {
-                cycles += engine
-                    .last_update_report()
-                    .expect("insert must report")
-                    .hw_write_cycles;
-                update_ops += 1;
-                live.push((id, *rule));
-                inserted.push(id);
-            }
-            Err(UpdateError::Duplicate { .. }) => {}
-            Err(e) => panic!("{spec}: churn insert rejected: {e}"),
-        }
-        ops += 1;
-        if i % 2 == 1 {
-            if let Some(id) = inserted.first().copied() {
-                inserted.remove(0);
-                engine
-                    .remove(id)
-                    .unwrap_or_else(|e| panic!("{spec}: churn remove {id}: {e}"));
-                cycles += engine
-                    .last_update_report()
-                    .expect("remove must report")
-                    .hw_write_cycles;
-                update_ops += 1;
-                ops += 1;
-                live.retain(|&(g, _)| g != id);
-            }
-        }
-        engine.classify(&headers[i % headers.len()]);
-        ops += 1;
-    }
+    let report = run_scenario(engine.as_mut(), &mut source, &mut verdicts)
+        .unwrap_or_else(|e| panic!("{spec}: scenario failed: {e}"));
     let elapsed = t0.elapsed().as_secs_f64();
+    let ops = report.lookup.packets
+        + report.inserts
+        + report.duplicates
+        + report.removes
+        + report.skipped_removes;
 
+    let mut live: Vec<(RuleId, Rule)> = base.iter().map(|(id, r)| (id, *r)).collect();
+    live.extend(report.live_inserts.iter().copied());
     let final_rules: RuleSet = live.iter().map(|&(_, r)| r).collect();
     let oracle = build_engine("linear", &final_rules).expect("linear always builds");
-    let oracle_agrees = headers.iter().all(|h| {
+    let oracle_agrees = probe.iter().all(|h| {
         let want = oracle.classify(h);
         let got = engine.classify(h);
         got.rule == want.rule.map(|pos| live[pos.0 as usize].0)
@@ -145,12 +143,12 @@ fn churn_row(spec: &str, base: &RuleSet, pool: &[Rule], headers: &[Header]) -> C
             && got.action == want.action
     });
 
-    ChurnRec {
+    ScenarioRec {
         spec: spec.to_string(),
         rules: engine.rules(),
         ops,
-        churn_kops_per_s: ops as f64 / elapsed / 1e3,
-        avg_update_cycles: cycles as f64 / update_ops.max(1) as f64,
+        kops_per_s: ops as f64 / elapsed / 1e3,
+        avg_update_cycles: report.update_cycles() as f64 / report.update_ops().max(1) as f64,
         oracle_agrees,
     }
 }
@@ -185,10 +183,7 @@ fn main() {
 
         let mut out = Vec::new();
         let mut stats = engine.classify_batch(&t, &mut out);
-        let oracle_agrees = out
-            .iter()
-            .zip(&want)
-            .all(|(g, w)| g.rule == w.rule && g.priority == w.priority && g.action == w.action);
+        let oracle_agrees = agrees(&out, &want);
         all_agree &= oracle_agrees;
 
         let mut best = f64::INFINITY;
@@ -224,8 +219,7 @@ fn main() {
 
     // The same trace through the generalised ingest pipeline: one
     // non-sharded backend, replicated per worker — scaling with worker
-    // count is this PR's acceptance measurement, so it lands in the
-    // artifact next to the sharded numbers.
+    // count lands in the artifact next to the sharded numbers.
     const INGEST_SPEC: &str = "configurable-bst";
     let builder = EngineBuilder::from_spec(INGEST_SPEC).expect("valid ingest spec");
     for workers in [1usize, 2, 4, 8] {
@@ -245,10 +239,7 @@ fn main() {
 
         let mut out = Vec::new();
         let mut stats = pipe.run_batch(&t, &mut out);
-        let oracle_agrees = out
-            .iter()
-            .zip(&want)
-            .all(|(g, w)| g.rule == w.rule && g.priority == w.priority && g.action == w.action);
+        let oracle_agrees = agrees(&out, &want);
         all_agree &= oracle_agrees;
 
         let mut best = f64::INFINITY;
@@ -283,10 +274,120 @@ fn main() {
         });
     }
 
-    // Update churn: the §V.A fast-update path under sharding —
-    // interleaved insert/remove/classify, sharded at {1, 2, 8} shards
-    // (both strategies) against the unsharded configurable inner, every
-    // row oracle-checked over its post-churn rule set.
+    // Pcap replay: write the evaluation trace as a temporary capture,
+    // read it back (round-trip checked bit for bit), classify the
+    // replayed workload (`replay:<spec>`), and stream the capture
+    // straight into the ingest pipeline (`replay:ingest,...`) — so the
+    // reader and the `run_source` path are exercised on every CI push.
+    let pcap_path =
+        std::env::temp_dir().join(format!("spc_bench_smoke_{}.pcap", std::process::id()));
+    write_pcap(&pcap_path, t.iter().copied()).expect("write temp pcap");
+    let replayed = PcapReader::open(&pcap_path)
+        .expect("reopen temp pcap")
+        .collect_headers()
+        .expect("well-formed capture");
+    assert_eq!(replayed, t, "pcap round-trip must reproduce the trace");
+    for spec in ["linear", "configurable-bst"] {
+        let t0 = Instant::now();
+        let mut engine =
+            build_engine(spec, &rules).unwrap_or_else(|e| panic!("{spec} must build: {e}"));
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut out = Vec::new();
+        let mut stats = engine.classify_batch(&replayed, &mut out);
+        let oracle_agrees = agrees(&out, &want);
+        all_agree &= oracle_agrees;
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t1 = Instant::now();
+            stats = engine.classify_batch(&replayed, &mut out);
+            best = best.min(t1.elapsed().as_secs_f64());
+        }
+        let melems = replayed.len() as f64 / best / 1e6;
+        let name = format!("replay:{spec}");
+        rows.push(Row {
+            name: name.clone(),
+            values: vec![
+                format!("{melems:.2}"),
+                format!("{:.2}", stats.avg_mem_reads()),
+                format!("{:.0}", engine.memory_bits() as f64 / 1e3),
+                format!("{build_ms:.0}"),
+                if oracle_agrees { "yes" } else { "NO" }.to_string(),
+            ],
+        });
+        recs.push(SpecRec {
+            spec: name,
+            engine: engine.name().to_string(),
+            rules: engine.rules(),
+            memory_kbits: engine.memory_bits() as f64 / 1e3,
+            build_ms,
+            batch_melems_per_s: melems,
+            avg_mem_reads: stats.avg_mem_reads(),
+            hit_rate: stats.hit_rate(),
+            oracle_agrees,
+        });
+    }
+    {
+        // Streaming replay: a fresh reader per rep, so the measured
+        // number includes pcap parsing — captured traffic to verdicts.
+        const WORKERS: usize = 2;
+        let t0 = Instant::now();
+        let source = EngineSource::replicated(&builder, &rules, WORKERS).expect("replicas build");
+        let mut pipe = IngestPipeline::spawn(
+            source,
+            IngestConfig {
+                workers: WORKERS,
+                queue_chunks: 2 * WORKERS,
+                chunk: 1024,
+            },
+        )
+        .expect("valid pipeline config");
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut out = Vec::new();
+        let mut stats = spc_engine::LookupStats::default();
+        let mut best = f64::INFINITY;
+        for rep in 0..=REPS {
+            let mut reader = PcapReader::open(&pcap_path).expect("reopen temp pcap");
+            let t1 = Instant::now();
+            stats = pipe
+                .run_source(&mut reader, &mut out)
+                .expect("classify-only capture");
+            if rep > 0 {
+                best = best.min(t1.elapsed().as_secs_f64());
+            }
+        }
+        let oracle_agrees = agrees(&out, &want);
+        all_agree &= oracle_agrees;
+        let melems = t.len() as f64 / best / 1e6;
+        let name = format!("replay:ingest:{INGEST_SPEC},workers={WORKERS}");
+        rows.push(Row {
+            name: name.clone(),
+            values: vec![
+                format!("{melems:.2}"),
+                format!("{:.2}", stats.avg_mem_reads()),
+                "-".to_string(),
+                format!("{build_ms:.0}"),
+                if oracle_agrees { "yes" } else { "NO" }.to_string(),
+            ],
+        });
+        recs.push(SpecRec {
+            spec: name,
+            engine: format!("PcapReader -> IngestPipeline({INGEST_SPEC} x{WORKERS})"),
+            rules: rules.len(),
+            memory_kbits: 0.0,
+            build_ms,
+            batch_melems_per_s: melems,
+            avg_mem_reads: stats.avg_mem_reads(),
+            hit_rate: stats.hit_rate(),
+            oracle_agrees,
+        });
+    }
+    let _ = std::fs::remove_file(&pcap_path);
+
+    // Scripted churn: the §V.A fast-update path as a ScenarioScript —
+    // insert bursts from a foreign pool, classify batches, FIFO
+    // removes — sharded at {1, 2, 8} shards (both strategies) against
+    // the unsharded configurable inner, every row oracle-checked over
+    // its post-churn rule set.
     let churn_pool: Vec<Rule> = RuleSetGenerator::new(FilterKind::Fw, 192)
         .seed(spc_bench::SEED_RULES ^ 0x77)
         .generate()
@@ -301,7 +402,11 @@ fn main() {
             r
         })
         .collect();
-    let churn_specs = [
+    let script = ScenarioScript::parse(
+        "repeat 24 { insert 8; classify 128; remove 4 }", // 192 inserts, half survive
+    )
+    .expect("valid churn script");
+    let scenario_specs = [
         "configurable-bst".to_string(),
         "sharded:inner=configurable-bst,shards=1,strategy=prio".to_string(),
         "sharded:inner=configurable-bst,shards=2,strategy=prio".to_string(),
@@ -309,21 +414,21 @@ fn main() {
         "sharded:inner=configurable-bst,shards=2,strategy=hash".to_string(),
         "sharded:inner=configurable-bst,shards=8,strategy=hash".to_string(),
     ];
-    let mut churn_rows = Vec::new();
-    let mut churn_recs = Vec::new();
-    for spec in &churn_specs {
-        let rec = churn_row(spec, &rules, &churn_pool, &t);
+    let mut scenario_rows = Vec::new();
+    let mut scenario_recs = Vec::new();
+    for spec in &scenario_specs {
+        let rec = scenario_row(spec, &script, &rules, &churn_pool, &t);
         all_agree &= rec.oracle_agrees;
-        churn_rows.push(Row {
-            name: format!("update_churn:{spec}"),
+        scenario_rows.push(Row {
+            name: format!("scenario:{spec}"),
             values: vec![
-                format!("{:.1}", rec.churn_kops_per_s),
+                format!("{:.1}", rec.kops_per_s),
                 format!("{:.1}", rec.avg_update_cycles),
                 format!("{}", rec.rules),
                 if rec.oracle_agrees { "yes" } else { "NO" }.to_string(),
             ],
         });
-        churn_recs.push(rec);
+        scenario_recs.push(rec);
     }
 
     print_table(
@@ -336,9 +441,16 @@ fn main() {
         &rows,
     );
     print_table(
-        &format!("update-churn (acl base {}, fw pool {})", rules.len(), 192),
+        &format!(
+            "scenario churn (acl base {}, fw pool {}, script: {} classifies / {} inserts / {} removes)",
+            rules.len(),
+            churn_pool.len(),
+            script.total_headers(),
+            script.total_inserts(),
+            script.total_removes(),
+        ),
         &["Kops/s", "avg cycles", "rules after", "oracle"],
-        &churn_rows,
+        &scenario_rows,
     );
 
     let record = Record {
@@ -348,7 +460,7 @@ fn main() {
         trace_len: t.len(),
         reps: REPS,
         rows: recs,
-        update_churn: churn_recs,
+        scenarios: scenario_recs,
     };
     let path = std::env::var("SPC_BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
     std::fs::write(&path, record.to_json().pretty() + "\n").expect("write bench record");

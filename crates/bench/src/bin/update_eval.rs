@@ -5,10 +5,16 @@
 //! rule (source + destination info) + 1 cycle for the hash. Structural
 //! writes happen only when a *new* label must be stored, which the label
 //! method makes rare — this binary measures exactly how rare.
+//!
+//! The workload is the simplest possible [`ScenarioScript`] — install
+//! the whole rule set, then remove it again — driven through the
+//! generic scenario runner, so the sweep exercises the same
+//! `TraceSource` machinery as the churn benches.
 
 use spc_bench::{emit_json, print_table, ruleset, scale_or, Row};
-use spc_classbench::FilterKind;
+use spc_classbench::{FilterKind, ScenarioScript, TraceGenerator};
 use spc_core::{ArchConfig, Classifier, IpAlg};
+use spc_engine::{run_scenario, ConfigurableEngine};
 
 struct Record {
     experiment: &'static str,
@@ -29,29 +35,33 @@ fn run(kind: FilterKind, alg: IpAlg, n: usize) -> KindRec {
     let rules = ruleset(kind, n);
     let mut cfg = ArchConfig::large().with_ip_alg(alg);
     cfg.rule_filter_addr_bits = 14;
-    let mut cls = Classifier::new(cfg);
-    let (mut ins_cycles, mut labels, mut shared) = (0u64, 0u64, 0u64);
-    let mut ids = Vec::new();
-    for r in rules.rules() {
-        let rep = cls.insert(*r).expect("config fits");
-        ins_cycles += rep.hw_write_cycles;
-        labels += u64::from(rep.created_labels);
-        shared += u64::from(7 - rep.created_labels);
-        ids.push(rep.rule_id);
-    }
-    let mut del_cycles = 0u64;
-    for id in &ids {
-        let (_, rep) = cls.remove(*id).expect("installed");
-        del_cycles += rep.hw_write_cycles;
-    }
+    let mut engine = ConfigurableEngine::new(Classifier::new(cfg));
+
+    // Install everything, then delete everything — as a scenario over a
+    // pool that is exactly the rule set, in order.
+    let script = ScenarioScript::parse(&format!("insert {n}; remove {n}", n = rules.len()))
+        .expect("valid script");
+    let no_traffic = spc_types::RuleSet::new();
+    let mut source = script
+        .source(&TraceGenerator::new(), &no_traffic, rules.rules())
+        .expect("non-empty pool");
+    let report = run_scenario(&mut engine, &mut source, &mut Vec::new()).expect("config fits");
+    assert_eq!(report.duplicates, 0, "generated sets are duplicate-free");
+    assert_eq!(report.inserts, rules.len() as u64);
+    assert_eq!(report.removes, rules.len() as u64);
+
+    let per_rule = |total: u64| total as f64 / rules.len() as f64;
     KindRec {
         kind: kind.to_string(),
         alg: alg.to_string(),
         rules: rules.len(),
-        avg_insert_cycles: ins_cycles as f64 / rules.len() as f64,
-        avg_new_labels_per_rule: labels as f64 / rules.len() as f64,
-        avg_delete_cycles: del_cycles as f64 / rules.len() as f64,
-        share_hit_rate: shared as f64 / (7.0 * rules.len() as f64),
+        avg_insert_cycles: per_rule(report.insert_cycles),
+        avg_new_labels_per_rule: per_rule(report.created_labels),
+        avg_delete_cycles: per_rule(report.remove_cycles),
+        // 7 single-field lookups per rule; every one that did not create
+        // a label shared an existing one.
+        share_hit_rate: (7.0 * rules.len() as f64 - report.created_labels as f64)
+            / (7.0 * rules.len() as f64),
     }
 }
 

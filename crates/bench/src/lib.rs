@@ -13,7 +13,7 @@
 pub mod json;
 
 pub use json::{ToJson, Value as JsonValue};
-use spc_classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc_classbench::{FilterKind, RuleSetGenerator, SyntheticTrace, TraceGenerator, TraceSource};
 use spc_types::{Header, RuleSet};
 
 /// The canonical seeds used by every experiment, so all tables are
@@ -29,12 +29,24 @@ pub fn ruleset(kind: FilterKind, size: usize) -> RuleSet {
         .generate()
 }
 
-/// Standard evaluation trace: 90 % matching traffic.
+/// The canonical evaluation traffic profile: 90 % matching traffic,
+/// seeded with [`SEED_TRACE`].
+pub fn traffic() -> TraceGenerator {
+    TraceGenerator::new().seed(SEED_TRACE).match_fraction(0.9)
+}
+
+/// Standard evaluation workload as a streaming [`TraceSource`].
+pub fn trace_source(rules: &RuleSet, len: usize) -> SyntheticTrace<'_> {
+    traffic().stream(rules, len)
+}
+
+/// Standard evaluation trace, materialised — for harnesses (criterion
+/// timing loops, oracle vectors) that need the whole workload at once.
+/// Everything else should stream from [`trace_source`].
 pub fn trace(rules: &RuleSet, len: usize) -> Vec<Header> {
-    TraceGenerator::new()
-        .seed(SEED_TRACE)
-        .match_fraction(0.9)
-        .generate(rules, len)
+    trace_source(rules, len)
+        .collect_headers()
+        .expect("synthetic sources cannot fail")
 }
 
 /// Reads a scale override from `SPC_SCALE`.

@@ -19,6 +19,19 @@
 //! mix of rule-matching and background traffic with temporal locality, and
 //! computes the statistics used by Tables II and III ([`ruleset_stats`]).
 //!
+//! Beyond synthetic generation, the crate defines the workspace's
+//! streaming workload abstraction (see `docs/workloads.md`):
+//!
+//! * [`TraceSource`] — a stream of [`TraceEvent`]s: header chunks,
+//!   optionally interleaved with rule insert/remove events;
+//! * [`TraceGenerator::stream`] — the synthetic source
+//!   ([`SyntheticTrace`]), generating lazily instead of materialising;
+//! * [`PcapReader`] / [`PcapWriter`] — replaying captured traffic from
+//!   (and exporting traces to) classic pcap files, 5-tuple only, with
+//!   typed [`PcapError`]s for malformed captures;
+//! * [`ScenarioScript`] — a declarative classify/insert/remove scenario
+//!   language ([`ScenarioSource`]) for churn workloads.
+//!
 //! # Example
 //!
 //! ```
@@ -34,10 +47,16 @@
 #![warn(missing_docs)]
 
 mod gen;
+mod pcap;
 mod pools;
+mod scenario;
+mod source;
 mod stats;
 mod trace;
 
 pub use gen::{FilterKind, RuleSetGenerator};
+pub use pcap::{write_pcap, PcapError, PcapReader, PcapWriter};
+pub use scenario::{ScenarioError, ScenarioScript, ScenarioSource};
+pub use source::{SyntheticTrace, TraceError, TraceEvent, TraceSource, DEFAULT_CHUNK};
 pub use stats::{ruleset_stats, RuleSetStats};
 pub use trace::{sample_matching_header, TraceGenerator};

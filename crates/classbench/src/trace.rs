@@ -1,5 +1,6 @@
 //! Packet header trace generation.
 
+use crate::source::SyntheticTrace;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use spc_types::{Header, ProtoSpec, Rule, RuleSet};
@@ -34,6 +35,42 @@ pub fn sample_matching_header(rule: &Rule, rng: &mut StdRng) -> Header {
     Header::new(sip.into(), dip.into(), sport, dport, proto)
 }
 
+/// The streaming header-sampling state shared by every synthetic source:
+/// one seeded RNG plus the previous header for temporal locality. Pulled
+/// out of [`TraceGenerator::generate`] so [`SyntheticTrace`] and the
+/// scenario source draw from exactly the same sequence.
+#[derive(Debug, Clone)]
+pub(crate) struct Sampler {
+    rng: StdRng,
+    prev: Option<Header>,
+    match_fraction: f64,
+    locality: f64,
+}
+
+impl Sampler {
+    pub(crate) fn next_header(&mut self, rules: &RuleSet) -> Header {
+        if let Some(p) = self.prev {
+            if self.rng.gen_bool(self.locality) {
+                return p;
+            }
+        }
+        let h = if self.rng.gen_bool(self.match_fraction) {
+            let idx = self.rng.gen_range(0..rules.len());
+            sample_matching_header(&rules.rules()[idx], &mut self.rng)
+        } else {
+            Header::new(
+                self.rng.gen::<u32>().into(),
+                self.rng.gen::<u32>().into(),
+                self.rng.gen(),
+                self.rng.gen(),
+                *[6u8, 17, 1, 47].choose(&mut self.rng).expect("non-empty"),
+            )
+        };
+        self.prev = Some(h);
+        h
+    }
+}
+
 /// Generates packet-header traces against a rule set.
 ///
 /// A fraction of headers ([`TraceGenerator::match_fraction`]) is sampled
@@ -43,6 +80,11 @@ pub fn sample_matching_header(rule: &Rule, rng: &mut StdRng) -> Header {
 /// flow-based traffic, where one flow's packets arrive back to back — is
 /// modeled by repeating the previous header with probability
 /// [`TraceGenerator::locality`].
+///
+/// The generator is also the synthetic [`crate::TraceSource`]: call
+/// [`TraceGenerator::stream`] to obtain headers lazily in chunks instead
+/// of materialising the whole trace — [`TraceGenerator::generate`] is the
+/// thin collect-everything adapter over that stream.
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     seed: u64,
@@ -66,54 +108,82 @@ impl TraceGenerator {
         self
     }
 
-    /// Sets the fraction of headers sampled from rules (clamped to `0..=1`).
+    /// Sets the fraction of headers sampled from rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `f` is a finite fraction in `0.0..=1.0` — NaN or an
+    /// out-of-range value would silently produce a degenerate trace (the
+    /// old behaviour was to clamp), so it is rejected at the builder.
     pub fn match_fraction(mut self, f: f64) -> Self {
-        self.match_fraction = f.clamp(0.0, 1.0);
+        assert!(
+            f.is_finite() && (0.0..=1.0).contains(&f),
+            "match_fraction must be a finite fraction in [0, 1], got {f}"
+        );
+        self.match_fraction = f;
         self
     }
 
     /// Sets the probability of repeating the previous flow's header.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is a finite probability in `0.0..=1.0` (NaN and
+    /// out-of-range values are rejected, not clamped).
     pub fn locality(mut self, p: f64) -> Self {
-        self.locality = p.clamp(0.0, 1.0);
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "locality must be a finite probability in [0, 1], got {p}"
+        );
+        self.locality = p;
         self
     }
 
-    /// Generates `len` headers for `rules`.
+    pub(crate) fn sampler(&self) -> Sampler {
+        Sampler {
+            rng: StdRng::seed_from_u64(self.seed),
+            prev: None,
+            match_fraction: self.match_fraction,
+            locality: self.locality,
+        }
+    }
+
+    pub(crate) fn match_fraction_value(&self) -> f64 {
+        self.match_fraction
+    }
+
+    /// Streams `len` headers for `rules` lazily, in chunks — the
+    /// synthetic [`crate::TraceSource`]. Identical seeds yield identical
+    /// traces whether streamed or [generated][TraceGenerator::generate]
+    /// in one go.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rules` is empty and `match_fraction > 0`.
+    ///
+    /// ```
+    /// use spc_classbench::{FilterKind, RuleSetGenerator, TraceGenerator, TraceSource};
+    /// let rs = RuleSetGenerator::new(FilterKind::Acl, 100).seed(1).generate();
+    /// let gen = TraceGenerator::new().seed(3);
+    /// let streamed = gen.stream(&rs, 500).collect_headers().unwrap();
+    /// assert_eq!(streamed, gen.generate(&rs, 500));
+    /// ```
+    pub fn stream<'a>(&self, rules: &'a RuleSet, len: usize) -> SyntheticTrace<'a> {
+        assert!(
+            !rules.is_empty() || self.match_fraction == 0.0,
+            "cannot sample matching traffic from an empty rule set"
+        );
+        SyntheticTrace::new(self.sampler(), rules, len)
+    }
+
+    /// Generates `len` headers for `rules` — the materialising adapter
+    /// over [`TraceGenerator::stream`].
     ///
     /// # Panics
     ///
     /// Panics if `rules` is empty and `match_fraction > 0`.
     pub fn generate(&self, rules: &RuleSet, len: usize) -> Vec<Header> {
-        assert!(
-            !rules.is_empty() || self.match_fraction == 0.0,
-            "cannot sample matching traffic from an empty rule set"
-        );
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut out = Vec::with_capacity(len);
-        let mut prev: Option<Header> = None;
-        for _ in 0..len {
-            if let Some(p) = prev {
-                if rng.gen_bool(self.locality) {
-                    out.push(p);
-                    continue;
-                }
-            }
-            let h = if rng.gen_bool(self.match_fraction) {
-                let idx = rng.gen_range(0..rules.len());
-                sample_matching_header(&rules.rules()[idx], &mut rng)
-            } else {
-                Header::new(
-                    rng.gen::<u32>().into(),
-                    rng.gen::<u32>().into(),
-                    rng.gen(),
-                    rng.gen(),
-                    *[6u8, 17, 1, 47].choose(&mut rng).expect("non-empty"),
-                )
-            };
-            prev = Some(h);
-            out.push(h);
-        }
-        out
+        self.stream(rules, len).collect()
     }
 }
 
@@ -126,7 +196,7 @@ impl Default for TraceGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FilterKind, RuleSetGenerator};
+    use crate::{FilterKind, RuleSetGenerator, TraceEvent, TraceSource};
     use spc_types::{PortRange, Prefix, Priority};
 
     fn small_set() -> RuleSet {
@@ -141,6 +211,44 @@ mod tests {
         let a = TraceGenerator::new().seed(3).generate(&rs, 100);
         let b = TraceGenerator::new().seed(3).generate(&rs, 100);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_equals_generate_across_chunk_sizes() {
+        let rs = small_set();
+        let gen = TraceGenerator::new().seed(9).locality(0.4);
+        let want = gen.generate(&rs, 333);
+        for chunk in [1, 7, 64, 1000] {
+            let got = gen
+                .stream(&rs, 333)
+                .with_chunk(chunk)
+                .collect_headers()
+                .unwrap();
+            assert_eq!(got, want, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_emits_bounded_header_chunks() {
+        let rs = small_set();
+        let mut src = TraceGenerator::new()
+            .seed(3)
+            .stream(&rs, 100)
+            .with_chunk(32);
+        assert_eq!(src.headers_hint(), Some(100));
+        let mut total = 0;
+        while let Some(ev) = src.next_event().unwrap() {
+            match ev {
+                TraceEvent::Headers(h) => {
+                    assert!(!h.is_empty() && h.len() <= 32);
+                    total += h.len();
+                }
+                other => panic!("synthetic sources emit headers only, got {other:?}"),
+            }
+        }
+        assert_eq!(total, 100);
+        // Fused: exhausted sources stay exhausted.
+        assert!(src.next_event().unwrap().is_none());
     }
 
     #[test]
@@ -199,5 +307,29 @@ mod tests {
             .match_fraction(0.0)
             .generate(&RuleSet::new(), 10);
         assert_eq!(trace.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "match_fraction must be a finite fraction")]
+    fn nan_match_fraction_is_rejected() {
+        let _ = TraceGenerator::new().match_fraction(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "match_fraction must be a finite fraction")]
+    fn out_of_range_match_fraction_is_rejected() {
+        let _ = TraceGenerator::new().match_fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality must be a finite probability")]
+    fn negative_locality_is_rejected() {
+        let _ = TraceGenerator::new().locality(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality must be a finite probability")]
+    fn infinite_locality_is_rejected() {
+        let _ = TraceGenerator::new().locality(f64::INFINITY);
     }
 }

@@ -15,6 +15,50 @@ use std::fmt;
 /// Default RFC phase-table entry cap (the Table I harness value).
 const DEFAULT_RFC_ENTRY_CAP: u64 = 1 << 27;
 
+/// Which backend family accepts a spec key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KeyScope {
+    /// Configurable backends — and `sharded`, which forwards these to
+    /// its inner engines.
+    Configurable,
+    /// The sharded backend only.
+    Sharded,
+}
+
+impl KeyScope {
+    fn accepts(self, kind: EngineKind) -> bool {
+        match self {
+            KeyScope::Configurable => kind.is_configurable() || kind == EngineKind::Sharded,
+            KeyScope::Sharded => kind == EngineKind::Sharded,
+        }
+    }
+}
+
+/// The single source of truth for engine-spec keys: the
+/// [`EngineBuilder::from_spec`] parser dispatches through this table and
+/// [`BuildError::BadOption`]'s `Display` derives its key list from it —
+/// adding a key here is the *only* way to make the parser accept it, so
+/// the error message cannot rot behind the grammar.
+const SPEC_KEYS: &[(&str, KeyScope)] = &[
+    ("rf_bits", KeyScope::Configurable),
+    ("combine", KeyScope::Configurable),
+    ("inner", KeyScope::Sharded),
+    ("shards", KeyScope::Sharded),
+    ("strategy", KeyScope::Sharded),
+    ("hash_dim", KeyScope::Sharded),
+    ("skew", KeyScope::Sharded),
+];
+
+/// The comma-separated key list for error messages, straight from
+/// [`SPEC_KEYS`].
+fn spec_key_list() -> String {
+    SPEC_KEYS
+        .iter()
+        .map(|&(name, _)| name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
 /// Error from [`EngineBuilder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -58,8 +102,8 @@ impl fmt::Display for BuildError {
             BuildError::BadOption { option } => {
                 write!(
                     f,
-                    "bad engine option {option:?}; expected key=value \
-                     (keys: rf_bits, combine, inner, shards, strategy, hash_dim, skew)"
+                    "bad engine option {option:?}; expected key=value (keys: {})",
+                    spec_key_list()
                 )
             }
             BuildError::ConfigError { option, reason } => {
@@ -182,7 +226,6 @@ impl EngineBuilder {
         let mut hash_dim: Option<Dim> = None;
         let mut strategy_set = false;
         let mut skew_set = false;
-        let takes_configurable_opts = kind.is_configurable() || kind == EngineKind::Sharded;
         for opt in opts.into_iter().flat_map(|o| o.split(',')) {
             let opt = opt.trim();
             if opt.is_empty() {
@@ -203,18 +246,36 @@ impl EngineBuilder {
                 )));
             }
             seen.push(key.to_string());
+            // Admission runs through the shared SPEC_KEYS table: an
+            // unregistered key — or one registered for another backend
+            // family — is a hard error, never silently ignored.
+            let scope = SPEC_KEYS.iter().find(|&&(name, _)| name == key);
+            match scope {
+                None => {
+                    return Err(config_err(format!(
+                        "unknown key {key:?}; known keys: {}",
+                        spec_key_list()
+                    )))
+                }
+                Some(&(_, scope)) if !scope.accepts(kind) => {
+                    return Err(config_err(format!(
+                        "unknown key {key:?} for backend {kind}"
+                    )))
+                }
+                Some(_) => {}
+            }
             match key {
-                "rf_bits" if takes_configurable_opts => {
+                "rf_bits" => {
                     b.rule_filter_bits = Some(value.parse().map_err(|_| bad())?);
                 }
-                "combine" if takes_configurable_opts => {
+                "combine" => {
                     b.combine = Some(match value {
                         "first" => CombineStrategy::FirstLabel,
                         "probe" => CombineStrategy::PriorityProbe,
                         _ => return Err(bad()),
                     });
                 }
-                "inner" if kind == EngineKind::Sharded => {
+                "inner" => {
                     let inner: EngineKind = value
                         .parse()
                         .map_err(|source| BuildError::UnknownKind { source })?;
@@ -225,14 +286,14 @@ impl EngineBuilder {
                     }
                     b.shard_inner = inner;
                 }
-                "shards" if kind == EngineKind::Sharded => {
+                "shards" => {
                     let n: usize = value.parse().map_err(|_| bad())?;
                     if n == 0 {
                         return Err(config_err("shards must be >= 1".to_string()));
                     }
                     b.shard_count = n;
                 }
-                "strategy" if kind == EngineKind::Sharded => {
+                "strategy" => {
                     strategy_set = true;
                     b.shard_strategy = match value {
                         "prio" | "priority" | "bands" => ShardStrategy::PriorityBands,
@@ -240,12 +301,12 @@ impl EngineBuilder {
                         _ => return Err(bad()),
                     };
                 }
-                "hash_dim" if kind == EngineKind::Sharded => {
+                "hash_dim" => {
                     // An unknown dimension is an unparseable value, the
                     // same class as combine=middle: BadOption.
                     hash_dim = Some(parse_dim(value).ok_or_else(bad)?);
                 }
-                "skew" if kind == EngineKind::Sharded => {
+                "skew" => {
                     let skew: f64 = value.parse().map_err(|_| bad())?;
                     if !skew.is_finite() || skew < 1.0 {
                         return Err(config_err(format!(
@@ -255,11 +316,7 @@ impl EngineBuilder {
                     skew_set = true;
                     b.band_skew = skew;
                 }
-                _ => {
-                    return Err(config_err(format!(
-                        "unknown key {key:?} for backend {kind}"
-                    )))
-                }
+                _ => unreachable!("every SPEC_KEYS entry is dispatched above"),
             }
         }
         // Cross-key validation (spec key order must not matter).
@@ -572,6 +629,26 @@ mod tests {
             EngineBuilder::from_spec("linear:skew=2"),
             Err(BuildError::ConfigError { .. })
         ));
+    }
+
+    #[test]
+    fn bad_option_key_list_tracks_the_parser_table() {
+        let msg = BuildError::BadOption {
+            option: "x".to_string(),
+        }
+        .to_string();
+        for &(key, _) in SPEC_KEYS {
+            assert!(msg.contains(key), "BadOption must list {key:?}: {msg}");
+            // Every table entry is live grammar: with a garbage value the
+            // sharded backend (which is in every key's scope) must fail on
+            // the *value*, never with an unknown-key rejection.
+            let e = EngineBuilder::from_spec(&format!("sharded:{key}=\u{2301}")).unwrap_err();
+            let rejected_key = matches!(
+                &e,
+                BuildError::ConfigError { reason, .. } if reason.contains("unknown key")
+            );
+            assert!(!rejected_key, "{key:?} fell out of the parser: {e}");
+        }
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //!   through a bounded, backpressure-aware queue, over per-worker
 //!   engine replicas or one shared `Arc` engine. The sharded backend's
 //!   batch paths run on the same machinery
-//!   ([`pipeline::broadcast_batch`] / [`pipeline::cascade_batch`]).
+//!   ([`pipeline::broadcast_batch`] / [`pipeline::cascade_batch`]);
+//! * [`workload`] — engines driven from streaming
+//!   [`spc_classbench::TraceSource`] workloads: classify-only streams
+//!   (synthetic or pcap replay) through
+//!   [`IngestPipeline::run_source`], mixed classify/update scenarios
+//!   through [`run_scenario`].
 //!
 //! # Example
 //!
@@ -62,6 +67,7 @@ mod configurable;
 mod kind;
 pub mod pipeline;
 mod sharded;
+pub mod workload;
 
 pub use baseline::BaselineEngine;
 pub use builder::{build_engine, BuildError, EngineBuilder};
@@ -71,6 +77,7 @@ pub use pipeline::{
     BatchWorker, EngineSource, IngestConfig, IngestPipeline, PipelineError, SharedWorker,
 };
 pub use sharded::{InnerFactory, ShardedEngine};
+pub use workload::{run_scenario, ScenarioReport, WorkloadError};
 // Re-exported so callers can configure sharding without a spc-core dep.
 pub use spc_core::shard::ShardStrategy;
 // Re-exported so callers can read update-cost accounting

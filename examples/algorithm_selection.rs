@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release --example algorithm_selection`.
 
-use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator, TraceSource};
 use spc::engine::build_engine;
 
 struct AppProfile {
@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .seed(31)
             .generate();
         let mut engine = build_engine(app.spec, &rules)?;
-        let trace = TraceGenerator::new().seed(8).generate(&rules, 5_000);
+        let trace = TraceGenerator::new()
+            .seed(8)
+            .stream(&rules, 5_000)
+            .collect_headers()?;
         let mut verdicts = Vec::new();
         let stats = engine.classify_batch(&trace, &mut verdicts);
         println!("== {} ==", app.name);

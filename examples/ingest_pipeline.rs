@@ -12,12 +12,15 @@
 //! 3. `IngestPipeline` over one shared read-only engine behind `Arc`
 //!    (lowest memory; workers use the single-shot lookup path);
 //!
-//! and finishes with the streaming `feed`/`drain` lifecycle an SDN
-//! ingest loop would use. Verdicts are cross-checked between all paths.
+//! and finishes with two streaming lifecycles: the explicit
+//! `feed`/`drain` loop an SDN ingest path would use, and `run_source`,
+//! which drives the pool straight from a lazy `TraceSource` — headers
+//! are generated chunk by chunk under the bounded queue's backpressure,
+//! never materialised. Verdicts are cross-checked between all paths.
 //!
 //! Run with `cargo run --release --example ingest_pipeline`.
 
-use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator, TraceSource};
 use spc::engine::{
     EngineBuilder, EngineSource, IngestConfig, IngestPipeline, PacketClassifier, Verdict,
 };
@@ -32,10 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rules = RuleSetGenerator::new(FilterKind::Acl, 8192)
         .seed(7)
         .generate();
-    let traffic = TraceGenerator::new()
-        .seed(8)
-        .match_fraction(0.9)
-        .generate(&rules, BATCH);
+    let workload = TraceGenerator::new().seed(8).match_fraction(0.9);
+    // The materialised view of the workload, for the sequential baseline
+    // and the oracle vector; every pipeline pass below streams instead.
+    let traffic = workload.stream(&rules, BATCH).collect_headers()?;
     let builder = EngineBuilder::from_spec(SPEC)?;
     println!("{} rules ({SPEC}), {} headers", rules.len(), traffic.len());
 
@@ -105,5 +108,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(out, want, "streamed verdicts arrive in feed order");
     println!("streamed {streamed} headers in bursts through the same pool");
+
+    // 5. TraceSource end to end: the pool pulls from a lazy synthetic
+    // source — the same shape as replaying a pcap capture — so headers
+    // are generated in chunks as queue slots free up, and the whole
+    // trace never exists in memory at once.
+    let mut source = workload.stream(&rules, BATCH).with_chunk(1024);
+    let stats = pipe.run_source(&mut source, &mut out)?;
+    assert_eq!(out, want, "sourced verdicts agree too");
+    println!(
+        "run_source classified {} headers straight from the generator",
+        stats.packets
+    );
     Ok(())
 }

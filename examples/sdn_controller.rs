@@ -3,18 +3,19 @@
 //! through the unified engine API.
 //!
 //! The controller installs an initial service-chaining policy, then
-//! churns flows (insert + remove) through the trait's capability-probed
-//! update path; when the application profile changes it flips the IP
-//! algorithm from MBT (speed) to BST (density) — an
-//! architecture-specific control reached through the configurable
-//! engine's accessor, with the data path verified through the same
-//! unified API before and after.
+//! runs a scripted churn scenario — bursts of flow installs, classify
+//! windows, and tear-downs of expired flows — expressed as a
+//! `ScenarioScript` and executed by the generic scenario runner; when
+//! the application profile changes it flips the IP algorithm from MBT
+//! (speed) to BST (density) — an architecture-specific control reached
+//! through the configurable engine's accessor, with the data path
+//! verified through the same unified API before and after.
 //!
 //! Run with `cargo run --release --example sdn_controller`.
 
-use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc::classbench::{FilterKind, RuleSetGenerator, ScenarioScript, TraceGenerator, TraceSource};
 use spc::core::{ArchConfig, Classifier, IpAlg};
-use spc::engine::{ConfigurableEngine, PacketClassifier, UpdateError};
+use spc::engine::{run_scenario, ConfigurableEngine, PacketClassifier};
 use spc::types::RuleId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,38 +38,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     println!("installed {} rules on {}", ids.len(), engine.name());
 
-    // Churn: remove/insert bursts through the unified update path.
-    let churn = RuleSetGenerator::new(FilterKind::Acl, 600)
+    // Flow churn as a declarative scenario: five bursts of 60 flow
+    // installs, each followed by a 400-packet classify window and the
+    // expiry of the 30 oldest churned flows. The runner owns the
+    // insert-index -> RuleId bookkeeping the hand-rolled loop used to.
+    let churn_pool: Vec<_> = RuleSetGenerator::new(FilterKind::Acl, 600)
         .seed(123)
-        .generate();
-    let mut removed = 0usize;
-    for (i, id) in ids.iter().enumerate().take(300) {
-        if i % 2 == 0 {
-            engine.remove(*id)?;
-            removed += 1;
-        }
-    }
-    let mut inserted = 0usize;
-    for r in churn.rules().iter().take(300) {
-        // Re-prioritise churned rules behind the base policy.
-        let mut r = *r;
-        r.priority = spc::types::Priority(10_000 + inserted as u32);
-        match engine.insert(r) {
-            Ok(_) => inserted += 1,
-            Err(UpdateError::Duplicate { .. }) => {} // churn overlap
-            // Capacity and other rejections must surface, not be skipped.
-            Err(e) => return Err(e.into()),
-        }
-    }
+        .generate()
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            // Re-prioritise churned flows behind the base policy.
+            let mut r = *r;
+            r.priority = spc::types::Priority(10_000 + i as u32);
+            r
+        })
+        .collect();
+    let script = ScenarioScript::parse("repeat 5 { insert 60; classify 400; remove 30 }")?;
+    let mut source = script.source(&TraceGenerator::new().seed(4), &base, &churn_pool)?;
+    let mut verdicts = Vec::new();
+    let report = run_scenario(&mut engine, &mut source, &mut verdicts)?;
     println!(
-        "churn: -{removed} rules, +{inserted} rules; {} rules live",
+        "churn scenario: +{} flows (-{} expired, {} duplicates skipped), \
+         {} packets classified between bursts; {} rules live",
+        report.inserts,
+        report.removes,
+        report.duplicates,
+        report.lookup.packets,
         engine.rules()
+    );
+    println!(
+        "update cost: {:.1} hw write cycles/op over {} ops (§V.A floor is 3)",
+        report.update_cycles() as f64 / report.update_ops().max(1) as f64,
+        report.update_ops()
     );
 
     // Application change: the controller now favours rule density. The
     // `IPalg_s` switch is the one architecture-specific control; the data
     // path stays behind the unified API.
-    let trace = TraceGenerator::new().seed(5).generate(&base, 2_000);
+    let trace = TraceGenerator::new()
+        .seed(5)
+        .stream(&base, 2_000)
+        .collect_headers()?;
     let mut before = Vec::new();
     let stats_mbt = engine.classify_batch(&trace, &mut before);
     println!("\ncontroller: switching IPalg_s MBT -> BST (labels stay in place)...");
