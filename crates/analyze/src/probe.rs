@@ -1,0 +1,313 @@
+//! Boundary-value probe grids and the exact reachability sweep.
+//!
+//! The oracle HPM verdict is piecewise-constant over the product cells of
+//! per-dimension *elementary intervals*: cut each 16-bit dimension at every
+//! rule bound and the verdict cannot change inside a cell, because no rule's
+//! membership changes inside one. Probing one representative per cell —
+//! the interval's left endpoint — therefore observes **every** verdict the
+//! rule set can produce. A rule that never wins any cell is exactly
+//! unreachable; one that wins some cell is reachable with that cell's
+//! representative header as witness.
+
+use crate::report::Reachability;
+use spc_types::{DimValue, Header, Ipv4, ProtoSpec, Rule, RuleSet, ALL_DIMS};
+
+/// Inclusive query-value bounds of a rule's projection on one dimension.
+fn bounds(v: DimValue) -> (u16, u16) {
+    match v {
+        DimValue::Seg(s) => (s.first(), s.last()),
+        DimValue::Port(r) => (r.lo(), r.hi()),
+        DimValue::Proto(ProtoSpec::Any) => (0, 0xff),
+        DimValue::Proto(ProtoSpec::Exact(p)) => (u16::from(p), u16::from(p)),
+    }
+}
+
+/// The left endpoints of every elementary interval a rule set induces,
+/// per dimension in [`ALL_DIMS`] order: `{0} ∪ {lo} ∪ {hi + 1}` over all
+/// rules, clipped to the dimension's domain (protocol values stop at 255
+/// — a header cannot carry more). Each list is sorted and deduplicated,
+/// so the product of the list lengths is the exact number of cells the
+/// verdict function can distinguish.
+pub fn candidate_values(rules: &RuleSet) -> [Vec<u16>; 7] {
+    ALL_DIMS.map(|dim| {
+        let domain_max: u16 = if dim == spc_types::Dim::Proto {
+            0xff
+        } else {
+            0xffff
+        };
+        let mut vals = vec![0u16];
+        for rule in rules {
+            let (lo, hi) = bounds(rule.dim_value(dim));
+            vals.push(lo);
+            if hi < domain_max {
+                vals.push(hi + 1);
+            }
+        }
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    })
+}
+
+/// Builds the header whose seven dimension queries are exactly `vals`
+/// (in [`ALL_DIMS`] order). Protocol values must fit a byte.
+pub fn header_from_dims(vals: [u16; 7]) -> Header {
+    debug_assert!(vals[6] <= 0xff, "protocol dimension is 8-bit");
+    let sip = (u32::from(vals[0]) << 16) | u32::from(vals[1]);
+    let dip = (u32::from(vals[2]) << 16) | u32::from(vals[3]);
+    Header::new(Ipv4(sip), Ipv4(dip), vals[4], vals[5], vals[6] as u8)
+}
+
+/// Number of probe cells, or `None` on overflow (certainly over budget).
+pub fn grid_size(cands: &[Vec<u16>; 7]) -> Option<usize> {
+    cands
+        .iter()
+        .try_fold(1usize, |acc, c| acc.checked_mul(c.len()))
+}
+
+/// Outcome of the reachability pass.
+pub(crate) struct Sweep {
+    /// Per-rule verdicts, indexed by rule id.
+    pub reachability: Vec<Reachability>,
+    /// Whether the full grid was examined (no `Unknown` verdicts).
+    pub exhaustive: bool,
+    /// Cells the sweep accounted for.
+    pub probes: usize,
+}
+
+/// Whether rule `a` (id `ai`) outranks rule `b` (id `bi`) in HPM
+/// resolution: strictly smaller `(priority, id)`.
+fn outranks(a: &Rule, ai: u32, b: &Rule, bi: u32) -> bool {
+    (a.priority, ai) < (b.priority, bi)
+}
+
+/// Whether `a`'s match region contains `b`'s on every dimension.
+pub(crate) fn covers_all_dims(a: &Rule, b: &Rule) -> bool {
+    ALL_DIMS
+        .iter()
+        .all(|&d| a.dim_value(d).covers(b.dim_value(d)))
+}
+
+/// Computes per-rule reachability. Runs the exact sweep when the grid
+/// fits `budget` cells; otherwise degrades to pairwise cover proofs plus
+/// corner-witness probes and reports `exhaustive = false`.
+pub(crate) fn reachability(rules: &RuleSet, budget: usize) -> Sweep {
+    let cands = candidate_values(rules);
+    match grid_size(&cands) {
+        Some(cells) if cells <= budget => exact_sweep(rules, &cands, cells),
+        _ => pairwise_fallback(rules),
+    }
+}
+
+fn exact_sweep(rules: &RuleSet, cands: &[Vec<u16>; 7], cells: usize) -> Sweep {
+    let n = rules.len();
+    let words = n.div_ceil(64);
+    // Per dimension, per candidate value: bitmask of rules matching it.
+    let masks: [Vec<Vec<u64>>; 7] = ALL_DIMS.map(|dim| {
+        cands[dim.index()]
+            .iter()
+            .map(|&q| {
+                let mut mask = vec![0u64; words];
+                for (id, rule) in rules.iter() {
+                    if rule.dim_value(dim).matches(q) {
+                        mask[id.0 as usize / 64] |= 1 << (id.0 as usize % 64);
+                    }
+                }
+                mask
+            })
+            .collect()
+    });
+
+    // Rank keys for winner resolution inside a cell.
+    let rank: Vec<(spc_types::Priority, u32)> =
+        rules.iter().map(|(id, r)| (r.priority, id.0)).collect();
+
+    let mut reach: Vec<Option<Header>> = vec![None; n];
+    let mut found = 0usize;
+    // Depth-first product walk with running mask intersections; a depth's
+    // scratch mask lives in `partial[depth + 1]`.
+    let mut partial: Vec<Vec<u64>> = vec![vec![!0u64; words]; 8];
+    let mut vals = [0u16; 7];
+    let mut idx = [0usize; 7];
+    let mut depth = 0usize;
+    'walk: loop {
+        if found == n {
+            break; // every rule already has a witness
+        }
+        if depth == 7 {
+            // Leaf: the intersection is the set of matching rules.
+            let mask = &partial[7];
+            let mut winner: Option<usize> = None;
+            for (w, &bits) in mask.iter().enumerate() {
+                let mut bits = bits;
+                while bits != 0 {
+                    let i = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let better = match winner {
+                        None => true,
+                        Some(b) => rank[i] < rank[b],
+                    };
+                    if better {
+                        winner = Some(i);
+                    }
+                }
+            }
+            if let Some(i) = winner {
+                if reach[i].is_none() {
+                    reach[i] = Some(header_from_dims(vals));
+                    found += 1;
+                }
+            }
+            depth -= 1;
+            idx[depth] += 1;
+            continue;
+        }
+        let d = depth;
+        loop {
+            if idx[d] >= cands[d].len() {
+                // This dimension is exhausted: backtrack.
+                idx[d] = 0;
+                if d == 0 {
+                    break 'walk;
+                }
+                depth -= 1;
+                idx[depth] += 1;
+                continue 'walk;
+            }
+            vals[d] = cands[d][idx[d]];
+            let (parent, rest) = partial.split_at_mut(d + 1);
+            let src = &parent[d];
+            let dst = &mut rest[0];
+            let dim_mask = &masks[d][idx[d]];
+            let mut any = 0u64;
+            for w in 0..words {
+                dst[w] = src[w] & dim_mask[w];
+                any |= dst[w];
+            }
+            if any == 0 && n != 0 {
+                // No rule survives this prefix: skip the whole subtree.
+                idx[d] += 1;
+                continue;
+            }
+            depth += 1;
+            continue 'walk;
+        }
+    }
+
+    let reachability = reach
+        .into_iter()
+        .map(|w| match w {
+            Some(witness) => Reachability::Reachable { witness },
+            None => Reachability::Shadowed,
+        })
+        .collect();
+    Sweep {
+        reachability,
+        exhaustive: true,
+        probes: cells,
+    }
+}
+
+fn pairwise_fallback(rules: &RuleSet) -> Sweep {
+    let reachability = rules
+        .iter()
+        .map(|(id, rule)| {
+            let shadowed = rules.iter().any(|(oid, other)| {
+                oid != id && outranks(other, oid.0, rule, id.0) && covers_all_dims(other, rule)
+            });
+            if shadowed {
+                return Reachability::Shadowed;
+            }
+            // Corner probe: the rule's own lower-left cell.
+            let corner = header_from_dims(ALL_DIMS.map(|d| bounds(rule.dim_value(d)).0));
+            match rules.classify(&corner) {
+                Some((wid, _)) if wid == id => Reachability::Reachable { witness: corner },
+                _ => Reachability::Unknown,
+            }
+        })
+        .collect();
+    Sweep {
+        reachability,
+        exhaustive: false,
+        probes: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_types::{PortRange, Prefix, Priority, RuleId};
+
+    #[test]
+    fn candidates_cover_rule_bounds() {
+        let rs = RuleSet::from_rules(vec![Rule::builder(Priority(0))
+            .src_ip(Prefix::parse("10.0.0.0/8").unwrap())
+            .dst_port(PortRange::new(100, 200).unwrap())
+            .build()]);
+        let c = candidate_values(&rs);
+        // sip_hi: 0, 0x0a00 (prefix first), 0x0b00 (last + 1).
+        assert_eq!(c[0], vec![0, 0x0a00, 0x0b00]);
+        // dst_port: 0, 100, 201.
+        assert_eq!(c[5], vec![0, 100, 201]);
+        // proto wildcard adds nothing beyond {0}.
+        assert_eq!(c[6], vec![0]);
+    }
+
+    #[test]
+    fn header_round_trips_dims() {
+        let vals = [0x0a00, 0x0001, 0xffff, 0, 80, 443, 6];
+        let h = header_from_dims(vals);
+        for d in ALL_DIMS {
+            assert_eq!(d.query(&h), vals[d.index()]);
+        }
+    }
+
+    #[test]
+    fn sweep_finds_witness_and_shadow() {
+        // Rule 0 (priority 0) covers everything; rule 1 is fully inside it.
+        let all = Rule::any(Priority(0));
+        let narrow = Rule::builder(Priority(1))
+            .dst_port(PortRange::exact(80))
+            .build();
+        let rs = RuleSet::from_rules(vec![all, narrow]);
+        let s = reachability(&rs, 1 << 17);
+        assert!(s.exhaustive);
+        assert!(matches!(s.reachability[0], Reachability::Reachable { .. }));
+        assert!(matches!(s.reachability[1], Reachability::Shadowed));
+    }
+
+    #[test]
+    fn sweep_witnesses_satisfy_oracle() {
+        let rs = RuleSet::from_rules(vec![
+            Rule::builder(Priority(0))
+                .dst_port(PortRange::new(0, 100).unwrap())
+                .build(),
+            Rule::builder(Priority(1))
+                .dst_port(PortRange::new(50, 200).unwrap())
+                .build(),
+        ]);
+        let s = reachability(&rs, 1 << 17);
+        assert!(s.exhaustive);
+        for (i, r) in s.reachability.iter().enumerate() {
+            match r {
+                Reachability::Reachable { witness } => {
+                    assert_eq!(rs.classify(witness).unwrap().0, RuleId(i as u32));
+                }
+                other => panic!("rule {i} should be reachable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fallback_is_sound() {
+        let all = Rule::any(Priority(0));
+        let narrow = Rule::builder(Priority(1))
+            .dst_port(PortRange::exact(80))
+            .build();
+        let rs = RuleSet::from_rules(vec![all, narrow]);
+        let s = reachability(&rs, 0); // force the pairwise path
+        assert!(!s.exhaustive);
+        assert!(matches!(s.reachability[0], Reachability::Reachable { .. }));
+        assert!(matches!(s.reachability[1], Reachability::Shadowed));
+    }
+}

@@ -19,9 +19,6 @@
 //! accesses and total memory bits so the Table I harness can print the
 //! same columns the paper does.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod dcfl;
 mod hypercuts;
 mod linear;

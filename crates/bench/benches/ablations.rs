@@ -27,7 +27,7 @@ fn bench_combine_strategy(c: &mut Criterion) {
                         probes += u64::from(cls.classify(h).combos_probed);
                     }
                     probes
-                })
+                });
             },
         );
     }
@@ -52,7 +52,7 @@ fn bench_mbt_leaf_nodes(c: &mut Criterion) {
                     hits += usize::from(cls.classify(h).hit.is_some());
                 }
                 hits
-            })
+            });
         });
     }
     group.finish();

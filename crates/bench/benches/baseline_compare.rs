@@ -26,7 +26,7 @@ fn bench_baselines(c: &mut Criterion) {
                     acc += u64::from(cls.classify(h).accesses);
                 }
                 acc
-            })
+            });
         });
     }
     group.finish();

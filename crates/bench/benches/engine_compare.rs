@@ -31,11 +31,11 @@ fn bench_single_vs_batch(c: &mut Criterion) {
                     hits += u64::from(engine.classify(h).is_hit());
                 }
                 hits
-            })
+            });
         });
         let mut out: Vec<Verdict> = Vec::new();
         group.bench_with_input(BenchmarkId::new("batch", engine.name()), &t, |b, t| {
-            b.iter(|| engine.classify_batch(t, &mut out).hits)
+            b.iter(|| engine.classify_batch(t, &mut out).hits);
         });
     }
     group.finish();

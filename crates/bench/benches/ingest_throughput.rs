@@ -34,7 +34,7 @@ fn bench_ingest_throughput(c: &mut Criterion) {
     let mut sequential = builder.build(&rules).expect("8k-rule ACL fits");
     let mut out: Vec<Verdict> = Vec::new();
     group.bench_with_input(BenchmarkId::new("sequential", SPEC), &t, |b, t| {
-        b.iter(|| sequential.classify_batch(t, &mut out).hits)
+        b.iter(|| sequential.classify_batch(t, &mut out).hits);
     });
 
     // Replicated engines: each worker owns a clone and runs the
@@ -80,7 +80,7 @@ fn bench_ingest_throughput(c: &mut Criterion) {
                     pipe.run_source(&mut src, &mut out)
                         .expect("classify-only source")
                         .hits
-                })
+                });
             },
         );
     }

@@ -26,7 +26,7 @@ fn bench_lookup(c: &mut Criterion) {
                         hits += usize::from(cls.classify(h).hit.is_some());
                     }
                     hits
-                })
+                });
             });
         }
     }

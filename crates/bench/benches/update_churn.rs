@@ -72,7 +72,7 @@ fn bench_update_churn(c: &mut Criterion) {
                     "{spec}: the scenario is net zero"
                 );
                 report.update_ops()
-            })
+            });
         });
     }
     group.finish();

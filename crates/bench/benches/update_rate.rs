@@ -43,7 +43,7 @@ fn bench_update(c: &mut Criterion) {
                     }
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();

@@ -265,6 +265,78 @@ impl ToJson for spc_core::SharingReport {
     }
 }
 
+impl ToJson for spc_analyze::Severity {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for spc_analyze::Finding {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("severity", self.severity.to_json()),
+            ("code", self.kind.code().to_json()),
+            (
+                "rules",
+                Value::Array(
+                    self.rules
+                        .iter()
+                        .map(|r| Value::Int(i128::from(r.0)))
+                        .collect(),
+                ),
+            ),
+            ("message", self.message.to_json()),
+        ])
+    }
+}
+
+impl ToJson for spc_analyze::RuleSetReport {
+    fn to_json(&self) -> Value {
+        // Per-dimension arrays keyed by the canonical dimension names.
+        fn dims(counts: &[usize; 7]) -> Value {
+            Value::Object(
+                spc_types::ALL_DIMS
+                    .iter()
+                    .zip(counts.iter())
+                    .map(|(d, &n)| (d.to_string(), n.to_json()))
+                    .collect(),
+            )
+        }
+        Value::object([
+            ("rules", self.rules.to_json()),
+            (
+                "max_severity",
+                self.max_severity().map_or(Value::Null, |s| s.to_json()),
+            ),
+            ("findings", self.findings.to_json()),
+            ("dim_cardinality", dims(&self.dim_cardinality)),
+            ("max_match_depth", dims(&self.max_match_depth)),
+            ("distinct_keys", self.distinct_keys.to_json()),
+            // u128 bounds can exceed every JSON integer convention; emit
+            // them as decimal strings.
+            (
+                "combo_upper_bound",
+                self.combo_upper_bound.to_string().to_json(),
+            ),
+            (
+                "intersection_bound",
+                self.intersection_bound.to_string().to_json(),
+            ),
+            (
+                "shadowed_rules",
+                Value::Array(
+                    self.shadowed_rules()
+                        .iter()
+                        .map(|r| Value::Int(i128::from(r.0)))
+                        .collect(),
+                ),
+            ),
+            ("exhaustive", self.exhaustive.to_json()),
+            ("probes", self.probes.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,9 +7,6 @@
 //! `SPC_SCALE` (rule count, default per experiment) to trade fidelity for
 //! runtime.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod json;
 
 pub use json::{ToJson, Value as JsonValue};

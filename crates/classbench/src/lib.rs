@@ -43,9 +43,6 @@
 //! assert_eq!(rs, rs2);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod gen;
 mod pcap;
 mod pools;

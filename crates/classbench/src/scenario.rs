@@ -575,7 +575,7 @@ mod tests {
             let e = ScenarioScript::parse(text).unwrap_err();
             match &e {
                 ScenarioError::Parse { reason } => {
-                    assert!(reason.contains(needle), "{text:?}: {reason}")
+                    assert!(reason.contains(needle), "{text:?}: {reason}");
                 }
                 other => panic!("{text:?}: expected parse error, got {other:?}"),
             }

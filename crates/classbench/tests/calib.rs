@@ -1,3 +1,6 @@
+//! Manual calibration harness: prints generated-family statistics for
+//! eyeballing against the paper's Table II (run with `--ignored`).
+
 #[test]
 #[ignore]
 fn calib() {

@@ -220,6 +220,13 @@ impl Classifier {
         out
     }
 
+    /// The Rule Filter hash store (read-only). Exposed so external
+    /// analyses can compare predicted label-combination counts against
+    /// the actual occupancy and probe-chain statistics.
+    pub fn rule_filter(&self) -> &RuleFilter {
+        &self.rule_filter
+    }
+
     fn dim_order_entry(dim: Dim, label: Label, priority: Priority) -> LabelEntry {
         // Engines that define their own list order (port registers,
         // protocol LUT) recompute it internally; priority order is the

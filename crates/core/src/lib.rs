@@ -18,9 +18,6 @@
 //!
 //! See the crate-level example on [`Classifier`].
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod classifier;
 mod config;
 mod error;

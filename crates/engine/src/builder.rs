@@ -4,12 +4,14 @@ use crate::kind::ParseEngineKindError;
 use crate::{
     BaselineEngine, ConfigurableEngine, EngineKind, InnerFactory, PacketClassifier, ShardedEngine,
 };
+use spc_analyze::{AnalyzerLimits, RuleSetReport};
 use spc_baselines::{
     Dcfl, HyperCuts, HyperCutsConfig, LinearSearch, OptionClassifier, OptionKind, Rfc,
 };
 use spc_core::shard::{self, ShardStrategy};
 use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};
-use spc_types::{Dim, RuleSet};
+use spc_types::{Dim, DimValue, RuleId, RuleSet};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Default RFC phase-table entry cap (the Table I harness value).
@@ -85,13 +87,33 @@ pub enum BuildError {
         /// Why it was rejected.
         reason: String,
     },
-    /// The backend could not hold the rule set (capacity, duplicate
-    /// 5-tuples, RFC table blow-up, ...).
+    /// The backend could not hold the rule set (capacity, RFC table
+    /// blow-up, ...).
     Rejected {
         /// Which backend rejected it.
         kind: EngineKind,
         /// Backend-specific reason.
         reason: String,
+    },
+    /// Two rules in the set have identical match conditions. Duplicate
+    /// 5-tuples are rejected up front on **every** backend — the
+    /// configurable architecture cannot represent them (their 7-label
+    /// keys collide), and letting decomposition backends silently accept
+    /// what label backends reject would make the registry diverge.
+    DuplicateRules {
+        /// The rule that owns the filter (first occurrence).
+        first: RuleId,
+        /// The rule that repeats it.
+        dup: RuleId,
+    },
+    /// The pre-build audit found [`spc_analyze::Severity::Error`]
+    /// findings and the builder was configured with
+    /// [`AuditPolicy::RejectErrors`].
+    AuditRejected {
+        /// Number of error-level findings.
+        errors: usize,
+        /// The first error finding's explanation.
+        first: String,
     },
 }
 
@@ -112,8 +134,38 @@ impl fmt::Display for BuildError {
             BuildError::Rejected { kind, reason } => {
                 write!(f, "{kind} cannot hold this rule set: {reason}")
             }
+            BuildError::DuplicateRules { first, dup } => {
+                write!(
+                    f,
+                    "rule {} duplicates the match conditions of rule {}; \
+                     duplicate 5-tuples are rejected on every backend",
+                    dup.0, first.0
+                )
+            }
+            BuildError::AuditRejected { errors, first } => {
+                write!(
+                    f,
+                    "pre-build audit rejected the rule set ({errors} error finding{}): {first}",
+                    if *errors == 1 { "" } else { "s" }
+                )
+            }
         }
     }
+}
+
+/// What [`EngineBuilder::build`] does with the pre-build audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditPolicy {
+    /// No audit (the default): build directly.
+    #[default]
+    Off,
+    /// Run the audit and print its findings to stderr, then build
+    /// regardless of severity.
+    Warn,
+    /// Run the audit and refuse to build sets with
+    /// [`spc_analyze::Severity::Error`] findings
+    /// ([`BuildError::AuditRejected`]); print nothing.
+    RejectErrors,
 }
 
 impl std::error::Error for BuildError {}
@@ -143,6 +195,7 @@ pub struct EngineBuilder {
     shard_strategy: ShardStrategy,
     shard_inner: EngineKind,
     band_skew: f64,
+    audit: AuditPolicy,
 }
 
 /// Default shard count for `sharded` specs that don't say.
@@ -187,6 +240,7 @@ impl EngineBuilder {
             shard_strategy: ShardStrategy::PriorityBands,
             shard_inner: EngineKind::ConfigurableBst,
             band_skew: DEFAULT_BAND_SKEW,
+            audit: AuditPolicy::Off,
         }
     }
 
@@ -417,6 +471,42 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets what [`EngineBuilder::build`] does with the pre-build audit.
+    pub fn with_audit(mut self, policy: AuditPolicy) -> Self {
+        self.audit = policy;
+        self
+    }
+
+    /// The analyzer limits matching what this builder would actually
+    /// provision for `rules`: label and Rule Filter capacities are taken
+    /// from the same [`ArchConfig`] that [`EngineBuilder::build`] uses
+    /// (including Rule Filter auto-sizing), so audit predictions line up
+    /// with the built engine.
+    pub fn audit_limits(&self, rules: &RuleSet) -> AnalyzerLimits {
+        let alg = match self.kind {
+            EngineKind::ConfigurableMbt => IpAlg::Mbt,
+            _ => IpAlg::Bst,
+        };
+        let cfg = self.arch_for(alg, rules);
+        let w = cfg.label_widths;
+        AnalyzerLimits::from_capacities(
+            (1usize << w.ip).min(cfg.ip_label_entries),
+            (1usize << w.port).min(cfg.port_label_entries),
+            1usize << w.proto,
+            cfg.rule_slots(),
+        )
+    }
+
+    /// Runs the static pre-build audit over a rule set, judged against
+    /// this builder's provisioning (see [`EngineBuilder::audit_limits`]).
+    ///
+    /// This never constructs an engine; it is cheap enough to run before
+    /// every build of an untrusted set. [`EngineBuilder::with_audit`]
+    /// folds it into [`EngineBuilder::build`] itself.
+    pub fn audit(&self, rules: &RuleSet) -> RuleSetReport {
+        spc_analyze::analyze_with(rules, &self.audit_limits(rules))
+    }
+
     fn arch_for(&self, alg: IpAlg, rules: &RuleSet) -> ArchConfig {
         let mut cfg = self.arch.clone().unwrap_or_else(ArchConfig::large);
         cfg.ip_alg = alg;
@@ -498,9 +588,43 @@ impl EngineBuilder {
     ///
     /// # Errors
     ///
-    /// [`BuildError::Rejected`] when the backend cannot hold the set
-    /// (provisioning limits, duplicate 5-tuples, RFC entry cap).
+    /// [`BuildError::DuplicateRules`] when two rules have identical match
+    /// conditions (checked up front on every backend),
+    /// [`BuildError::AuditRejected`] when
+    /// [`AuditPolicy::RejectErrors`] is set and the audit finds
+    /// error-level issues, and [`BuildError::Rejected`] when the backend
+    /// cannot hold the set (provisioning limits, RFC entry cap).
     pub fn build(&self, rules: &RuleSet) -> Result<Box<dyn PacketClassifier>, BuildError> {
+        // Duplicate 5-tuples are unrepresentable on the configurable
+        // architecture; reject them uniformly so a set either builds on
+        // every backend or on none.
+        let mut first_seen: HashMap<[DimValue; 7], RuleId> = HashMap::new();
+        for (id, rule) in rules.iter() {
+            if let Some(&first) = first_seen.get(&rule.dim_values()) {
+                return Err(BuildError::DuplicateRules { first, dup: id });
+            }
+            first_seen.insert(rule.dim_values(), id);
+        }
+        drop(first_seen);
+        match self.audit {
+            AuditPolicy::Off => {}
+            AuditPolicy::Warn => {
+                let report = self.audit(rules);
+                for finding in &report.findings {
+                    eprintln!("audit: {finding}");
+                }
+            }
+            AuditPolicy::RejectErrors => {
+                let report = self.audit(rules);
+                if report.has_errors() {
+                    let errors: Vec<_> = report.at_severity(spc_analyze::Severity::Error).collect();
+                    return Err(BuildError::AuditRejected {
+                        errors: errors.len(),
+                        first: errors[0].message.clone(),
+                    });
+                }
+            }
+        }
         Ok(match self.kind {
             EngineKind::ConfigurableMbt => Box::new(self.build_configurable(IpAlg::Mbt, rules)?),
             EngineKind::ConfigurableBst => Box::new(self.build_configurable(IpAlg::Bst, rules)?),
@@ -799,12 +923,88 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_rules_reject_configurable_build() {
+    fn duplicate_rules_reject_on_every_backend() {
+        // Identical match conditions (priorities differ — they are not
+        // part of the filter) are a uniform hard error: no backend may
+        // accept a set another backend must reject.
         let dup = RuleSet::from_rules(vec![Rule::any(Priority(0)), Rule::any(Priority(1))]);
-        let e = EngineBuilder::new(EngineKind::ConfigurableMbt).build(&dup);
-        assert!(matches!(e, Err(BuildError::Rejected { .. })));
-        // Baselines don't mind duplicates.
-        assert!(EngineBuilder::new(EngineKind::Linear).build(&dup).is_ok());
+        for kind in EngineKind::ALL {
+            let e = EngineBuilder::new(kind).build(&dup);
+            assert!(
+                matches!(
+                    e,
+                    Err(BuildError::DuplicateRules {
+                        first: spc_types::RuleId(0),
+                        dup: spc_types::RuleId(1),
+                    })
+                ),
+                "{kind} must reject duplicate 5-tuples"
+            );
+        }
+        // Same conditions *and* different fields: fine everywhere.
+        let ok = RuleSet::from_rules(vec![
+            Rule::any(Priority(0)),
+            Rule::builder(Priority(1))
+                .dst_port(PortRange::exact(80))
+                .build(),
+        ]);
+        for kind in EngineKind::ALL {
+            assert!(EngineBuilder::new(kind).build(&ok).is_ok(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn audit_surfaces_findings_and_matches_provisioning() {
+        let rules = rules();
+        let b = EngineBuilder::new(EngineKind::ConfigurableBst);
+        let report = b.audit(&rules);
+        // Rule 1 is a catch-all below a specific rule: clean, no shadows.
+        assert!(report.shadowed_rules().is_empty());
+        assert!(!report.has_errors());
+        // Limits mirror the exact config build() would use, including
+        // Rule Filter auto-sizing.
+        let limits = b.audit_limits(&rules);
+        let cfg = b.arch_for(IpAlg::Bst, &rules);
+        assert_eq!(limits.rule_filter_slots, cfg.rule_slots());
+    }
+
+    #[test]
+    fn audit_policy_rejects_error_sets() {
+        // 9 distinct filters against a 4-slot Rule Filter: the audit
+        // predicts overflow as an error before any engine is built.
+        let rules: RuleSet = (0..9u16)
+            .map(|i| {
+                Rule::builder(Priority(u32::from(i)))
+                    .dst_port(PortRange::exact(i))
+                    .proto(ProtoSpec::Exact(6))
+                    .build()
+            })
+            .collect();
+        let b = EngineBuilder::new(EngineKind::ConfigurableBst)
+            .with_rule_filter_bits(2)
+            .with_audit(crate::AuditPolicy::RejectErrors);
+        let e = b.build(&rules);
+        assert!(
+            matches!(e, Err(BuildError::AuditRejected { errors, .. }) if errors >= 1),
+            "audit must reject the overflowing set"
+        );
+        // The same build without the audit fails later, inside the
+        // engine, with a less specific capacity error.
+        let raw = EngineBuilder::new(EngineKind::ConfigurableBst)
+            .with_rule_filter_bits(2)
+            .build(&rules);
+        assert!(matches!(raw, Err(BuildError::Rejected { .. })));
+        // Warning-level findings (a shadowed rule) do not reject.
+        let shadowing = RuleSet::from_rules(vec![
+            Rule::any(Priority(0)),
+            Rule::builder(Priority(1))
+                .dst_port(PortRange::exact(80))
+                .build(),
+        ]);
+        let b = EngineBuilder::new(EngineKind::ConfigurableBst)
+            .with_audit(crate::AuditPolicy::RejectErrors);
+        assert!(b.audit(&shadowing).max_severity() == Some(spc_analyze::Severity::Warning));
+        assert!(b.build(&shadowing).is_ok());
     }
 
     #[test]

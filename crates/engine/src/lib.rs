@@ -58,9 +58,6 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod baseline;
 mod builder;
 mod configurable;
@@ -70,7 +67,7 @@ mod sharded;
 pub mod workload;
 
 pub use baseline::BaselineEngine;
-pub use builder::{build_engine, BuildError, EngineBuilder};
+pub use builder::{build_engine, AuditPolicy, BuildError, EngineBuilder};
 pub use configurable::ConfigurableEngine;
 pub use kind::EngineKind;
 pub use pipeline::{

@@ -16,9 +16,6 @@
 //!   level-2 block and the BST node memory;
 //! * [`ResourceReport`] — the Table V synthesis summary.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod clock;
 mod hash;
 mod mem;

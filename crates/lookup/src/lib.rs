@@ -20,9 +20,6 @@
 //! (§IV.C.2), and from label allocation, which belongs to the software
 //! controller (Fig 4, implemented in `spc-core`).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod bst;
 mod engine;
 mod label;

@@ -446,15 +446,24 @@ impl FieldEngine for MultiBitTrie {
     }
 
     fn provisioned_bits(&self) -> u64 {
-        self.levels.iter().map(|b| b.capacity_bits()).sum()
+        self.levels
+            .iter()
+            .map(spc_hwsim::MemoryBlock::capacity_bits)
+            .sum()
     }
 
     fn used_bits(&self) -> u64 {
-        self.levels.iter().map(|b| b.used_bits()).sum()
+        self.levels
+            .iter()
+            .map(spc_hwsim::MemoryBlock::used_bits)
+            .sum()
     }
 
     fn access_counts(&self) -> AccessCounts {
-        self.levels.iter().map(|b| b.accesses()).sum()
+        self.levels
+            .iter()
+            .map(spc_hwsim::MemoryBlock::accesses)
+            .sum()
     }
 
     fn reset_access_counts(&self) {

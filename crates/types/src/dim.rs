@@ -208,7 +208,10 @@ mod tests {
 
     #[test]
     fn display_unique_names() {
-        let names: Vec<String> = ALL_DIMS.iter().map(|d| d.to_string()).collect();
+        let names: Vec<String> = ALL_DIMS
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

@@ -27,9 +27,6 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod action;
 mod dim;
 mod error;

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 mem_reads,
                 ..
             } => {
-                println!("{h}  ->  {action} via {id} ({mem_reads} memory reads)")
+                println!("{h}  ->  {action} via {id} ({mem_reads} memory reads)");
             }
             v => println!("{h}  ->  table miss ({} memory reads)", v.mem_reads),
         }

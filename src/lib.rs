@@ -12,6 +12,8 @@
 //! * [`baselines`] — linear search, HyperCuts, RFC, DCFL comparators
 //! * [`engine`] — the unified [`engine::PacketClassifier`] API over all of
 //!   the above: one trait, batch lookups, a backend registry
+//! * [`analyze`] — static rule-set analysis: shadowing, duplicates,
+//!   label-pressure and port-expansion findings ([`spc_analyze`])
 //!
 //! # Quickstart
 //!
@@ -54,8 +56,7 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
-
+pub use spc_analyze as analyze;
 pub use spc_baselines as baselines;
 pub use spc_classbench as classbench;
 pub use spc_core as core;

@@ -281,6 +281,7 @@ fn format_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark function in this group.
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
