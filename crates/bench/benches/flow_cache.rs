@@ -1,0 +1,86 @@
+//! Criterion bench: flow-cache batch throughput as a function of
+//! trace locality × cache size, on an 8k-rule ACL set — the cached
+//! engine against its own *uncached* inner backend on the identical
+//! trace, so the cache's amortisation is read straight off the report.
+//! A churn group re-measures the warm cache while rules are inserted
+//! and removed through the wrapper between batches (the invalidation
+//! path's steady-state cost).
+//!
+//! `SPC_SCALE` overrides the rule count; `--test` (as in CI's
+//! bench-smoke job) runs every body once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spc_bench::{ruleset, scale_or, SEED_TRACE};
+use spc_classbench::{FilterKind, TraceGenerator};
+use spc_engine::{build_engine, Verdict};
+use spc_types::Header;
+
+const BATCH: usize = 4096;
+const LOCALITIES: [f64; 3] = [0.5, 0.9, 0.99];
+const FLOWS: [usize; 2] = [1024, 8192];
+const INNER: &str = "configurable-bst";
+
+fn local_trace(rules: &spc_types::RuleSet, locality: f64) -> Vec<Header> {
+    TraceGenerator::new()
+        .seed(SEED_TRACE)
+        .match_fraction(0.9)
+        .locality(locality)
+        .generate(rules, BATCH)
+}
+
+fn bench_flow_cache(c: &mut Criterion) {
+    let rules = ruleset(FilterKind::Acl, scale_or(8192));
+    let mut out: Vec<Verdict> = Vec::new();
+
+    let mut group = c.benchmark_group("flow_cache/locality");
+    for locality in LOCALITIES {
+        let t = local_trace(&rules, locality);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        let mut inner = build_engine(INNER, &rules).expect("inner must build");
+        group.bench_with_input(BenchmarkId::new("uncached", locality), &t, |b, t| {
+            b.iter(|| inner.classify_batch(t, &mut out).hits);
+        });
+        for flows in FLOWS {
+            let spec = format!("cached:inner={INNER},flows={flows}");
+            let mut engine = build_engine(&spec, &rules).expect("cached must build");
+            engine.classify_batch(&t, &mut out); // warm
+            group.bench_with_input(
+                BenchmarkId::new(format!("flows{flows}"), locality),
+                &t,
+                |b, t| b.iter(|| engine.classify_batch(t, &mut out).hits),
+            );
+        }
+    }
+    group.finish();
+
+    // Steady-state churn: every iteration classifies the batch, then
+    // pushes one insert + one remove through the wrapper — so the
+    // targeted-invalidation path (and the partial cold-start it leaves
+    // behind) is inside the measured loop.
+    let mut group = c.benchmark_group("flow_cache/churn");
+    let pool = ruleset(FilterKind::Fw, 64);
+    let t = local_trace(&rules, 0.9);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for flows in FLOWS {
+        let spec = format!("cached:inner={INNER},flows={flows}");
+        let mut engine = build_engine(&spec, &rules).expect("cached must build");
+        engine.classify_batch(&t, &mut out);
+        let mut next = 0usize;
+        group.bench_with_input(BenchmarkId::new("insert_remove", flows), &t, |b, t| {
+            b.iter(|| {
+                let hits = engine.classify_batch(t, &mut out).hits;
+                let mut rule = pool.rules()[next % pool.len()];
+                rule.priority = spc_types::Priority(2_000_000 + next as u32);
+                next += 1;
+                if let Ok(id) = engine.insert(rule) {
+                    engine.remove(id).expect("fresh rule removes");
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow_cache);
+criterion_main!(benches);

@@ -18,7 +18,8 @@
 
 use spc_bench::{print_table, ruleset, scale_or, trace, traffic, Row, ToJson};
 use spc_classbench::{
-    write_pcap, FilterKind, PcapReader, RuleSetGenerator, ScenarioScript, TraceSource,
+    write_pcap, FilterKind, PcapReader, RuleSetGenerator, ScenarioScript, TraceGenerator,
+    TraceSource,
 };
 use spc_engine::{
     build_engine, run_scenario, EngineBuilder, EngineSource, IngestConfig, IngestPipeline, Verdict,
@@ -38,6 +39,7 @@ struct Record {
     reps: usize,
     rows: Vec<SpecRec>,
     scenarios: Vec<ScenarioRec>,
+    cached: Vec<CachedRec>,
 }
 
 struct SpecRec {
@@ -64,6 +66,20 @@ struct ScenarioRec {
     oracle_agrees: bool,
 }
 
+/// One flow-cache measurement: a `cached:*` spec on a locality-shaped
+/// trace, timed next to its own *uncached* inner engine on the same
+/// trace — the speedup column is the cache's whole value proposition.
+struct CachedRec {
+    spec: String,
+    locality: f64,
+    flows: usize,
+    cache_hit_rate: f64,
+    batch_melems_per_s: f64,
+    inner_melems_per_s: f64,
+    speedup: f64,
+    oracle_agrees: bool,
+}
+
 spc_bench::json_object!(Record {
     experiment,
     filter_kind,
@@ -71,7 +87,18 @@ spc_bench::json_object!(Record {
     trace_len,
     reps,
     rows,
-    scenarios
+    scenarios,
+    cached
+});
+spc_bench::json_object!(CachedRec {
+    spec,
+    locality,
+    flows,
+    cache_hit_rate,
+    batch_melems_per_s,
+    inner_melems_per_s,
+    speedup,
+    oracle_agrees
 });
 spc_bench::json_object!(ScenarioRec {
     spec,
@@ -383,6 +410,73 @@ fn main() {
     }
     let _ = std::fs::remove_file(&pcap_path);
 
+    // Flow cache: `cached:*` over a dedicated 8k-rule ACL set, swept
+    // across flow-locality x cache size, each row timed against its own
+    // *uncached* inner engine on the identical trace and oracle-checked
+    // against linear. Hit rate and speedup land in the artifact so the
+    // cache's perf trajectory is tracked per push.
+    const CACHE_INNER: &str = "configurable-bst";
+    let cache_rules = ruleset(FilterKind::Acl, scale_or(8192));
+    let cache_oracle = build_engine("linear", &cache_rules).expect("linear always builds");
+    let mut cached_rows = Vec::new();
+    let mut cached_recs = Vec::new();
+    for locality in [0.5, 0.9, 0.99] {
+        let ctrace = TraceGenerator::new()
+            .seed(spc_bench::SEED_TRACE)
+            .match_fraction(0.9)
+            .locality(locality)
+            .generate(&cache_rules, TRACE_LEN);
+        let cwant: Vec<Verdict> = ctrace.iter().map(|h| cache_oracle.classify(h)).collect();
+
+        let mut inner = build_engine(CACHE_INNER, &cache_rules).expect("inner must build");
+        let mut out = Vec::new();
+        inner.classify_batch(&ctrace, &mut out);
+        let mut inner_best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t1 = Instant::now();
+            inner.classify_batch(&ctrace, &mut out);
+            inner_best = inner_best.min(t1.elapsed().as_secs_f64());
+        }
+        let inner_melems = ctrace.len() as f64 / inner_best / 1e6;
+
+        for flows in [1024usize, 8192] {
+            let spec = format!("cached:inner={CACHE_INNER},flows={flows}");
+            let mut engine =
+                build_engine(&spec, &cache_rules).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let mut stats = engine.classify_batch(&ctrace, &mut out);
+            let oracle_agrees = agrees(&out, &cwant);
+            all_agree &= oracle_agrees;
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let t1 = Instant::now();
+                stats = engine.classify_batch(&ctrace, &mut out);
+                best = best.min(t1.elapsed().as_secs_f64());
+            }
+            let melems = ctrace.len() as f64 / best / 1e6;
+            let rec = CachedRec {
+                spec: spec.clone(),
+                locality,
+                flows,
+                cache_hit_rate: stats.cache_hit_rate(),
+                batch_melems_per_s: melems,
+                inner_melems_per_s: inner_melems,
+                speedup: melems / inner_melems,
+                oracle_agrees,
+            };
+            cached_rows.push(Row {
+                name: format!("{spec} @ loc={locality}"),
+                values: vec![
+                    format!("{melems:.2}"),
+                    format!("{inner_melems:.2}"),
+                    format!("{:.2}x", rec.speedup),
+                    format!("{:.3}", rec.cache_hit_rate),
+                    if oracle_agrees { "yes" } else { "NO" }.to_string(),
+                ],
+            });
+            cached_recs.push(rec);
+        }
+    }
+
     // Scripted churn: the §V.A fast-update path as a ScenarioScript —
     // insert bursts from a foreign pool, classify batches, FIFO
     // removes — sharded at {1, 2, 8} shards (both strategies) against
@@ -442,6 +536,15 @@ fn main() {
     );
     print_table(
         &format!(
+            "flow cache (acl, {} rules, batch {}, locality sweep, warm cache)",
+            cache_rules.len(),
+            TRACE_LEN
+        ),
+        &["Melem/s", "inner Melem/s", "speedup", "hit rate", "oracle"],
+        &cached_rows,
+    );
+    print_table(
+        &format!(
             "scenario churn (acl base {}, fw pool {}, script: {} classifies / {} inserts / {} removes)",
             rules.len(),
             churn_pool.len(),
@@ -461,6 +564,7 @@ fn main() {
         reps: REPS,
         rows: recs,
         scenarios: scenario_recs,
+        cached: cached_recs,
     };
     let path = std::env::var("SPC_BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
     std::fs::write(&path, record.to_json().pretty() + "\n").expect("write bench record");

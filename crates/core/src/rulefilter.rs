@@ -95,6 +95,19 @@ impl RuleFilter {
         self.max_probe
     }
 
+    /// Iterates over the installed rules, in slot order.
+    ///
+    /// This is a *software-controller* view (untracked reads — no
+    /// hardware access accounting): it exists so wrappers can derive
+    /// per-rule metadata such as [`spc_types::MaskSummary`] from the
+    /// stored rules without re-reading the original rule set.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredRule> {
+        (0..self.capacity()).filter_map(move |addr| match self.slots.get_untracked(addr) {
+            Some(Slot::Occupied(stored)) => Some(stored),
+            _ => None,
+        })
+    }
+
     /// Inserts a rule under its label key.
     ///
     /// # Errors
@@ -290,5 +303,23 @@ mod tests {
         assert_eq!(f.capacity(), 8192);
         assert_eq!(f.provisioned_bits(), 8192 * (68 + 48));
         assert_eq!(f.used_bits(), 0);
+    }
+
+    #[test]
+    fn iter_yields_live_rules_without_charging_accesses() {
+        let mut f = RuleFilter::new(4, 68);
+        for k in 0..5u128 {
+            f.insert(k, RuleId(k as u32), rule(0)).unwrap();
+        }
+        f.remove(2, RuleId(2)).unwrap();
+        f.reset_access_counts();
+        let mut ids: Vec<u32> = f.iter().map(|s| s.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 3, 4]);
+        assert_eq!(
+            f.access_counts(),
+            spc_hwsim::AccessCounts::default(),
+            "controller-side iteration is untracked"
+        );
     }
 }

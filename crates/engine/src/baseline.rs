@@ -1,20 +1,21 @@
 //! [`PacketClassifier`] for the Table I comparison algorithms.
 
-use crate::{EngineKind, PacketClassifier, Verdict};
+use crate::{EngineKind, MatchHandle, PacketClassifier, Verdict};
 use spc_baselines::Baseline;
-use spc_types::{Action, Header, Priority, RuleSet};
+use spc_types::{Action, Header, MaskSummary, Priority, RuleSet};
 use std::fmt;
 
 /// Adapts any [`Baseline`] to the unified API.
 ///
 /// Baselines report only the matched [`spc_types::RuleId`] and the access
-/// count; the adapter keeps a priority/action side table (indexed by rule
-/// id, which every baseline takes from the build-time [`RuleSet`]) so a
-/// [`Verdict`] is as informative as the configurable architecture's.
+/// count; the adapter keeps a priority/action/mask side table (indexed by
+/// rule id, which every baseline takes from the build-time [`RuleSet`])
+/// so a [`Verdict`] is as informative as the configurable architecture's
+/// — including the [`MatchHandle`] a flow cache keys on.
 pub struct BaselineEngine<B> {
     kind: EngineKind,
     inner: B,
-    meta: Vec<(Priority, Action)>,
+    meta: Vec<(Priority, Action, MaskSummary)>,
 }
 
 impl<B: Baseline> BaselineEngine<B> {
@@ -24,7 +25,7 @@ impl<B: Baseline> BaselineEngine<B> {
         let meta = rules
             .rules()
             .iter()
-            .map(|r| (r.priority, r.action))
+            .map(|r| (r.priority, r.action, MaskSummary::of_rule(r)))
             .collect();
         BaselineEngine { kind, inner, meta }
     }
@@ -63,13 +64,16 @@ impl<B: Baseline + fmt::Debug + Send + Sync> PacketClassifier for BaselineEngine
         let r = self.inner.classify(header);
         match r.rule {
             Some(id) => {
-                let (priority, action) = self.meta[id.0 as usize];
-                Verdict {
-                    rule: Some(id),
-                    priority: Some(priority),
-                    action: Some(action),
-                    mem_reads: r.accesses,
-                }
+                let (priority, action, mask_summary) = self.meta[id.0 as usize];
+                Verdict::hit(
+                    MatchHandle {
+                        id,
+                        priority,
+                        mask_summary,
+                    },
+                    action,
+                    r.accesses,
+                )
             }
             None => Verdict::miss(r.accesses),
         }

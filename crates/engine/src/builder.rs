@@ -2,7 +2,8 @@
 
 use crate::kind::ParseEngineKindError;
 use crate::{
-    BaselineEngine, ConfigurableEngine, EngineKind, InnerFactory, PacketClassifier, ShardedEngine,
+    BaselineEngine, CachedEngine, ConfigurableEngine, EngineKind, InnerFactory, PacketClassifier,
+    ShardedEngine,
 };
 use spc_analyze::{AnalyzerLimits, RuleSetReport};
 use spc_baselines::{
@@ -21,10 +22,15 @@ const DEFAULT_RFC_ENTRY_CAP: u64 = 1 << 27;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum KeyScope {
     /// Configurable backends — and `sharded`, which forwards these to
-    /// its inner engines.
+    /// its inner engines. (The cached wrapper does *not* forward them:
+    /// tune its inner engine inside the nested `inner=(...)` spec.)
     Configurable,
     /// The sharded backend only.
     Sharded,
+    /// Wrapper backends that take an inner engine (`sharded`, `cached`).
+    Inner,
+    /// The cached backend only.
+    Cached,
 }
 
 impl KeyScope {
@@ -32,6 +38,8 @@ impl KeyScope {
         match self {
             KeyScope::Configurable => kind.is_configurable() || kind == EngineKind::Sharded,
             KeyScope::Sharded => kind == EngineKind::Sharded,
+            KeyScope::Inner => kind == EngineKind::Sharded || kind == EngineKind::Cached,
+            KeyScope::Cached => kind == EngineKind::Cached,
         }
     }
 }
@@ -44,11 +52,13 @@ impl KeyScope {
 const SPEC_KEYS: &[(&str, KeyScope)] = &[
     ("rf_bits", KeyScope::Configurable),
     ("combine", KeyScope::Configurable),
-    ("inner", KeyScope::Sharded),
+    ("inner", KeyScope::Inner),
     ("shards", KeyScope::Sharded),
     ("strategy", KeyScope::Sharded),
     ("hash_dim", KeyScope::Sharded),
     ("skew", KeyScope::Sharded),
+    ("flows", KeyScope::Cached),
+    ("megaflow", KeyScope::Cached),
 ];
 
 /// The comma-separated key list for error messages, straight from
@@ -196,10 +206,18 @@ pub struct EngineBuilder {
     shard_inner: EngineKind,
     band_skew: f64,
     audit: AuditPolicy,
+    cache_flows: usize,
+    cache_megaflow: bool,
+    /// Full builder for the cached wrapper's inner engine (`None` means
+    /// the default `configurable-bst`) — boxed because the type recurses.
+    cache_inner: Option<Box<EngineBuilder>>,
 }
 
 /// Default shard count for `sharded` specs that don't say.
 const DEFAULT_SHARDS: usize = 4;
+
+/// Default microflow capacity for `cached` specs that don't say.
+const DEFAULT_CACHE_FLOWS: usize = 4096;
 
 /// Default band-rebalance skew factor for updatable priority-band
 /// sharding: a band splits once it exceeds twice its build-time quota.
@@ -209,6 +227,37 @@ const DEFAULT_BAND_SKEW: f64 = 2.0;
 /// low destination-IP segment, typically the most value-diverse field in
 /// ClassBench-style sets.
 const DEFAULT_HASH_DIM: Dim = Dim::DipLo;
+
+/// Splits a spec's option list on commas at parenthesis depth 0, so a
+/// nested inner spec — `cached:inner=(sharded:inner=linear,shards=2)` —
+/// keeps its own commas.
+fn split_opts(opts: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in opts.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&opts[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&opts[start..]);
+    parts
+}
+
+/// Strips one balanced outer parenthesis pair, if present: the optional
+/// grouping syntax for nested inner specs.
+fn strip_parens(s: &str) -> &str {
+    match s.strip_prefix('(').and_then(|t| t.strip_suffix(')')) {
+        Some(inner) => inner,
+        None => s,
+    }
+}
 
 fn parse_dim(s: &str) -> Option<Dim> {
     Some(match s {
@@ -241,6 +290,9 @@ impl EngineBuilder {
             shard_inner: EngineKind::ConfigurableBst,
             band_skew: DEFAULT_BAND_SKEW,
             audit: AuditPolicy::Off,
+            cache_flows: DEFAULT_CACHE_FLOWS,
+            cache_megaflow: true,
+            cache_inner: None,
         }
     }
 
@@ -254,7 +306,11 @@ impl EngineBuilder {
     /// its own — it refines `strategy=hash`) and `skew=F` (band-split
     /// factor ≥ 1.0; refines `strategy=prio`, see
     /// [`ShardedEngine::enable_updates`]), plus `rf_bits`/`combine`
-    /// when its inner engine is configurable.
+    /// when its inner engine is configurable. The cached backend takes
+    /// `inner=<spec>` (a *full* nested spec — parenthesise it when it
+    /// contains commas, e.g. `cached:inner=(sharded:shards=4),flows=8192`),
+    /// `flows=N` (microflow slots, rounded up to a power of two at build
+    /// time) and `megaflow=on|off`.
     ///
     /// Every key is checked against the kind it is for: unknown keys,
     /// keys for another backend, and duplicated keys are hard
@@ -280,7 +336,7 @@ impl EngineBuilder {
         let mut hash_dim: Option<Dim> = None;
         let mut strategy_set = false;
         let mut skew_set = false;
-        for opt in opts.into_iter().flat_map(|o| o.split(',')) {
+        for opt in opts.into_iter().flat_map(split_opts) {
             let opt = opt.trim();
             if opt.is_empty() {
                 continue;
@@ -329,6 +385,19 @@ impl EngineBuilder {
                         _ => return Err(bad()),
                     });
                 }
+                "inner" if kind == EngineKind::Cached => {
+                    // The cached wrapper nests a *full* spec, not just a
+                    // kind name, so the inner engine is tunable in place.
+                    let inner_spec = strip_parens(value);
+                    let inner = EngineBuilder::from_spec(inner_spec)
+                        .map_err(|e| config_err(format!("inner spec {inner_spec:?}: {e}")))?;
+                    if inner.kind == EngineKind::Cached {
+                        return Err(config_err(
+                            "the inner engine cannot itself be cached".to_string(),
+                        ));
+                    }
+                    b.cache_inner = Some(Box::new(inner));
+                }
                 "inner" => {
                     let inner: EngineKind = value
                         .parse()
@@ -339,6 +408,29 @@ impl EngineBuilder {
                         ));
                     }
                     b.shard_inner = inner;
+                }
+                "flows" => {
+                    let n: usize = value.parse().map_err(|_| bad())?;
+                    if n == 0 {
+                        return Err(config_err(
+                            "flows must be >= 1 (the cache needs at least one slot)".to_string(),
+                        ));
+                    }
+                    if !n.is_power_of_two() {
+                        eprintln!(
+                            "warning: flows={n} is not a power of two; \
+                             rounding up to {}",
+                            n.next_power_of_two()
+                        );
+                    }
+                    b.cache_flows = n;
+                }
+                "megaflow" => {
+                    b.cache_megaflow = match value {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(bad()),
+                    };
                 }
                 "shards" => {
                     let n: usize = value.parse().map_err(|_| bad())?;
@@ -477,6 +569,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the microflow capacity (cached backend; rounded up to a
+    /// power of two at build time, 0 is rejected there).
+    pub fn with_cache_flows(mut self, flows: usize) -> Self {
+        self.cache_flows = flows;
+        self
+    }
+
+    /// Enables or disables the megaflow layer (cached backend).
+    pub fn with_cache_megaflow(mut self, megaflow: bool) -> Self {
+        self.cache_megaflow = megaflow;
+        self
+    }
+
+    /// Sets the full builder for the cached wrapper's inner engine
+    /// (cached backend; defaults to `configurable-bst`).
+    pub fn with_cache_inner(mut self, inner: EngineBuilder) -> Self {
+        self.cache_inner = Some(Box::new(inner));
+        self
+    }
+
     /// The analyzer limits matching what this builder would actually
     /// provision for `rules`: label and Rule Filter capacities are taken
     /// from the same [`ArchConfig`] that [`EngineBuilder::build`] uses
@@ -584,6 +696,34 @@ impl EngineBuilder {
         Ok(engine)
     }
 
+    pub(crate) fn build_cached(&self, rules: &RuleSet) -> Result<CachedEngine, BuildError> {
+        let inner_builder = match &self.cache_inner {
+            Some(b) => (**b).clone(),
+            None => EngineBuilder::new(EngineKind::ConfigurableBst),
+        };
+        // The spec parser rejects `inner=cached`; this guards the
+        // builder-method path.
+        if inner_builder.kind == EngineKind::Cached {
+            return Err(BuildError::ConfigError {
+                option: "inner=cached".to_string(),
+                reason: "the inner engine cannot itself be cached".to_string(),
+            });
+        }
+        if self.cache_flows == 0 {
+            return Err(BuildError::ConfigError {
+                option: "flows=0".to_string(),
+                reason: "flows must be >= 1 (the cache needs at least one slot)".to_string(),
+            });
+        }
+        let inner = inner_builder.build(rules)?;
+        Ok(CachedEngine::new(
+            inner,
+            self.cache_flows.next_power_of_two(),
+            self.cache_megaflow,
+            rules.rules(),
+        ))
+    }
+
     /// Builds the backend over a rule set.
     ///
     /// # Errors
@@ -658,6 +798,7 @@ impl EngineBuilder {
                 rules,
             )),
             EngineKind::Sharded => Box::new(self.build_sharded(rules)?),
+            EngineKind::Cached => Box::new(self.build_cached(rules)?),
         })
     }
 }
@@ -698,9 +839,10 @@ mod tests {
             assert_eq!(e.classify(&h).priority, Some(Priority(0)), "{kind}");
             assert!(e.memory_bits() > 0, "{kind}");
             // Update capability delegates to the built engine, not the
-            // registry kind: the default sharded config wraps
-            // configurable-bst inners, so it is updatable too.
-            let expected = kind.is_configurable() || kind == EngineKind::Sharded;
+            // registry kind: the default sharded and cached configs wrap
+            // configurable-bst inners, so they are updatable too.
+            let expected =
+                kind.is_configurable() || kind == EngineKind::Sharded || kind == EngineKind::Cached;
             assert_eq!(e.supports_updates(), expected, "{kind}");
         }
     }
@@ -761,12 +903,16 @@ mod tests {
             option: "x".to_string(),
         }
         .to_string();
-        for &(key, _) in SPEC_KEYS {
+        for &(key, scope) in SPEC_KEYS {
             assert!(msg.contains(key), "BadOption must list {key:?}: {msg}");
-            // Every table entry is live grammar: with a garbage value the
-            // sharded backend (which is in every key's scope) must fail on
-            // the *value*, never with an unknown-key rejection.
-            let e = EngineBuilder::from_spec(&format!("sharded:{key}=\u{2301}")).unwrap_err();
+            // Every table entry is live grammar: with a garbage value a
+            // backend in the key's scope must fail on the *value*, never
+            // with an unknown-key rejection.
+            let probe = match scope {
+                KeyScope::Cached => "cached",
+                _ => "sharded",
+            };
+            let e = EngineBuilder::from_spec(&format!("{probe}:{key}=\u{2301}")).unwrap_err();
             let rejected_key = matches!(
                 &e,
                 BuildError::ConfigError { reason, .. } if reason.contains("unknown key")
@@ -1005,6 +1151,85 @@ mod tests {
             .with_audit(crate::AuditPolicy::RejectErrors);
         assert!(b.audit(&shadowing).max_severity() == Some(spc_analyze::Severity::Warning));
         assert!(b.build(&shadowing).is_ok());
+    }
+
+    #[test]
+    fn cached_spec_options_reach_the_engine() {
+        let rules = rules();
+        let b = EngineBuilder::from_spec("cached:inner=linear,flows=128,megaflow=off").unwrap();
+        assert_eq!(b.kind(), EngineKind::Cached);
+        let engine = b.build_cached(&rules).unwrap();
+        assert_eq!(engine.inner().kind(), EngineKind::Linear);
+        assert!(!engine.has_megaflow());
+
+        // Defaults: configurable-bst inner, megaflow on.
+        let engine = EngineBuilder::from_spec("cached")
+            .unwrap()
+            .build_cached(&rules)
+            .unwrap();
+        assert_eq!(engine.inner().kind(), EngineKind::ConfigurableBst);
+        assert!(engine.has_megaflow());
+        assert!(engine.supports_updates());
+
+        // A nested inner spec tunes the inner engine in place; parens
+        // protect its commas from the outer split.
+        let engine =
+            EngineBuilder::from_spec("cached:inner=(sharded:inner=linear,shards=2),flows=64")
+                .unwrap()
+                .build_cached(&rules)
+                .unwrap();
+        assert_eq!(engine.inner().kind(), EngineKind::Sharded);
+        // Colon-style nested options work without parens when comma-free.
+        let engine = EngineBuilder::from_spec("cached:inner=configurable-mbt:rf_bits=14")
+            .unwrap()
+            .build_cached(&rules)
+            .unwrap();
+        assert_eq!(engine.inner().kind(), EngineKind::ConfigurableMbt);
+    }
+
+    #[test]
+    fn cached_spec_inconsistencies_are_config_errors() {
+        // flows=0 is a typed ConfigError at parse time...
+        let e = EngineBuilder::from_spec("cached:flows=0").unwrap_err();
+        assert!(
+            matches!(&e, BuildError::ConfigError { reason, .. } if reason.contains("flows")),
+            "{e}"
+        );
+        // ...and at build time through the builder-method path.
+        let e = EngineBuilder::new(EngineKind::Cached)
+            .with_cache_flows(0)
+            .build(&rules())
+            .unwrap_err();
+        assert!(matches!(e, BuildError::ConfigError { .. }));
+        // A cached wrapper inside a cached wrapper is rejected.
+        assert!(matches!(
+            EngineBuilder::from_spec("cached:inner=cached"),
+            Err(BuildError::ConfigError { .. })
+        ));
+        // A broken nested spec carries the inner parser's message.
+        let e = EngineBuilder::from_spec("cached:inner=(linear:frobnicate=1)").unwrap_err();
+        match &e {
+            BuildError::ConfigError { reason, .. } => {
+                assert!(
+                    reason.contains("frobnicate"),
+                    "inner message kept: {reason}"
+                );
+            }
+            other => panic!("expected ConfigError, got {other}"),
+        }
+        // Cache keys belong to the cached backend only; rf_bits does not
+        // forward through the wrapper (tune the nested inner spec).
+        for spec in [
+            "linear:flows=64",
+            "sharded:megaflow=on",
+            "cached:rf_bits=14",
+            "cached:megaflow=sideways",
+        ] {
+            assert!(
+                EngineBuilder::from_spec(spec).is_err(),
+                "{spec} must be rejected"
+            );
+        }
     }
 
     #[test]

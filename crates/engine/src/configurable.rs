@@ -1,9 +1,11 @@
 //! [`PacketClassifier`] for the paper's configurable architecture.
 
-use crate::{EngineKind, LookupStats, PacketClassifier, UpdateError, UpdateReport, Verdict};
+use crate::{
+    EngineKind, LookupStats, MatchHandle, PacketClassifier, UpdateError, UpdateReport, Verdict,
+};
 use spc_core::{Classification, Classifier, ClassifierError, ClassifyScratch, IpAlg};
 use spc_hwsim::AccessCounts;
-use spc_types::{Header, Rule, RuleId};
+use spc_types::{Header, MaskSummary, Rule, RuleId};
 
 /// The configurable label-based classifier behind the unified API.
 ///
@@ -19,6 +21,7 @@ pub struct ConfigurableEngine {
     cls: Classifier,
     scratch: ClassifyScratch,
     last_report: Option<UpdateReport>,
+    epoch: u64,
 }
 
 impl ConfigurableEngine {
@@ -28,6 +31,7 @@ impl ConfigurableEngine {
             cls,
             scratch: ClassifyScratch::new(),
             last_report: None,
+            epoch: 0,
         }
     }
 
@@ -45,12 +49,15 @@ impl ConfigurableEngine {
 
     fn verdict(c: &Classification) -> Verdict {
         match &c.hit {
-            Some(hit) => Verdict {
-                rule: Some(hit.rule_id),
-                priority: Some(hit.rule.priority),
-                action: Some(hit.rule.action),
-                mem_reads: c.total_reads(),
-            },
+            Some(hit) => Verdict::hit(
+                MatchHandle {
+                    id: hit.rule_id,
+                    priority: hit.rule.priority,
+                    mask_summary: MaskSummary::of_rule(&hit.rule),
+                },
+                hit.rule.action,
+                c.total_reads(),
+            ),
             None => Verdict::miss(c.total_reads()),
         }
     }
@@ -126,21 +133,27 @@ impl PacketClassifier for ConfigurableEngine {
     }
 
     fn insert(&mut self, rule: Rule) -> Result<RuleId, UpdateError> {
-        self.last_report = None;
+        // A failed update must leave both the report and the epoch
+        // untouched: the epoch bumps iff the report is replaced.
         let report = self.cls.insert(rule)?;
         self.last_report = Some(report);
+        self.epoch += 1;
         Ok(report.rule_id)
     }
 
     fn remove(&mut self, id: RuleId) -> Result<(), UpdateError> {
-        self.last_report = None;
         let (_, report) = self.cls.remove(id)?;
         self.last_report = Some(report);
+        self.epoch += 1;
         Ok(())
     }
 
     fn last_update_report(&self) -> Option<UpdateReport> {
         self.last_report
+    }
+
+    fn update_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -186,10 +199,15 @@ mod tests {
         assert_eq!(ins.rule_id, id);
         assert_eq!(ins.created_labels, 7);
         assert!(ins.hw_write_cycles >= 3, "§V.A floor: 2 data + 1 hash");
-        // A failed update clears the report rather than leaving a stale one.
+        // A failed update leaves the previous report and epoch intact:
+        // the epoch/report pair must move together.
+        let epoch_before = e.update_epoch();
+        assert_eq!(epoch_before, 1, "one successful insert so far");
         assert!(e.insert(web_rule(1, 80)).is_err());
-        assert!(e.last_update_report().is_none());
+        assert_eq!(e.last_update_report(), Some(ins));
+        assert_eq!(e.update_epoch(), epoch_before);
         e.remove(id).unwrap();
+        assert_eq!(e.update_epoch(), epoch_before + 1);
         let del = e.last_update_report().expect("remove must report");
         assert_eq!(del.rule_id, id);
         assert_eq!(del.freed_labels, 7);

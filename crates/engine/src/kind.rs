@@ -30,12 +30,16 @@ pub enum EngineKind {
     /// Partitioned multi-classifier: N inner engines over rule-set
     /// shards, verdicts merged by priority (see `ShardedEngine`).
     Sharded,
+    /// Flow verdict cache in front of any inner backend: exact-match
+    /// microflow table plus an optional masked megaflow layer (see
+    /// `CachedEngine`).
+    Cached,
 }
 
 impl EngineKind {
     /// Every backend, in the order the paper's tables list them
     /// (workspace-grown backends follow the paper's rows).
-    pub const ALL: [EngineKind; 9] = [
+    pub const ALL: [EngineKind; 10] = [
         EngineKind::ConfigurableMbt,
         EngineKind::ConfigurableBst,
         EngineKind::Linear,
@@ -45,6 +49,7 @@ impl EngineKind {
         EngineKind::Option1,
         EngineKind::Option2,
         EngineKind::Sharded,
+        EngineKind::Cached,
     ];
 
     /// The canonical config-string spelling ([`FromStr`] inverse).
@@ -59,6 +64,7 @@ impl EngineKind {
             EngineKind::Option1 => "option1",
             EngineKind::Option2 => "option2",
             EngineKind::Sharded => "sharded",
+            EngineKind::Cached => "cached",
         }
     }
 
@@ -112,6 +118,7 @@ impl FromStr for EngineKind {
             "option1" | "option-1" => EngineKind::Option1,
             "option2" | "option-2" => EngineKind::Option2,
             "sharded" => EngineKind::Sharded,
+            "cached" => EngineKind::Cached,
             _ => {
                 return Err(ParseEngineKindError {
                     input: s.to_string(),

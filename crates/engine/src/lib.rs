@@ -28,6 +28,11 @@
 //!   engine replicas or one shared `Arc` engine. The sharded backend's
 //!   batch paths run on the same machinery
 //!   ([`pipeline::broadcast_batch`] / [`pipeline::cascade_batch`]);
+//! * [`cache`] — the flow verdict cache: [`CachedEngine`] wraps any
+//!   backend with an exact-match microflow table plus an optional
+//!   masked megaflow layer, kept coherent with incremental updates
+//!   through the [`PacketClassifier::update_epoch`] /
+//!   [`PacketClassifier::last_update_report`] contract;
 //! * [`workload`] — engines driven from streaming
 //!   [`spc_classbench::TraceSource`] workloads: classify-only streams
 //!   (synthetic or pcap replay) through
@@ -60,6 +65,7 @@
 
 mod baseline;
 mod builder;
+pub mod cache;
 mod configurable;
 mod kind;
 pub mod pipeline;
@@ -68,6 +74,7 @@ pub mod workload;
 
 pub use baseline::BaselineEngine;
 pub use builder::{build_engine, AuditPolicy, BuildError, EngineBuilder};
+pub use cache::{CacheStats, CachedEngine};
 pub use configurable::ConfigurableEngine;
 pub use kind::EngineKind;
 pub use pipeline::{
@@ -82,18 +89,44 @@ pub use spc_core::shard::ShardStrategy;
 pub use spc_core::UpdateReport;
 
 use spc_hwsim::AccessCounts;
-use spc_types::{Action, Header, Priority, Rule, RuleId};
+use spc_types::{Action, Header, MaskSummary, Priority, Rule, RuleId};
 use std::fmt;
+
+/// What a hit matched: the rule's identity plus the per-dimension
+/// wildcard summary of its filter — everything a flow cache needs to key
+/// and invalidate cached verdicts without re-reading the rule set.
+///
+/// Produced by every backend on a hit ([`Verdict::matched`]); the mask
+/// summary is derivable from the stored rule (the configurable
+/// architecture reads it off `spc_core::Classifier::rule_filter()`
+/// entries via [`MaskSummary::of_rule`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchHandle {
+    /// The matched rule's id.
+    pub id: RuleId,
+    /// The matched rule's priority.
+    pub priority: Priority,
+    /// Per-dimension care masks of the matched rule's filter.
+    pub mask_summary: MaskSummary,
+}
 
 /// The outcome of classifying one header, common to every backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Verdict {
     /// The Highest Priority Matching Rule, or `None` on a miss.
+    ///
+    /// Deprecated-style shim: prefer [`Verdict::matched`], which carries
+    /// the full [`MatchHandle`]. The bare field stays so existing
+    /// examples and harnesses keep compiling, and constructors keep it
+    /// consistent with `matched`.
     pub rule: Option<RuleId>,
-    /// Priority of the matched rule.
+    /// Priority of the matched rule (shim; prefer [`Verdict::matched`]).
     pub priority: Option<Priority>,
     /// Action of the matched rule.
     pub action: Option<Action>,
+    /// The full match handle behind `rule`/`priority`: id, priority and
+    /// the rule's per-dimension wildcard summary.
+    pub matched: Option<MatchHandle>,
     /// Memory words this lookup read in the backend's hardware model.
     pub mem_reads: u32,
 }
@@ -105,6 +138,21 @@ impl Verdict {
             rule: None,
             priority: None,
             action: None,
+            matched: None,
+            mem_reads,
+        }
+    }
+
+    /// A hit, with the shim fields (`rule`, `priority`) and the
+    /// [`MatchHandle`] filled consistently from one source — backends
+    /// should build hits through this constructor so the pair can never
+    /// diverge.
+    pub fn hit(handle: MatchHandle, action: Action, mem_reads: u32) -> Self {
+        Verdict {
+            rule: Some(handle.id),
+            priority: Some(handle.priority),
+            action: Some(action),
+            matched: Some(handle),
             mem_reads,
         }
     }
@@ -112,6 +160,14 @@ impl Verdict {
     /// Whether a rule matched.
     pub fn is_hit(&self) -> bool {
         self.rule.is_some()
+    }
+
+    /// The match handle of a hit — rule id, priority and the rule's
+    /// per-dimension wildcard summary ([`None`] on a miss). This is the
+    /// accessor new code should use instead of the bare
+    /// `rule`/`priority` fields.
+    pub fn matched(&self) -> Option<MatchHandle> {
+        self.matched
     }
 
     /// Folds `reads` more memory reads into this verdict, saturating.
@@ -137,6 +193,11 @@ pub struct LookupStats {
     /// Rule Filter combinations probed (configurable architecture only;
     /// equals `packets` on the single-probe fast path, 0 for baselines).
     pub combos_probed: u64,
+    /// Lookups served from a flow cache ([`CachedEngine`]; 0 elsewhere).
+    pub cache_hits: u64,
+    /// Lookups that fell through a flow cache to the inner engine
+    /// ([`CachedEngine`]; 0 elsewhere).
+    pub cache_misses: u64,
 }
 
 impl LookupStats {
@@ -167,6 +228,17 @@ impl LookupStats {
             self.hits as f64 / self.packets as f64
         }
     }
+
+    /// Fraction of lookups served from a flow cache (0 when no cache is
+    /// in the path).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
 }
 
 impl std::ops::Add for LookupStats {
@@ -179,6 +251,8 @@ impl std::ops::Add for LookupStats {
             hits: self.hits.saturating_add(rhs.hits),
             mem_reads: self.mem_reads.saturating_add(rhs.mem_reads),
             combos_probed: self.combos_probed.saturating_add(rhs.combos_probed),
+            cache_hits: self.cache_hits.saturating_add(rhs.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(rhs.cache_misses),
         }
     }
 }
@@ -343,11 +417,32 @@ pub trait PacketClassifier: fmt::Debug + Send + Sync {
     /// hardware write cycles (the paper's 2 data cycles + 1 hash cycle
     /// floor plus structural writes) and labels created/freed.
     ///
-    /// `None` before the first update, after a failed one, and on
-    /// build-once backends — so benches can measure update cost, not
-    /// just assert success.
+    /// `None` before the first successful update and on build-once
+    /// backends. A *failed* insert/remove leaves the previous report in
+    /// place — the report and [`PacketClassifier::update_epoch`] move
+    /// together, so a reader that saw the epoch advance can always fetch
+    /// the report that advanced it.
     fn last_update_report(&self) -> Option<UpdateReport> {
         None
+    }
+
+    /// Monotonic update-generation counter.
+    ///
+    /// **Contract:** the epoch starts at 0 and bumps by exactly one iff
+    /// [`PacketClassifier::last_update_report`] is replaced — that is,
+    /// only on a *successful* [`PacketClassifier::insert`] /
+    /// [`PacketClassifier::remove`]. Failed updates change neither. A
+    /// cache layered in front of the engine ([`CachedEngine`]) compares
+    /// the epoch it last synchronised with against this value: equal
+    /// means every cached verdict is still current; a mismatch means the
+    /// rule set changed underneath it and cached entries whose matched
+    /// rule appears in the report must be dropped (full flush as the
+    /// fallback when the delta cannot be attributed).
+    ///
+    /// Build-once backends never update, so the default (constant 0) is
+    /// correct for them.
+    fn update_epoch(&self) -> u64 {
+        0
     }
 }
 
@@ -360,18 +455,34 @@ mod tests {
         let m = Verdict::miss(7);
         assert!(!m.is_hit());
         assert_eq!(m.mem_reads, 7);
+        assert_eq!(m.matched(), None);
+
+        let handle = MatchHandle {
+            id: RuleId(4),
+            priority: Priority(2),
+            mask_summary: MaskSummary::NONE,
+        };
+        let h = Verdict::hit(handle, Action::Drop, 3);
+        assert!(h.is_hit());
+        // The shim fields can never diverge from the handle.
+        assert_eq!(h.rule, Some(RuleId(4)));
+        assert_eq!(h.priority, Some(Priority(2)));
+        assert_eq!(h.matched(), Some(handle));
     }
 
     #[test]
     fn stats_absorb_and_add() {
         let mut s = LookupStats::default();
         s.absorb(&Verdict::miss(10));
-        s.absorb(&Verdict {
-            rule: Some(RuleId(0)),
-            priority: Some(Priority(1)),
-            action: Some(Action::Drop),
-            mem_reads: 6,
-        });
+        s.absorb(&Verdict::hit(
+            MatchHandle {
+                id: RuleId(0),
+                priority: Priority(1),
+                mask_summary: MaskSummary::NONE,
+            },
+            Action::Drop,
+            6,
+        ));
         assert_eq!(s.packets, 2);
         assert_eq!(s.hits, 1);
         assert_eq!(s.mem_reads, 16);

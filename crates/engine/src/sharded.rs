@@ -42,7 +42,9 @@
 //! merging and tie-breaks are unaffected by churn.
 
 use crate::pipeline::{self, BatchWorker};
-use crate::{EngineKind, LookupStats, PacketClassifier, UpdateError, UpdateReport, Verdict};
+use crate::{
+    EngineKind, LookupStats, MatchHandle, PacketClassifier, UpdateError, UpdateReport, Verdict,
+};
 use spc_core::shard::{RouteTarget, ShardRouter, ShardSlice, ShardStrategy};
 use spc_hwsim::AccessCounts;
 use spc_types::{Header, Rule, RuleId};
@@ -56,10 +58,15 @@ struct Shard {
 }
 
 impl Shard {
-    /// Rewrites a shard-local verdict into global rule-id space.
+    /// Rewrites a shard-local verdict into global rule-id space (both
+    /// the shim `rule` field and the [`MatchHandle`] it mirrors).
     fn remap(&self, v: Verdict) -> Verdict {
         Verdict {
             rule: v.rule.map(|id| self.global_ids[id.0 as usize]),
+            matched: v.matched.map(|m| MatchHandle {
+                id: self.global_ids[m.id.0 as usize],
+                ..m
+            }),
             ..v
         }
     }
@@ -153,6 +160,7 @@ pub struct ShardedEngine {
     /// armed the routed `insert`/`remove` path.
     live: Option<LiveUpdates>,
     last_report: Option<UpdateReport>,
+    epoch: u64,
 }
 
 impl ShardedEngine {
@@ -186,6 +194,7 @@ impl ShardedEngine {
             rules,
             live: None,
             last_report: None,
+            epoch: 0,
         }
     }
 
@@ -254,6 +263,7 @@ impl ShardedEngine {
             into.rule = from.rule;
             into.priority = from.priority;
             into.action = from.action;
+            into.matched = from.matched;
         }
     }
 
@@ -420,6 +430,8 @@ impl PacketClassifier for ShardedEngine {
             hits: out.iter().filter(|v| v.is_hit()).count() as u64,
             mem_reads: out.iter().map(|v| u64::from(v.mem_reads)).sum(),
             combos_probed: folded.combos_probed,
+            cache_hits: folded.cache_hits,
+            cache_misses: folded.cache_misses,
         }
     }
 
@@ -454,7 +466,9 @@ impl PacketClassifier for ShardedEngine {
     /// Under priority bands, a band grown past the skew threshold is
     /// split afterwards (see [`ShardedEngine::enable_updates`]).
     fn insert(&mut self, rule: Rule) -> Result<RuleId, UpdateError> {
-        self.last_report = None;
+        // A failed insert (unsupported, duplicate, inner rejection) must
+        // leave the previous report and the epoch untouched — the epoch
+        // bumps iff the report is replaced.
         let name = self.name();
         let live = self
             .live
@@ -508,12 +522,12 @@ impl PacketClassifier for ShardedEngine {
             ));
         }
         self.last_report = Some(report);
+        self.epoch += 1;
         Ok(global)
     }
 
     /// Removes a rule from the shard that owns its global id.
     fn remove(&mut self, id: RuleId) -> Result<(), UpdateError> {
-        self.last_report = None;
         let name = self.name();
         let live = self
             .live
@@ -528,15 +542,28 @@ impl PacketClassifier for ShardedEngine {
         }
         live.router.record_remove(id);
         self.rules -= 1;
-        self.last_report = self.shards[shard]
-            .engine
-            .last_update_report()
-            .map(|r| UpdateReport { rule_id: id, ..r });
+        // Always replace the report on success (even if the inner
+        // backend reported nothing) so the epoch/report pair moves
+        // together.
+        self.last_report = Some(self.shards[shard].engine.last_update_report().map_or_else(
+            || UpdateReport {
+                rule_id: id,
+                created_labels: 0,
+                freed_labels: 0,
+                hw_write_cycles: 0,
+            },
+            |r| UpdateReport { rule_id: id, ..r },
+        ));
+        self.epoch += 1;
         Ok(())
     }
 
     fn last_update_report(&self) -> Option<UpdateReport> {
         self.last_report
+    }
+
+    fn update_epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -598,11 +625,16 @@ mod tests {
 
     #[test]
     fn merge_prefers_priority_then_global_id() {
-        let hit = |rule: u32, prio: u32, reads: u32| Verdict {
-            rule: Some(RuleId(rule)),
-            priority: Some(Priority(prio)),
-            action: Some(Action::Forward(rule as u16)),
-            mem_reads: reads,
+        let hit = |rule: u32, prio: u32, reads: u32| {
+            Verdict::hit(
+                MatchHandle {
+                    id: RuleId(rule),
+                    priority: Priority(prio),
+                    mask_summary: spc_types::MaskSummary::NONE,
+                },
+                Action::Forward(rule as u16),
+                reads,
+            )
         };
         let mut m = Verdict::miss(2);
         ShardedEngine::merge(&mut m, &hit(9, 5, 3));

@@ -11,7 +11,9 @@
 //! * [`core`] — the configurable classifier architecture itself
 //! * [`baselines`] — linear search, HyperCuts, RFC, DCFL comparators
 //! * [`engine`] — the unified [`engine::PacketClassifier`] API over all of
-//!   the above: one trait, batch lookups, a backend registry
+//!   the above: one trait, batch lookups, a backend registry, and the
+//!   [`engine::CachedEngine`] flow verdict cache (microflow + megaflow)
+//!   that can wrap any backend
 //! * [`analyze`] — static rule-set analysis: shadowing, duplicates,
 //!   label-pressure and port-expansion findings ([`spc_analyze`])
 //!
@@ -64,3 +66,10 @@ pub use spc_engine as engine;
 pub use spc_hwsim as hwsim;
 pub use spc_lookup as lookup;
 pub use spc_types as types;
+
+// The flow-cache vocabulary, re-exported at the root: what a verdict
+// matched ([`MatchHandle`]) and the per-dimension wildcard summary it
+// carries ([`MaskSummary`]) are API surface for any downstream cache or
+// invalidation logic, not an engine-internal detail.
+pub use spc_engine::{CacheStats, CachedEngine, MatchHandle};
+pub use spc_types::MaskSummary;

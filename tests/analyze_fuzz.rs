@@ -8,7 +8,7 @@
 //!    scripts and pcap captures (bit flips, truncation, token garbage)
 //!    must never panic the parsers; they may only return errors.
 //! 2. **Differential backends** — every adversarial rule set builds on
-//!    all nine registry backends, and each backend returns LinearSearch's
+//!    all ten registry backends, and each backend returns LinearSearch's
 //!    verdict on every probe header.
 //! 3. **Analyzer cross-check** — `spc_analyze` predictions are compared
 //!    against observed behaviour: flagged-shadowed rules are never the
@@ -236,7 +236,7 @@ fn adversarial_sets_cross_check_analyzer_oracle_and_backends() {
             "seed {seed}: predicted distinct keys vs Rule Filter occupancy"
         );
 
-        // Differential: all nine registry backends agree with
+        // Differential: all ten registry backends agree with
         // LinearSearch on every probe header of the grid.
         let oracle = EngineBuilder::new(EngineKind::Linear)
             .build(&rules)

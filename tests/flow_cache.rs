@@ -1,0 +1,323 @@
+//! Differential oracles for the flow verdict cache
+//! (`spc::engine::CachedEngine`, spec `cached:inner=<spec>,...`):
+//!
+//! * the cached engine must agree with its own *uncached* inner engine
+//!   verdict-for-verdict — for every registry backend as the inner, for
+//!   every ClassBench family, on the single-shot and batch paths alike
+//!   (cost annotations aside: a cache hit reports `mem_reads = 1`);
+//! * under churn — `ScenarioScript` insert/remove interleaved with
+//!   classification, and a hand-rolled insert/remove loop with
+//!   checkpoints — the cache must stay coherent with an oracle *rebuilt
+//!   from scratch* over the live rule set, the strongest possible
+//!   reference (any stale cached verdict shows up as a disagreement);
+//! * hit rate must grow with flow locality, and eviction pressure from
+//!   an undersized table must cost performance only, never correctness.
+
+use rand::prelude::*;
+use spc::classbench::{FilterKind, RuleSetGenerator, ScenarioScript, TraceGenerator};
+use spc::engine::{build_engine, run_scenario, EngineKind, LookupStats, PacketClassifier, Verdict};
+use spc::types::{Header, Priority, Rule, RuleId, RuleSet};
+use spc::CachedEngine;
+
+const RULES: usize = 260;
+const TRACE: usize = 400;
+const SEED: u64 = 20_14;
+
+fn workload(kind: FilterKind) -> (RuleSet, Vec<Header>) {
+    let rules = RuleSetGenerator::new(kind, RULES).seed(SEED).generate();
+    let trace = TraceGenerator::new()
+        .seed(SEED ^ 0xcafe)
+        .match_fraction(0.85)
+        .locality(0.5)
+        .generate(&rules, TRACE);
+    (rules, trace)
+}
+
+/// Outcome equality: matched rule, priority, action. The cache
+/// legitimately rewrites `mem_reads` (a hit is one wide read), so cost
+/// annotations are excluded by design.
+fn assert_same_outcome(got: &Verdict, want: &Verdict, ctx: &dyn std::fmt::Display) {
+    assert_eq!(got.matched, want.matched, "{ctx}");
+    assert_eq!(got.rule, want.rule, "{ctx}");
+    assert_eq!(got.priority, want.priority, "{ctx}");
+    assert_eq!(got.action, want.action, "{ctx}");
+}
+
+/// Cached-vs-uncached differential over one family and one inner spec,
+/// twice over the trace (cold pass populates, warm pass serves from the
+/// cache — both must agree with the uncached reference).
+fn check_family(family: FilterKind, inner: &str, cached_spec: &str) {
+    let (rules, trace) = workload(family);
+    let mut reference = build_engine(inner, &rules).unwrap();
+    let mut want = Vec::new();
+    reference.classify_batch(&trace, &mut want);
+
+    let mut engine = build_engine(cached_spec, &rules)
+        .unwrap_or_else(|e| panic!("{cached_spec} must build on {family:?}: {e}"));
+    assert_eq!(engine.kind(), EngineKind::Cached, "{cached_spec}");
+    assert_eq!(engine.rules(), rules.len(), "{cached_spec}");
+    for pass in ["cold", "warm"] {
+        let mut got = Vec::new();
+        let stats = engine.classify_batch(&trace, &mut got);
+        assert_eq!(stats.packets, trace.len() as u64, "{cached_spec} {pass}");
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses,
+            trace.len() as u64,
+            "{cached_spec} {pass}: every packet is a cache hit or miss"
+        );
+        for ((h, w), g) in trace.iter().zip(&want).zip(&got) {
+            assert_same_outcome(
+                g,
+                w,
+                &format!("{cached_spec} vs {inner} on {family:?} {pass} at {h}"),
+            );
+            let single = engine.classify(h);
+            assert_same_outcome(&single, w, &format!("{cached_spec} single {pass} at {h}"));
+        }
+        assert_eq!(
+            stats.mem_reads,
+            got.iter().map(|v| u64::from(v.mem_reads)).sum::<u64>(),
+            "{cached_spec} {pass}: folded reads equal per-verdict sums"
+        );
+    }
+}
+
+#[test]
+fn cached_matches_inner_acl() {
+    check_family(
+        FilterKind::Acl,
+        "configurable-bst",
+        "cached:inner=configurable-bst,flows=512",
+    );
+}
+
+#[test]
+fn cached_matches_inner_fw() {
+    check_family(
+        FilterKind::Fw,
+        "configurable-bst",
+        "cached:inner=configurable-bst,flows=512",
+    );
+}
+
+#[test]
+fn cached_matches_inner_ipc() {
+    check_family(
+        FilterKind::Ipc,
+        "configurable-bst",
+        "cached:inner=configurable-bst,flows=512",
+    );
+}
+
+#[test]
+fn cached_matches_inner_without_megaflow() {
+    check_family(
+        FilterKind::Acl,
+        "linear",
+        "cached:inner=linear,flows=512,megaflow=off",
+    );
+}
+
+/// Every registry backend works as the inner engine (recursive caching
+/// is rejected by the builder; everything else — including a sharded
+/// inner — must agree with its uncached self).
+#[test]
+fn cached_accepts_any_registry_inner() {
+    let (rules, trace) = workload(FilterKind::Acl);
+    for inner in EngineKind::ALL {
+        if inner == EngineKind::Cached {
+            continue;
+        }
+        let spec = format!("cached:inner={inner},flows=256");
+        let mut engine =
+            build_engine(&spec, &rules).unwrap_or_else(|e| panic!("{spec} must build: {e}"));
+        let mut reference = build_engine(inner.as_str(), &rules).unwrap();
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        engine.classify_batch(&trace, &mut got);
+        reference.classify_batch(&trace, &mut want);
+        for ((h, w), g) in trace.iter().zip(&want).zip(&got) {
+            assert_same_outcome(g, w, &format!("{spec} vs {inner} at {h}"));
+        }
+    }
+}
+
+/// Scenario churn through the wrapper, checked against an oracle rebuilt
+/// from scratch over the live rule set — with a roomy cache, with an
+/// undersized cache (eviction pressure *during* churn), and with a
+/// sharded inner behind the cache.
+#[test]
+fn scenario_churn_matches_rebuilt_oracle() {
+    let (base, probe) = workload(FilterKind::Acl);
+    let traffic = TraceGenerator::new()
+        .seed(SEED ^ 0xcafe)
+        .match_fraction(0.85)
+        .locality(0.5);
+    let pool: Vec<Rule> = RuleSetGenerator::new(FilterKind::Fw, 96)
+        .seed(SEED ^ 0x77)
+        .generate()
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = *r;
+            r.priority = Priority(500 + 250 * (i as u32 % 4));
+            r
+        })
+        .collect();
+    let script = ScenarioScript::parse("repeat 6 { insert 12; classify 50; remove 6 }").unwrap();
+    for spec in [
+        "cached:inner=configurable-bst,flows=512",
+        "cached:inner=configurable-bst,flows=16,megaflow=off",
+        "cached:inner=(sharded:inner=configurable-bst,shards=2),flows=128",
+    ] {
+        let mut engine = build_engine(spec, &base).unwrap();
+        assert!(engine.supports_updates(), "{spec} must probe updatable");
+        let mut source = script
+            .source(&traffic, &base, &pool)
+            .unwrap()
+            .with_chunk(32);
+        let mut verdicts = Vec::new();
+        let report = run_scenario(engine.as_mut(), &mut source, &mut verdicts)
+            .unwrap_or_else(|e| panic!("{spec}: scenario failed: {e}"));
+        assert_eq!(report.lookup.packets, 300, "{spec}");
+        assert_eq!(report.inserts + report.duplicates, 72, "{spec}");
+
+        // Rebuild the reference over base + surviving inserts; both sides
+        // allocate ids in insertion order, so positional ids map back
+        // through `live`.
+        let mut live: Vec<(RuleId, Rule)> = base.iter().map(|(id, r)| (id, *r)).collect();
+        live.extend(report.live_inserts.iter().copied());
+        assert_eq!(engine.rules(), live.len(), "{spec}");
+        let rules: RuleSet = live.iter().map(|&(_, r)| r).collect();
+        let mut reference = build_engine("linear", &rules).unwrap();
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        engine.classify_batch(&probe, &mut got);
+        reference.classify_batch(&probe, &mut want);
+        for ((h, w), g) in probe.iter().zip(&want).zip(&got) {
+            let want_global = w.rule.map(|pos| live[pos.0 as usize].0);
+            assert_eq!(g.rule, want_global, "{spec} vs rebuilt linear at {h}");
+            assert_eq!(g.priority, w.priority, "{spec} priority at {h}");
+            assert_eq!(g.action, w.action, "{spec} action at {h}");
+        }
+    }
+}
+
+/// Hand-rolled churn with frequent checkpoints: every insert/remove goes
+/// through the wrapper's targeted invalidation while the *same* probe
+/// trace is re-classified over and over — the cache is maximally warm
+/// with exactly the entries churn must invalidate. Any missed
+/// invalidation serves a stale verdict and diverges from the rebuilt
+/// reference.
+#[test]
+fn interleaved_churn_never_serves_stale_verdicts() {
+    const OPS: usize = 60;
+    const CHECK_EVERY: usize = 5;
+    let (base, probe) = workload(FilterKind::Acl);
+    let pool = RuleSetGenerator::new(FilterKind::Fw, 120)
+        .seed(SEED ^ 0x99)
+        .generate();
+    let spec = "cached:inner=configurable-bst,flows=1024";
+    let mut engine = build_engine(spec, &base).unwrap();
+    let mut live: Vec<(RuleId, Rule)> = base.iter().map(|(id, r)| (id, *r)).collect();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5ca1e);
+    let mut pool_next = 0usize;
+    let mut scratch = Vec::new();
+    for step in 0..OPS {
+        // Keep the cache hot on the probe trace between updates.
+        engine.classify_batch(&probe, &mut scratch);
+        if rng.gen_bool(0.6) || live.is_empty() {
+            let mut rule = pool.rules()[pool_next % pool.len()];
+            pool_next += 1;
+            rule.priority = Priority(rng.gen_range(0..50_000));
+            match engine.insert(rule) {
+                Ok(id) => live.push((id, rule)),
+                Err(spc::engine::UpdateError::Duplicate { .. }) => {}
+                Err(e) => panic!("{spec}: insert failed at step {step}: {e}"),
+            }
+        } else {
+            let victim = rng.gen_range(0..live.len());
+            let (id, _) = live.remove(victim);
+            engine
+                .remove(id)
+                .unwrap_or_else(|e| panic!("{spec}: remove {id} at step {step}: {e}"));
+        }
+        assert_eq!(engine.rules(), live.len(), "{spec} rule count at {step}");
+        if step % CHECK_EVERY == CHECK_EVERY - 1 {
+            let rules: RuleSet = live.iter().map(|&(_, r)| r).collect();
+            let mut reference = build_engine("linear", &rules).unwrap();
+            let (mut got, mut want) = (Vec::new(), Vec::new());
+            engine.classify_batch(&probe, &mut got);
+            reference.classify_batch(&probe, &mut want);
+            for ((h, w), g) in probe.iter().zip(&want).zip(&got) {
+                let want_global = w.rule.map(|pos| live[pos.0 as usize].0);
+                assert_eq!(g.rule, want_global, "{spec} step {step} at {h}");
+                assert_eq!(g.priority, w.priority, "{spec} step {step} priority at {h}");
+                assert_eq!(g.action, w.action, "{spec} step {step} action at {h}");
+            }
+        }
+    }
+}
+
+/// More locality, more cache hits: the hit rate over a locality sweep
+/// must be (weakly) monotone, and high locality must put it far above
+/// the low end.
+#[test]
+fn hit_rate_grows_with_locality() {
+    let rules = RuleSetGenerator::new(FilterKind::Acl, RULES)
+        .seed(SEED)
+        .generate();
+    let mut rates = Vec::new();
+    for locality in [0.0, 0.5, 0.9, 0.99] {
+        let trace = TraceGenerator::new()
+            .seed(SEED ^ 0xbeef)
+            .match_fraction(0.9)
+            .locality(locality)
+            .generate(&rules, 4096);
+        let mut engine = build_engine(
+            "cached:inner=configurable-bst,flows=4096,megaflow=off",
+            &rules,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        let stats: LookupStats = engine.classify_batch(&trace, &mut out);
+        rates.push((locality, stats.cache_hit_rate()));
+    }
+    for pair in rates.windows(2) {
+        assert!(
+            // In-batch dedup gives even a zero-locality trace some hits;
+            // a hair of slack absorbs that noise floor.
+            pair[1].1 >= pair[0].1 - 0.02,
+            "hit rate fell across the locality sweep: {rates:?}"
+        );
+    }
+    let (lo, hi) = (rates.first().unwrap().1, rates.last().unwrap().1);
+    assert!(
+        hi > lo + 0.3 && hi > 0.8,
+        "locality 0.99 must lift the hit rate decisively: {rates:?}"
+    );
+}
+
+/// An undersized table thrashes — evictions fire — but every verdict
+/// stays correct, and the counters stay coherent.
+#[test]
+fn eviction_under_capacity_is_a_performance_problem_only() {
+    let (rules, trace) = workload(FilterKind::Acl);
+    let reference = build_engine("linear", &rules).unwrap();
+    let inner = build_engine("configurable-bst", &rules).unwrap();
+    // 8 microflow slots against hundreds of live flows: constant churn.
+    let engine = CachedEngine::new(inner, 8, false, rules.rules());
+    for round in 0..3 {
+        for h in &trace {
+            let got = engine.classify(h);
+            let want = reference.classify(h);
+            assert_same_outcome(&got, &want, &format!("round {round} at {h}"));
+        }
+    }
+    let stats = engine.cache_stats();
+    assert!(stats.evictions > 0, "8 slots must thrash: {stats:?}");
+    assert_eq!(
+        stats.hits + stats.misses,
+        3 * trace.len() as u64,
+        "every lookup is a hit or a miss: {stats:?}"
+    );
+}

@@ -33,6 +33,24 @@ fn workload() -> (RuleSet, Vec<Header>) {
     (rules, trace)
 }
 
+/// Compares pipeline verdicts against a sequential baseline. The cached
+/// backend is stateful: a repeat of a flow is served from the cache at
+/// `mem_reads = 1`, so the *cost* annotation legitimately depends on
+/// classification order, while the classification outcome (matched rule,
+/// priority, action) must still be identical packet-for-packet. Every
+/// stateless backend keeps the full bit-for-bit contract.
+fn assert_verdicts_match(kind: EngineKind, got: &[Verdict], want: &[Verdict], ctx: &str) {
+    if kind == EngineKind::Cached {
+        assert_eq!(got.len(), want.len(), "{kind}: {ctx}: length");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.matched, w.matched, "{kind}: {ctx}: packet {i}");
+            assert_eq!(g.action, w.action, "{kind}: {ctx}: packet {i}");
+        }
+    } else {
+        assert_eq!(got, want, "{kind}: {ctx}");
+    }
+}
+
 /// Every registry backend, cloned-replica mode: pipeline verdicts equal
 /// the backend's own sequential `classify`, in order.
 #[test]
@@ -54,7 +72,7 @@ fn pipeline_matches_sequential_for_every_backend_cloned() {
         .unwrap();
         let mut out = Vec::new();
         let stats = pipe.run_batch(&trace, &mut out);
-        assert_eq!(out, want, "{kind}: pipeline vs sequential");
+        assert_verdicts_match(kind, &out, &want, "pipeline vs sequential");
         assert_eq!(stats.packets, trace.len() as u64, "{kind}");
         assert_eq!(
             stats.hits,
@@ -89,7 +107,7 @@ fn pipeline_matches_sequential_for_every_backend_shared() {
         .unwrap();
         let mut out = Vec::new();
         let stats = pipe.run_batch(&trace, &mut out);
-        assert_eq!(out, want, "{kind}: shared pipeline vs sequential");
+        assert_verdicts_match(kind, &out, &want, "shared pipeline vs sequential");
         assert_eq!(stats.packets, trace.len() as u64, "{kind}");
     }
 }

@@ -40,6 +40,24 @@ fn workload() -> (RuleSet, Vec<Header>, TraceGenerator) {
     (rules, trace, traffic)
 }
 
+/// Compares replayed verdicts against the original pass. The cached
+/// backend is stateful — a repeat of a flow is served from the cache at
+/// `mem_reads = 1`, so cost annotations depend on classification order —
+/// but the classification outcome (matched rule, priority, action) must
+/// be identical packet-for-packet. Stateless backends keep the full
+/// bit-for-bit contract.
+fn assert_verdicts_match(kind: EngineKind, got: &[Verdict], want: &[Verdict], ctx: &str) {
+    if kind == EngineKind::Cached {
+        assert_eq!(got.len(), want.len(), "{kind}: {ctx}: length");
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            assert_eq!(g.matched, w.matched, "{kind}: {ctx}: packet {i}");
+            assert_eq!(g.action, w.action, "{kind}: {ctx}: packet {i}");
+        }
+    } else {
+        assert_eq!(got, want, "{kind}: {ctx}");
+    }
+}
+
 /// Writes `trace` to an in-memory capture.
 fn capture(trace: &[Header]) -> Vec<u8> {
     let mut w = spc::classbench::PcapWriter::new(Vec::new()).unwrap();
@@ -85,7 +103,7 @@ fn replayed_trace_classifies_identically_for_every_backend() {
             .collect_headers()
             .unwrap();
         engine.classify_batch(&replayed, &mut got);
-        assert_eq!(got, want, "{kind}: replay vs original, sequential");
+        assert_verdicts_match(kind, &got, &want, "replay vs original, sequential");
 
         // Streamed: the capture drives the worker pool directly.
         let source = EngineSource::replicated(&builder, &rules, 2).unwrap();
@@ -102,7 +120,7 @@ fn replayed_trace_classifies_identically_for_every_backend() {
             .unwrap()
             .with_chunk(53);
         let stats = pipe.run_source(&mut reader, &mut got).unwrap();
-        assert_eq!(got, want, "{kind}: replay vs original, run_source");
+        assert_verdicts_match(kind, &got, &want, "replay vs original, run_source");
         assert_eq!(stats.packets, trace.len() as u64, "{kind}");
     }
 }
