@@ -3,8 +3,10 @@
 //! inner engine against `sharded` at increasing shard counts, a
 //! non-sharded backend driven through the `IngestPipeline` worker pool
 //! at increasing worker counts, the same workload replayed from a pcap
-//! capture (`replay:*` rows, covering the reader on every push), and
-//! scripted churn scenarios (`scenario:*` rows) — that also
+//! capture (`replay:*` rows, covering the reader on every push),
+//! scripted churn scenarios (`scenario:*` rows), and concurrent serving
+//! under churn (`concurrent:*` rows: snapshot readers vs a mutexed
+//! stop-the-world baseline, see `docs/concurrency.md`) — that also
 //! cross-checks every configuration's verdicts against the linear
 //! oracle before timing it (a benchmark of a wrong classifier is worse
 //! than no benchmark).
@@ -22,9 +24,13 @@ use spc_classbench::{
     TraceSource,
 };
 use spc_engine::{
-    build_engine, run_scenario, EngineBuilder, EngineSource, IngestConfig, IngestPipeline, Verdict,
+    build_engine, run_scenario, EngineBuilder, EngineSource, IngestConfig, IngestPipeline,
+    PacketClassifier, Verdict,
 };
 use spc_types::{Header, Priority, Rule, RuleId, RuleSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread;
 use std::time::Instant;
 
 /// Timed repetitions per spec; the best (lowest-noise) rep is reported.
@@ -40,6 +46,7 @@ struct Record {
     rows: Vec<SpecRec>,
     scenarios: Vec<ScenarioRec>,
     cached: Vec<CachedRec>,
+    concurrent: Vec<ConcurrentRec>,
 }
 
 struct SpecRec {
@@ -66,6 +73,22 @@ struct ScenarioRec {
     oracle_agrees: bool,
 }
 
+/// One concurrent-serving measurement: a reader classifies the probe
+/// trace while a background thread replays net-zero churn — a snapshot
+/// reader against `snapshot:inner=(<inner>)` next to the stop-the-world
+/// arrangement (the same inner behind a `Mutex`, lock per classify and
+/// per update). Oracle-checked after the churn settles: net-zero churn
+/// must land the reader exactly back on the base-set verdicts.
+struct ConcurrentRec {
+    spec: String,
+    churn_ops: u64,
+    melems_per_s: f64,
+    locked_melems_per_s: f64,
+    locked_churn_ops: u64,
+    speedup: f64,
+    oracle_agrees: bool,
+}
+
 /// One flow-cache measurement: a `cached:*` spec on a locality-shaped
 /// trace, timed next to its own *uncached* inner engine on the same
 /// trace — the speedup column is the cache's whole value proposition.
@@ -88,7 +111,17 @@ spc_bench::json_object!(Record {
     reps,
     rows,
     scenarios,
-    cached
+    cached,
+    concurrent
+});
+spc_bench::json_object!(ConcurrentRec {
+    spec,
+    churn_ops,
+    melems_per_s,
+    locked_melems_per_s,
+    locked_churn_ops,
+    speedup,
+    oracle_agrees
 });
 spc_bench::json_object!(CachedRec {
     spec,
@@ -176,6 +209,113 @@ fn scenario_row(
         ops,
         kops_per_s: ops as f64 / elapsed / 1e3,
         avg_update_cycles: report.update_cycles() as f64 / report.update_ops().max(1) as f64,
+        oracle_agrees,
+    }
+}
+
+/// Measures classify throughput of one reader *during* sustained
+/// net-zero churn (insert a foreign pool rule, remove it again, loop),
+/// for the snapshot arrangement and the mutex stop-the-world baseline
+/// over the same inner spec. Correctness under concurrency is proven by
+/// `tests/snapshot_consistency.rs`; here the post-churn verdicts are
+/// oracle-checked (net-zero churn must land back on the base set).
+fn concurrent_row(
+    inner: &str,
+    base: &RuleSet,
+    t: &[Header],
+    want: &[Verdict],
+    pool: &[Rule],
+) -> ConcurrentRec {
+    let spec = format!("snapshot:inner=({inner})");
+
+    // Arm 1: snapshot-swap — the reader never blocks.
+    let mut engine = EngineBuilder::from_spec(&spec)
+        .unwrap_or_else(|e| panic!("{spec}: {e}"))
+        .build_snapshot(base)
+        .unwrap_or_else(|e| panic!("{spec}: {e}"));
+    let mut reader = engine.reader();
+    let stop = AtomicBool::new(false);
+    let ops = AtomicU64::new(0);
+    let mut best = f64::INFINITY;
+    thread::scope(|s| {
+        s.spawn(|| {
+            let mut i = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                // Insert-then-remove pairs keep the churn net zero; a
+                // pool rule colliding with the base set is skipped as a
+                // Duplicate, identically for both arms.
+                if let Ok(id) = engine.insert(pool[i % pool.len()]) {
+                    engine.remove(id).expect("just inserted");
+                    ops.fetch_add(2, Ordering::Relaxed);
+                }
+                i += 1;
+                thread::yield_now();
+            }
+        });
+        for rep in 0..=REPS {
+            let t1 = Instant::now();
+            let mut hits = 0u64;
+            for h in t {
+                hits += u64::from(reader.classify(h).rule.is_some());
+            }
+            std::hint::black_box(hits);
+            if rep > 0 {
+                best = best.min(t1.elapsed().as_secs_f64());
+            }
+        }
+        stop.store(true, Ordering::Release);
+    });
+    let melems = t.len() as f64 / best / 1e6;
+    let out: Vec<Verdict> = t.iter().map(|h| reader.classify(h)).collect();
+    let mut oracle_agrees = agrees(&out, want);
+
+    // Arm 2: the same inner behind a mutex — lock per classify and per
+    // update, so the reader stops for every §V.A op the writer runs.
+    let locked: Mutex<Box<dyn PacketClassifier>> =
+        Mutex::new(build_engine(inner, base).unwrap_or_else(|e| panic!("{inner} must build: {e}")));
+    let locked_stop = AtomicBool::new(false);
+    let locked_ops = AtomicU64::new(0);
+    let mut locked_best = f64::INFINITY;
+    thread::scope(|s| {
+        s.spawn(|| {
+            let mut i = 0usize;
+            while !locked_stop.load(Ordering::Acquire) {
+                let inserted = locked.lock().unwrap().insert(pool[i % pool.len()]);
+                if let Ok(id) = inserted {
+                    locked.lock().unwrap().remove(id).expect("just inserted");
+                    locked_ops.fetch_add(2, Ordering::Relaxed);
+                }
+                i += 1;
+                thread::yield_now();
+            }
+        });
+        for rep in 0..=REPS {
+            let t1 = Instant::now();
+            let mut hits = 0u64;
+            for h in t {
+                hits += u64::from(locked.lock().unwrap().classify(h).rule.is_some());
+            }
+            std::hint::black_box(hits);
+            if rep > 0 {
+                locked_best = locked_best.min(t1.elapsed().as_secs_f64());
+            }
+        }
+        locked_stop.store(true, Ordering::Release);
+    });
+    let locked_melems = t.len() as f64 / locked_best / 1e6;
+    let locked_out: Vec<Verdict> = {
+        let guard = locked.lock().unwrap();
+        t.iter().map(|h| guard.classify(h)).collect()
+    };
+    oracle_agrees &= agrees(&locked_out, want);
+
+    ConcurrentRec {
+        spec,
+        churn_ops: ops.into_inner(),
+        melems_per_s: melems,
+        locked_melems_per_s: locked_melems,
+        locked_churn_ops: locked_ops.into_inner(),
+        speedup: melems / locked_melems,
         oracle_agrees,
     }
 }
@@ -525,6 +665,35 @@ fn main() {
         scenario_recs.push(rec);
     }
 
+    // Concurrent serving: one reader's classify throughput *during*
+    // net-zero churn — snapshot readers (never block) vs the same inner
+    // behind a mutex (stop-the-world). The concurrency-oracle tier
+    // (tests/snapshot_consistency.rs) proves the correctness side; these
+    // rows track the throughput side per push. On a single-core runner
+    // both arms pay the churn thread's CPU, so the speedup column is
+    // informative, not asserted.
+    let mut concurrent_rows = Vec::new();
+    let mut concurrent_recs = Vec::new();
+    for inner in [
+        "configurable-bst",
+        "sharded:inner=configurable-bst,shards=4,strategy=prio",
+    ] {
+        let rec = concurrent_row(inner, &rules, &t, &want, &churn_pool);
+        all_agree &= rec.oracle_agrees;
+        concurrent_rows.push(Row {
+            name: format!("concurrent:{}", rec.spec),
+            values: vec![
+                format!("{:.2}", rec.melems_per_s),
+                format!("{:.2}", rec.locked_melems_per_s),
+                format!("{:.2}x", rec.speedup),
+                format!("{}", rec.churn_ops),
+                format!("{}", rec.locked_churn_ops),
+                if rec.oracle_agrees { "yes" } else { "NO" }.to_string(),
+            ],
+        });
+        concurrent_recs.push(rec);
+    }
+
     print_table(
         &format!(
             "bench-smoke (acl, {} rules, batch {})",
@@ -555,6 +724,22 @@ fn main() {
         &["Kops/s", "avg cycles", "rules after", "oracle"],
         &scenario_rows,
     );
+    print_table(
+        &format!(
+            "concurrent serving (acl, {} rules, probe batch {}, net-zero churn in background)",
+            rules.len(),
+            t.len()
+        ),
+        &[
+            "Melem/s",
+            "mutex Melem/s",
+            "speedup",
+            "churn ops",
+            "mutex ops",
+            "oracle",
+        ],
+        &concurrent_rows,
+    );
 
     let record = Record {
         experiment: "bench_smoke",
@@ -565,6 +750,7 @@ fn main() {
         rows: recs,
         scenarios: scenario_recs,
         cached: cached_recs,
+        concurrent: concurrent_recs,
     };
     let path = std::env::var("SPC_BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
     std::fs::write(&path, record.to_json().pretty() + "\n").expect("write bench record");

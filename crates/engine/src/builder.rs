@@ -27,7 +27,8 @@ enum KeyScope {
     Configurable,
     /// The sharded backend only.
     Sharded,
-    /// Wrapper backends that take an inner engine (`sharded`, `cached`).
+    /// Wrapper backends that take an inner engine (`sharded`, `cached`,
+    /// `snapshot`).
     Inner,
     /// The cached backend only.
     Cached,
@@ -38,7 +39,11 @@ impl KeyScope {
         match self {
             KeyScope::Configurable => kind.is_configurable() || kind == EngineKind::Sharded,
             KeyScope::Sharded => kind == EngineKind::Sharded,
-            KeyScope::Inner => kind == EngineKind::Sharded || kind == EngineKind::Cached,
+            KeyScope::Inner => {
+                kind == EngineKind::Sharded
+                    || kind == EngineKind::Cached
+                    || kind == EngineKind::Snapshot
+            }
             KeyScope::Cached => kind == EngineKind::Cached,
         }
     }
@@ -211,6 +216,9 @@ pub struct EngineBuilder {
     /// Full builder for the cached wrapper's inner engine (`None` means
     /// the default `configurable-bst`) — boxed because the type recurses.
     cache_inner: Option<Box<EngineBuilder>>,
+    /// Full builder for the snapshot wrapper's inner engine (`None`
+    /// means the default `configurable-bst`) — boxed like `cache_inner`.
+    snapshot_inner: Option<Box<EngineBuilder>>,
 }
 
 /// Default shard count for `sharded` specs that don't say.
@@ -293,6 +301,7 @@ impl EngineBuilder {
             cache_flows: DEFAULT_CACHE_FLOWS,
             cache_megaflow: true,
             cache_inner: None,
+            snapshot_inner: None,
         }
     }
 
@@ -310,7 +319,9 @@ impl EngineBuilder {
     /// `inner=<spec>` (a *full* nested spec — parenthesise it when it
     /// contains commas, e.g. `cached:inner=(sharded:shards=4),flows=8192`),
     /// `flows=N` (microflow slots, rounded up to a power of two at build
-    /// time) and `megaflow=on|off`.
+    /// time) and `megaflow=on|off`. The snapshot backend takes
+    /// `inner=<spec>` (a full nested spec, like cached —
+    /// `snapshot:inner=(sharded:shards=4)` rebuilds per shard).
     ///
     /// Every key is checked against the kind it is for: unknown keys,
     /// keys for another backend, and duplicated keys are hard
@@ -398,6 +409,20 @@ impl EngineBuilder {
                     }
                     b.cache_inner = Some(Box::new(inner));
                 }
+                "inner" if kind == EngineKind::Snapshot => {
+                    // Like the cached wrapper, the snapshot wrapper
+                    // nests a *full* spec — `snapshot:inner=(sharded:
+                    // shards=4)` gets the per-shard rebuild path.
+                    let inner_spec = strip_parens(value);
+                    let inner = EngineBuilder::from_spec(inner_spec)
+                        .map_err(|e| config_err(format!("inner spec {inner_spec:?}: {e}")))?;
+                    if inner.kind == EngineKind::Snapshot {
+                        return Err(config_err(
+                            "the inner engine cannot itself be a snapshot wrapper".to_string(),
+                        ));
+                    }
+                    b.snapshot_inner = Some(Box::new(inner));
+                }
                 "inner" => {
                     let inner: EngineKind = value
                         .parse()
@@ -405,6 +430,13 @@ impl EngineBuilder {
                     if inner == EngineKind::Sharded {
                         return Err(config_err(
                             "the inner engine cannot itself be sharded".to_string(),
+                        ));
+                    }
+                    if inner == EngineKind::Snapshot {
+                        return Err(config_err(
+                            "the snapshot wrapper serves concurrent readers; nest it \
+                             outside, not inside, a sharded engine"
+                                .to_string(),
                         ));
                     }
                     b.shard_inner = inner;
@@ -589,6 +621,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the full builder for the snapshot wrapper's inner engine
+    /// (snapshot backend; defaults to `configurable-bst`).
+    pub fn with_snapshot_inner(mut self, inner: EngineBuilder) -> Self {
+        self.snapshot_inner = Some(Box::new(inner));
+        self
+    }
+
     /// The analyzer limits matching what this builder would actually
     /// provision for `rules`: label and Rule Filter capacities are taken
     /// from the same [`ArchConfig`] that [`EngineBuilder::build`] uses
@@ -659,6 +698,14 @@ impl EngineBuilder {
                 reason: "the inner engine cannot itself be sharded".to_string(),
             });
         }
+        if self.shard_inner == EngineKind::Snapshot {
+            return Err(BuildError::ConfigError {
+                option: "inner=snapshot".to_string(),
+                reason: "the snapshot wrapper serves concurrent readers; nest it \
+                         outside, not inside, a sharded engine"
+                    .to_string(),
+            });
+        }
         let plan = shard::plan(rules, self.shard_count, self.shard_strategy);
         let router = shard::ShardRouter::from_plan(&plan, self.shard_count);
         // Each shard gets its own inner engine, provisioned for its own
@@ -722,6 +769,54 @@ impl EngineBuilder {
             self.cache_megaflow,
             rules.rules(),
         ))
+    }
+
+    /// Builds the snapshot-swap wrapper as its concrete type, so callers
+    /// can take [`crate::SnapshotReader`]s ([`crate::SnapshotEngine::reader`])
+    /// — the trait object returned by [`EngineBuilder::build`] cannot
+    /// hand those out. `inner` defaults to `configurable-bst`; a
+    /// `sharded:` inner is decomposed so updates rebuild only the
+    /// touched shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineBuilder::build`], plus [`BuildError::ConfigError`]
+    /// for snapshot-in-snapshot nesting.
+    pub fn build_snapshot(&self, rules: &RuleSet) -> Result<crate::SnapshotEngine, BuildError> {
+        let inner = match &self.snapshot_inner {
+            Some(b) => (**b).clone(),
+            None => EngineBuilder::new(EngineKind::ConfigurableBst),
+        };
+        // The spec parser rejects `inner=snapshot`; this guards the
+        // builder-method path.
+        if inner.kind == EngineKind::Snapshot {
+            return Err(BuildError::ConfigError {
+                option: "inner=snapshot".to_string(),
+                reason: "the inner engine cannot itself be a snapshot wrapper".to_string(),
+            });
+        }
+        if inner.kind == EngineKind::Sharded {
+            if inner.shard_inner == EngineKind::Sharded || inner.shard_inner == EngineKind::Snapshot
+            {
+                return Err(BuildError::ConfigError {
+                    option: format!("inner={}", inner.shard_inner),
+                    reason: "invalid shard inner for a snapshot wrapper".to_string(),
+                });
+            }
+            let plan = shard::plan(rules, inner.shard_count, inner.shard_strategy);
+            let router = shard::ShardRouter::from_plan(&plan, inner.shard_count);
+            // Per-shard inner provisioning, exactly as `build_sharded`
+            // derives it: Rule Filter autosizing sees shard-local counts.
+            let mut per = EngineBuilder::new(inner.shard_inner);
+            per.arch.clone_from(&inner.arch);
+            per.rule_filter_bits = inner.rule_filter_bits;
+            per.combine = inner.combine;
+            per.rfc_entry_cap = inner.rfc_entry_cap;
+            per.hypercuts = inner.hypercuts;
+            crate::SnapshotEngine::from_sharded(plan, router, per, inner.shard_strategy)
+        } else {
+            crate::SnapshotEngine::from_single(rules, inner)
+        }
     }
 
     /// Builds the backend over a rule set.
@@ -799,6 +894,7 @@ impl EngineBuilder {
             )),
             EngineKind::Sharded => Box::new(self.build_sharded(rules)?),
             EngineKind::Cached => Box::new(self.build_cached(rules)?),
+            EngineKind::Snapshot => Box::new(self.build_snapshot(rules)?),
         })
     }
 }
@@ -840,9 +936,13 @@ mod tests {
             assert!(e.memory_bits() > 0, "{kind}");
             // Update capability delegates to the built engine, not the
             // registry kind: the default sharded and cached configs wrap
-            // configurable-bst inners, so they are updatable too.
-            let expected =
-                kind.is_configurable() || kind == EngineKind::Sharded || kind == EngineKind::Cached;
+            // configurable-bst inners, so they are updatable too. The
+            // snapshot wrapper is updatable regardless of its inner —
+            // build-once inners are rebuilt wholesale per update.
+            let expected = kind.is_configurable()
+                || kind == EngineKind::Sharded
+                || kind == EngineKind::Cached
+                || kind == EngineKind::Snapshot;
             assert_eq!(e.supports_updates(), expected, "{kind}");
         }
     }

@@ -39,6 +39,25 @@
 //! lookup ever observes a different epoch (an out-of-band update through
 //! [`CachedEngine::inner_mut`]), the whole cache is flushed before
 //! serving — stale verdicts are never returned.
+//!
+//! # Concurrency of the `&self` classify path
+//!
+//! [`PacketClassifier::classify`] takes `&self`, so one `CachedEngine`
+//! can be shared behind an `Arc` across reader threads. The flow table
+//! lives behind one [`Mutex`]: a lookup takes the lock to probe, and on
+//! a miss *releases it* before the inner-engine classify, re-locking
+//! only to install the result — the expensive work never runs under the
+//! lock, and concurrent installs of the same flow are benign
+//! last-writer-wins races (both writers hold equal verdicts for the
+//! same rule-set version, because updates require `&mut self` and so
+//! cannot overlap any `&self` lookup). The concurrency-oracle tier
+//! (`tests/flow_cache.rs` concurrent stress, `tests/snapshot_consistency.rs`)
+//! exercises exactly these interleavings. For serving that stays
+//! lock-free *during* churn, wrap the engine in
+//! [`crate::SnapshotEngine`] (`snapshot:inner=cached:...` — each
+//! published version carries a cold cache; `cached:inner=(snapshot:...)`
+//! keeps one warm cache in front of the swap instead; see
+//! `docs/concurrency.md` for the trade-off).
 
 use crate::{EngineKind, LookupStats, PacketClassifier, UpdateError, UpdateReport, Verdict};
 use spc_hwsim::AccessCounts;

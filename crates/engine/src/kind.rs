@@ -34,12 +34,16 @@ pub enum EngineKind {
     /// microflow table plus an optional masked megaflow layer (see
     /// `CachedEngine`).
     Cached,
+    /// Snapshot-swap concurrent-serving wrapper: readers classify
+    /// against an immutable published snapshot while updates rebuild
+    /// and atomically publish the next one (see `SnapshotEngine`).
+    Snapshot,
 }
 
 impl EngineKind {
     /// Every backend, in the order the paper's tables list them
     /// (workspace-grown backends follow the paper's rows).
-    pub const ALL: [EngineKind; 10] = [
+    pub const ALL: [EngineKind; 11] = [
         EngineKind::ConfigurableMbt,
         EngineKind::ConfigurableBst,
         EngineKind::Linear,
@@ -50,6 +54,7 @@ impl EngineKind {
         EngineKind::Option2,
         EngineKind::Sharded,
         EngineKind::Cached,
+        EngineKind::Snapshot,
     ];
 
     /// The canonical config-string spelling ([`FromStr`] inverse).
@@ -65,6 +70,7 @@ impl EngineKind {
             EngineKind::Option2 => "option2",
             EngineKind::Sharded => "sharded",
             EngineKind::Cached => "cached",
+            EngineKind::Snapshot => "snapshot",
         }
     }
 
@@ -119,6 +125,7 @@ impl FromStr for EngineKind {
             "option2" | "option-2" => EngineKind::Option2,
             "sharded" => EngineKind::Sharded,
             "cached" => EngineKind::Cached,
+            "snapshot" => EngineKind::Snapshot,
             _ => {
                 return Err(ParseEngineKindError {
                     input: s.to_string(),

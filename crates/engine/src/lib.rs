@@ -33,6 +33,11 @@
 //!   masked megaflow layer, kept coherent with incremental updates
 //!   through the [`PacketClassifier::update_epoch`] /
 //!   [`PacketClassifier::last_update_report`] contract;
+//! * [`snapshot`] — snapshot-swap concurrent serving: [`SnapshotEngine`]
+//!   publishes immutable rule-set snapshots that [`SnapshotReader`]s on
+//!   other threads classify against lock-free while `insert`/`remove`
+//!   rebuild and atomically publish the next version (per-shard rebuilds
+//!   for `sharded:` inners);
 //! * [`workload`] — engines driven from streaming
 //!   [`spc_classbench::TraceSource`] workloads: classify-only streams
 //!   (synthetic or pcap replay) through
@@ -70,6 +75,7 @@ mod configurable;
 mod kind;
 pub mod pipeline;
 mod sharded;
+pub mod snapshot;
 pub mod workload;
 
 pub use baseline::BaselineEngine;
@@ -81,6 +87,7 @@ pub use pipeline::{
     BatchWorker, EngineSource, IngestConfig, IngestPipeline, PipelineError, SharedWorker,
 };
 pub use sharded::{InnerFactory, ShardedEngine};
+pub use snapshot::{SnapshotEngine, SnapshotReader};
 pub use workload::{run_scenario, ScenarioReport, WorkloadError};
 // Re-exported so callers can configure sharding without a spc-core dep.
 pub use spc_core::shard::ShardStrategy;

@@ -22,7 +22,11 @@
 //!   single-shot `classify` path), or one replica per worker (N× the
 //!   memory, but each worker runs the amortised `classify_batch` with
 //!   its own scratch). See `docs/ingest_pipeline.md` for the trade-off
-//!   in numbers.
+//!   in numbers. A third shape rides on [`IngestPipeline::from_workers`]:
+//!   [`crate::SnapshotReader`] workers over a live
+//!   [`crate::SnapshotEngine`], which re-resolve the published rule-set
+//!   snapshot once per chunk so the pool keeps serving lock-free while a
+//!   writer churns rules (see `docs/concurrency.md`).
 //! * [`broadcast_batch`] / [`cascade_batch`] — the one-shot scoped
 //!   topologies `ShardedEngine` is built on: *broadcast* hands every
 //!   chunk to every worker and merges, *cascade* chains workers in order
@@ -111,6 +115,28 @@ impl BatchWorker for SharedWorker {
         let mut stats = LookupStats::default();
         for h in headers {
             let v = self.0.classify(h);
+            stats.absorb(&v);
+            out.push(v);
+        }
+        stats
+    }
+}
+
+/// A [`crate::SnapshotReader`] is a pool worker: it re-resolves the
+/// published snapshot **once per chunk**, then classifies the whole
+/// chunk against that one immutable version — so a chunk is never a
+/// torn mix of two rule-set versions, and writer churn becomes visible
+/// to the pool at chunk boundaries. Build a pool over readers with
+/// [`crate::SnapshotEngine::workers`] and
+/// [`IngestPipeline::from_workers`].
+impl BatchWorker for crate::SnapshotReader {
+    fn process(&mut self, headers: &[Header], out: &mut Vec<Verdict>) -> LookupStats {
+        self.refresh();
+        out.clear();
+        out.reserve(headers.len());
+        let mut stats = LookupStats::default();
+        for h in headers {
+            let v = self.classify_current(h);
             stats.absorb(&v);
             out.push(v);
         }

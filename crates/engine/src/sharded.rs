@@ -251,8 +251,10 @@ impl ShardedEngine {
     /// `(priority, global rule id)` wins, memory reads accumulate (all
     /// shards are queried, so every shard's reads are real work). The
     /// merge is commutative and associative, which is what lets the
-    /// batch path fold chunks in arrival order.
-    fn merge(into: &mut Verdict, from: &Verdict) {
+    /// batch path fold chunks in arrival order. Crate-visible because
+    /// the snapshot wrapper's hash-sharded snapshots merge per-shard
+    /// verdicts with exactly these semantics (`crate::snapshot`).
+    pub(crate) fn merge(into: &mut Verdict, from: &Verdict) {
         into.add_reads(from.mem_reads);
         let wins = match (from.rule, into.rule) {
             (None, _) => false,

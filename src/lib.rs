@@ -71,5 +71,5 @@ pub use spc_types as types;
 // matched ([`MatchHandle`]) and the per-dimension wildcard summary it
 // carries ([`MaskSummary`]) are API surface for any downstream cache or
 // invalidation logic, not an engine-internal detail.
-pub use spc_engine::{CacheStats, CachedEngine, MatchHandle};
+pub use spc_engine::{CacheStats, CachedEngine, MatchHandle, SnapshotEngine, SnapshotReader};
 pub use spc_types::MaskSummary;

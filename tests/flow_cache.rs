@@ -321,3 +321,60 @@ fn eviction_under_capacity_is_a_performance_problem_only() {
         "every lookup is a hit or a miss: {stats:?}"
     );
 }
+
+/// The `&self` concurrent classify path: multiple threads probing and
+/// installing into one shared flow table at once — with a table small
+/// enough that threads constantly race installs against evictions —
+/// must agree with the uncached reference packet-for-packet, and the
+/// shared counters must still account for every lookup exactly once.
+/// (`tests/snapshot_consistency.rs` covers readers racing a *writer*;
+/// this test is readers racing each other on the cache's interior
+/// mutability.)
+#[test]
+fn concurrent_classify_agrees_with_uncached_reference() {
+    const THREADS: usize = 4;
+    const LOOKUPS: usize = 1500;
+    let (rules, trace) = workload(FilterKind::Acl);
+    let reference = build_engine("configurable-bst", &rules).unwrap();
+    let want: Vec<Verdict> = trace.iter().map(|h| reference.classify(h)).collect();
+
+    let inner = build_engine("configurable-bst", &rules).unwrap();
+    // 64 slots against hundreds of flows: installs and evictions race.
+    let engine = CachedEngine::new(inner, 64, true, rules.rules());
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let trace = &trace;
+            let want = &want;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(SEED ^ 0xc0c0 ^ t as u64);
+                for n in 0..LOOKUPS {
+                    // Mostly-local probe pattern: plenty of repeats (so
+                    // threads hit each other's installs) plus enough
+                    // spread to keep the 64-slot table evicting.
+                    let i = if rng.gen_bool(0.7) {
+                        rng.gen_range(0..32)
+                    } else {
+                        rng.gen_range(0..trace.len())
+                    };
+                    let got = engine.classify(&trace[i]);
+                    assert_same_outcome(
+                        &got,
+                        &want[i],
+                        &format!("thread {t} lookup {n} packet {i}"),
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * LOOKUPS) as u64,
+        "every concurrent lookup accounted exactly once: {stats:?}"
+    );
+    assert!(stats.hits > 0, "repeats must hit: {stats:?}");
+    assert!(stats.evictions > 0, "64 slots must evict: {stats:?}");
+}

@@ -283,3 +283,69 @@ fn streaming_rounds_equal_one_shot() {
     assert_eq!(out, want);
     assert_eq!(folded.packets, trace.len() as u64);
 }
+
+/// Drain-on-error reuse, per backend: a `WorkloadError` mid-stream (an
+/// update event in a classify-only stream) must leave the pool idle
+/// with every already-fed chunk drained — and the same pool must then
+/// accept a fresh `run_source` and process it exactly like the
+/// backend's own sequential classify.
+#[test]
+fn pool_is_reusable_after_workload_error_for_every_backend() {
+    use spc::classbench::{ScenarioScript, TraceError, TraceEvent, TraceSource};
+    use spc::engine::WorkloadError;
+
+    let (rules, _) = workload();
+    let pool_rules = RuleSetGenerator::new(FilterKind::Fw, 20)
+        .seed(SEED ^ 7)
+        .generate();
+    let traffic = TraceGenerator::new().seed(SEED ^ 0x11).match_fraction(0.85);
+
+    // The reference stream: same generator seed as the retry below, so
+    // the recovered pool's verdicts can be checked header-for-header.
+    let mut headers: Vec<Header> = Vec::new();
+    let mut probe = traffic.stream(&rules, 150);
+    while let Some(event) = probe.next_event().unwrap() {
+        match event {
+            TraceEvent::Headers(h) => headers.extend(h),
+            other => panic!("classify-only stream produced {other:?}"),
+        }
+    }
+
+    for kind in EngineKind::ALL {
+        let builder = EngineBuilder::new(kind);
+        let reference = builder.build(&rules).unwrap();
+        let want: Vec<Verdict> = headers.iter().map(|h| reference.classify(h)).collect();
+        let source = EngineSource::replicated(&builder, &rules, 2).unwrap();
+        let mut pipe = IngestPipeline::spawn(
+            source,
+            IngestConfig {
+                workers: 2,
+                queue_chunks: 2,
+                chunk: 48,
+            },
+        )
+        .unwrap();
+
+        // A classify-only pool fed a scenario with an update event:
+        // typed error, pre-error chunks drained, nothing in flight.
+        let script = ScenarioScript::parse("classify 120; insert 1; classify 50").unwrap();
+        let mut bad = script.source(&traffic, &rules, pool_rules.rules()).unwrap();
+        let mut out = Vec::new();
+        let err = pipe.run_source(&mut bad, &mut out).unwrap_err();
+        assert!(
+            matches!(err, WorkloadError::Source(TraceError::UnexpectedUpdate)),
+            "{kind}: {err}"
+        );
+        assert_eq!(out.len(), 120, "{kind}: pre-error headers drained");
+        assert_eq!(pipe.in_flight(), 0, "{kind}: pool left idle");
+
+        // The same pool, fresh stream: correct verdicts, in order.
+        let mut fresh = traffic.stream(&rules, 150);
+        let stats = pipe
+            .run_source(&mut fresh, &mut out)
+            .unwrap_or_else(|e| panic!("{kind}: recovered pool must serve: {e}"));
+        assert_eq!(stats.packets, headers.len() as u64, "{kind}");
+        assert_verdicts_match(kind, &out, &want, "recovered pool vs sequential");
+        pipe.shutdown();
+    }
+}

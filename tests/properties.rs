@@ -6,7 +6,7 @@
 use rand::prelude::*;
 use spc::engine::{EngineBuilder, EngineKind, PacketClassifier, UpdateError, Verdict};
 use spc::types::{
-    Action, Header, PortRange, Prefix, Priority, ProtoSpec, Rule, RuleSet, SegPrefix,
+    Action, Header, PortRange, Prefix, Priority, ProtoSpec, Rule, RuleId, RuleSet, SegPrefix,
 };
 
 fn rand_prefix(rng: &mut StdRng) -> Prefix {
@@ -185,6 +185,121 @@ fn insert_remove_roundtrip_restores_behaviour() {
             let _ = engine.insert(*r);
         }
         assert_eq!(priority_of(&engine.classify(&h)), before, "case {case}");
+    }
+}
+
+/// A deterministic rule with a unique priority and dst-port, so inserts
+/// of distinct `p` never collide as duplicate 5-tuples.
+fn epoch_rule(p: u32) -> Rule {
+    Rule::builder(Priority(p))
+        .dst_port(PortRange::exact(2000 + (p % 30000) as u16))
+        .proto(ProtoSpec::Exact(6))
+        .action(Action::Forward(p as u16))
+        .build()
+}
+
+/// The `update_epoch` contract across every updatable backend,
+/// including the failed-update paths: the epoch starts at 0, bumps by
+/// exactly one *iff* `last_update_report()` is replaced (successful
+/// insert/remove), and is left untouched — along with the report — by
+/// every rejected update.
+#[test]
+fn update_epoch_bumps_iff_report_replaced() {
+    let base: RuleSet = (0..20).map(epoch_rule).collect();
+    for spec in [
+        "configurable-mbt",
+        "configurable-bst",
+        "sharded:inner=configurable-bst,shards=2,strategy=prio",
+        "sharded:inner=configurable-mbt,shards=2,strategy=hash",
+        "cached:inner=configurable-bst,flows=64",
+        "snapshot:inner=configurable-bst",
+        "snapshot:inner=linear",
+        "snapshot:inner=(sharded:inner=configurable-bst,shards=2)",
+        "snapshot:inner=(cached:inner=configurable-bst,flows=64)",
+    ] {
+        let mut e = EngineBuilder::from_spec(spec)
+            .unwrap()
+            .build(&base)
+            .unwrap_or_else(|err| panic!("{spec}: {err}"));
+        assert!(e.supports_updates(), "{spec}");
+        assert_eq!(e.update_epoch(), 0, "{spec}: epoch starts at 0");
+        assert!(e.last_update_report().is_none(), "{spec}");
+
+        // Successful insert: +1, report replaced and keyed to the id.
+        let id = e.insert(epoch_rule(500)).unwrap();
+        assert_eq!(e.update_epoch(), 1, "{spec}");
+        let r1 = e.last_update_report().expect(spec);
+        assert_eq!(r1.rule_id, id, "{spec}");
+
+        // Failed insert (duplicate 5-tuple): neither bumps nor replaces.
+        assert!(
+            matches!(
+                e.insert(epoch_rule(500)),
+                Err(UpdateError::Duplicate { .. })
+            ),
+            "{spec}"
+        );
+        assert_eq!(e.update_epoch(), 1, "{spec}: failed insert must not bump");
+        assert_eq!(e.last_update_report(), Some(r1), "{spec}");
+
+        // Failed remove (unknown id): same.
+        assert!(
+            matches!(
+                e.remove(RuleId(9_999)),
+                Err(UpdateError::UnknownRule { .. })
+            ),
+            "{spec}"
+        );
+        assert_eq!(e.update_epoch(), 1, "{spec}: failed remove must not bump");
+        assert_eq!(e.last_update_report(), Some(r1), "{spec}");
+
+        // Successful remove: +1, report replaced.
+        e.remove(id).unwrap_or_else(|err| panic!("{spec}: {err}"));
+        assert_eq!(e.update_epoch(), 2, "{spec}");
+        let r2 = e.last_update_report().expect(spec);
+        assert_eq!(r2.rule_id, id, "{spec}");
+
+        // Double remove: rejected, untouched.
+        assert!(e.remove(id).is_err(), "{spec}");
+        assert_eq!(e.update_epoch(), 2, "{spec}: double remove must not bump");
+        assert_eq!(e.last_update_report(), Some(r2), "{spec}");
+
+        // Monotonic +1 per success across a burst.
+        let before = e.update_epoch();
+        for (i, p) in (600..616).enumerate() {
+            e.insert(epoch_rule(p)).unwrap();
+            assert_eq!(
+                e.update_epoch(),
+                before + i as u64 + 1,
+                "{spec}: exactly one per op"
+            );
+        }
+    }
+
+    // Build-once backends: updates are Unsupported and the epoch is
+    // pinned at 0 with no report, no matter how often they are poked.
+    for spec in [
+        "linear",
+        "hypercuts",
+        "rfc",
+        "sharded:inner=linear,shards=2",
+    ] {
+        let mut e = EngineBuilder::from_spec(spec)
+            .unwrap()
+            .build(&base)
+            .unwrap();
+        assert!(!e.supports_updates(), "{spec}");
+        for _ in 0..3 {
+            assert!(
+                matches!(
+                    e.insert(epoch_rule(700)),
+                    Err(UpdateError::Unsupported { .. })
+                ),
+                "{spec}"
+            );
+            assert_eq!(e.update_epoch(), 0, "{spec}");
+            assert!(e.last_update_report().is_none(), "{spec}");
+        }
     }
 }
 
