@@ -223,6 +223,36 @@ pub fn analyze_with(rules: &RuleSet, limits: &AnalyzerLimits) -> RuleSetReport {
             message,
         });
     }
+    if !sweep.exhaustive {
+        let unknown_rules: Vec<RuleId> = sweep
+            .reachability
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Reachability::Unknown))
+            .map(|(i, _)| RuleId(i as u32))
+            .collect();
+        let grid_text = match sweep.grid {
+            Some(cells) => cells.to_string(),
+            None => "more than usize::MAX".to_string(),
+        };
+        findings.push(Finding {
+            severity: Severity::Info,
+            kind: FindingKind::ProbeBudgetExceeded {
+                grid: sweep.grid,
+                budget: limits.probe_budget,
+                unknown: unknown_rules.len(),
+            },
+            message: format!(
+                "probe grid of {grid_text} cells exceeds the budget of {} — \
+                 reachability degraded to pairwise proofs and {} corner probes; \
+                 {} rule(s) undecided",
+                limits.probe_budget,
+                sweep.probes,
+                unknown_rules.len()
+            ),
+            rules: unknown_rules,
+        });
+    }
 
     // Deterministic order: most severe first, then finding code, then ids.
     findings.sort_by(|a, b| {
@@ -243,6 +273,7 @@ pub fn analyze_with(rules: &RuleSet, limits: &AnalyzerLimits) -> RuleSetReport {
         reachability: sweep.reachability,
         exhaustive: sweep.exhaustive,
         probes: sweep.probes,
+        probe_budget: limits.probe_budget,
     }
 }
 
@@ -472,6 +503,55 @@ mod tests {
                 assert_eq!(winner, RuleId(i as u32));
             }
         }
+    }
+
+    #[test]
+    fn over_budget_reports_coverage_context() {
+        // Grid is 3 cells (dst_port cuts {0, 51, 101}); a 1-cell budget
+        // forces the pairwise fallback. Rule 2 is shadowed only by the
+        // *union* of rules 0 and 1 — no single cover proof — and its
+        // corner probe loses to rule 0, so it stays Unknown.
+        let rs = RuleSet::from_rules(vec![
+            Rule::builder(Priority(0))
+                .dst_port(spc_types::PortRange::new(0, 50).unwrap())
+                .build(),
+            Rule::builder(Priority(0))
+                .dst_port(spc_types::PortRange::new(51, 100).unwrap())
+                .build(),
+            Rule::builder(Priority(1))
+                .dst_port(spc_types::PortRange::new(0, 100).unwrap())
+                .build(),
+        ]);
+        let limits = AnalyzerLimits::default().with_probe_budget(1);
+        let report = analyze_with(&rs, &limits);
+        assert!(!report.exhaustive);
+        assert_eq!(report.probe_budget, 1);
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| matches!(f.kind, FindingKind::ProbeBudgetExceeded { .. }))
+            .expect("budget finding must fire");
+        assert_eq!(finding.severity, Severity::Info);
+        let FindingKind::ProbeBudgetExceeded {
+            grid,
+            budget,
+            unknown,
+        } = finding.kind
+        else {
+            unreachable!();
+        };
+        assert_eq!(grid, Some(3));
+        assert_eq!(budget, 1);
+        assert_eq!(unknown, 1);
+        assert_eq!(finding.rules, vec![RuleId(2)]);
+        assert!(finding.message.contains("3 cells"), "{}", finding.message);
+        assert!(
+            finding.message.contains("budget of 1"),
+            "{}",
+            finding.message
+        );
+        // The fallback probed all three rules' corners.
+        assert_eq!(report.probes, 3);
     }
 
     #[test]

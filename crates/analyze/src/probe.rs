@@ -13,7 +13,7 @@ use crate::report::Reachability;
 use spc_types::{DimValue, Header, Ipv4, ProtoSpec, Rule, RuleSet, ALL_DIMS};
 
 /// Inclusive query-value bounds of a rule's projection on one dimension.
-fn bounds(v: DimValue) -> (u16, u16) {
+pub(crate) fn bounds(v: DimValue) -> (u16, u16) {
     match v {
         DimValue::Seg(s) => (s.first(), s.last()),
         DimValue::Port(r) => (r.lo(), r.hi()),
@@ -71,8 +71,10 @@ pub(crate) struct Sweep {
     pub reachability: Vec<Reachability>,
     /// Whether the full grid was examined (no `Unknown` verdicts).
     pub exhaustive: bool,
-    /// Cells the sweep accounted for.
+    /// Cells the sweep accounted for, or corner probes the fallback made.
     pub probes: usize,
+    /// Exact elementary-interval grid size, or `None` on overflow.
+    pub grid: Option<usize>,
 }
 
 /// Whether rule `a` (id `ai`) outranks rule `b` (id `bi`) in HPM
@@ -93,9 +95,10 @@ pub(crate) fn covers_all_dims(a: &Rule, b: &Rule) -> bool {
 /// corner-witness probes and reports `exhaustive = false`.
 pub(crate) fn reachability(rules: &RuleSet, budget: usize) -> Sweep {
     let cands = candidate_values(rules);
-    match grid_size(&cands) {
+    let grid = grid_size(&cands);
+    match grid {
         Some(cells) if cells <= budget => exact_sweep(rules, &cands, cells),
-        _ => pairwise_fallback(rules),
+        _ => pairwise_fallback(rules, grid),
     }
 }
 
@@ -205,10 +208,12 @@ fn exact_sweep(rules: &RuleSet, cands: &[Vec<u16>; 7], cells: usize) -> Sweep {
         reachability,
         exhaustive: true,
         probes: cells,
+        grid: Some(cells),
     }
 }
 
-fn pairwise_fallback(rules: &RuleSet) -> Sweep {
+fn pairwise_fallback(rules: &RuleSet, grid: Option<usize>) -> Sweep {
+    let mut probes = 0usize;
     let reachability = rules
         .iter()
         .map(|(id, rule)| {
@@ -220,6 +225,7 @@ fn pairwise_fallback(rules: &RuleSet) -> Sweep {
             }
             // Corner probe: the rule's own lower-left cell.
             let corner = header_from_dims(ALL_DIMS.map(|d| bounds(rule.dim_value(d)).0));
+            probes += 1;
             match rules.classify(&corner) {
                 Some((wid, _)) if wid == id => Reachability::Reachable { witness: corner },
                 _ => Reachability::Unknown,
@@ -229,7 +235,8 @@ fn pairwise_fallback(rules: &RuleSet) -> Sweep {
     Sweep {
         reachability,
         exhaustive: false,
-        probes: 0,
+        probes,
+        grid,
     }
 }
 

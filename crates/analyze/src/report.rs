@@ -91,6 +91,18 @@ pub enum FindingKind {
         /// Which lint fired.
         lint: SpecLint,
     },
+    /// The elementary-interval grid outgrew the probe budget, so
+    /// reachability degraded from the exact sweep to pairwise proofs and
+    /// corner probes. Every `Shadowed` verdict is still a proof; the
+    /// `unknown` rules simply could not be decided either way.
+    ProbeBudgetExceeded {
+        /// Exact grid size, or `None` when even counting it overflowed.
+        grid: Option<usize>,
+        /// The budget the grid exceeded.
+        budget: usize,
+        /// Rules left [`Reachability::Unknown`].
+        unknown: usize,
+    },
 }
 
 impl FindingKind {
@@ -103,6 +115,7 @@ impl FindingKind {
             FindingKind::RuleFilterPressure { .. } => "rule-filter-pressure",
             FindingKind::PathologicalPortRange { .. } => "pathological-port-range",
             FindingKind::SpecLint { .. } => "spec-lint",
+            FindingKind::ProbeBudgetExceeded { .. } => "probe-budget-exceeded",
         }
     }
 }
@@ -209,8 +222,11 @@ pub struct RuleSetReport {
     /// Whether the probe grid fit the budget, making the reachability
     /// verdicts exact (no [`Reachability::Unknown`] entries).
     pub exhaustive: bool,
-    /// Probe-grid cells examined by the reachability sweep.
+    /// Probe-grid cells examined by the reachability sweep, or corner
+    /// probes made by the pairwise fallback.
     pub probes: usize,
+    /// The probe budget the analysis ran under.
+    pub probe_budget: usize,
 }
 
 impl RuleSetReport {
@@ -270,8 +286,8 @@ impl fmt::Display for RuleSetReport {
         let shadowed = self.shadowed_rules().len();
         writeln!(
             f,
-            "  reachability: {} shadowed, exhaustive={} ({} probes)",
-            shadowed, self.exhaustive, self.probes
+            "  reachability: {} shadowed, exhaustive={} ({} probes, budget {})",
+            shadowed, self.exhaustive, self.probes, self.probe_budget
         )?;
         for finding in &self.findings {
             writeln!(f, "  {finding}")?;
@@ -315,6 +331,11 @@ mod tests {
             FindingKind::SpecLint {
                 rule: RuleId(0),
                 lint: SpecLint::CatchAllAboveOtherRules,
+            },
+            FindingKind::ProbeBudgetExceeded {
+                grid: Some(1 << 20),
+                budget: 1 << 17,
+                unknown: 3,
             },
         ];
         let mut codes: Vec<&str> = kinds.iter().map(FindingKind::code).collect();

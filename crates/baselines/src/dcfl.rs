@@ -78,6 +78,15 @@ pub struct Dcfl {
 
 impl Dcfl {
     /// Preprocesses a rule set into field structures + aggregation network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field structure overflows its fixed provisioning
+    /// (tries sized generously above any ClassBench-scale set). The
+    /// Table I comparators are deliberately build-once research
+    /// artifacts; capacity overflow is a misconfiguration, not a
+    /// runtime condition to recover from.
+    #[allow(clippy::expect_used)] // capacity invariants documented above
     pub fn build(rules: &RuleSet) -> Self {
         let cap = (rules.len() + 64).next_power_of_two();
         let mut sip = MultiBitTrie::new(MbtConfig::ip32_5level(cap));
@@ -216,6 +225,9 @@ impl Baseline for Dcfl {
         "DCFL"
     }
 
+    // Field lookups are total over their domains (u32 keys, u16 ports,
+    // u8 protocols), so the `Err` arms are unreachable by construction.
+    #[allow(clippy::expect_used)]
     fn classify(&self, h: &Header) -> BaselineResult {
         let mut accesses = 0u32;
         // Parallel field searches returning full label sets.

@@ -75,6 +75,15 @@ fn make_key(sip: Label, dip: Label, sp: Label, dp: Label, pr: Label) -> u128 {
 
 impl OptionClassifier {
     /// Builds the option classifier over a rule set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field structure overflows its fixed provisioning
+    /// (tries and Rule Filter sized at ≥2× the rule count) or the set
+    /// contains duplicate 5-tuples. The Table I comparators are
+    /// deliberately build-once research artifacts; capacity overflow is
+    /// a misconfiguration, not a runtime condition to recover from.
+    #[allow(clippy::expect_used)] // capacity invariants documented above
     pub fn build(rules: &RuleSet, kind: OptionKind) -> Self {
         let cap = (rules.len() + 64).next_power_of_two();
         let (mbt_cfg, seg_cfg) = match kind {
@@ -210,6 +219,9 @@ impl Baseline for OptionClassifier {
         }
     }
 
+    // Field lookups are total over their domains (u32 keys, u16 ports,
+    // u8 protocols), so the `Err` arms are unreachable by construction.
+    #[allow(clippy::expect_used)]
     fn classify(&self, h: &Header) -> BaselineResult {
         let mut accesses = 0u32;
         let rs = self

@@ -16,6 +16,12 @@
 //! both arms apply the identical update sequence — the snapshot writer
 //! directly, the mutex writer one lock acquisition per update.
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{
     criterion_group, criterion_main, BenchmarkGroup, BenchmarkId, Criterion, Throughput,
 };

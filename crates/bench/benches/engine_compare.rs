@@ -2,6 +2,12 @@
 //! `PacketClassifier` trait, single-shot vs the amortised batch path —
 //! so the batch speedup is measured, not asserted.
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spc_bench::{ruleset, trace};
 use spc_classbench::FilterKind;

@@ -9,6 +9,12 @@
 //! `SPC_SCALE` overrides the rule count; `--test` (as in CI's
 //! bench-smoke job) runs every body once.
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use spc_bench::{ruleset, scale_or, SEED_TRACE};
 use spc_classbench::{FilterKind, TraceGenerator};

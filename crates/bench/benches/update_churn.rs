@@ -12,6 +12,12 @@
 //! inserted — so the engine returns to its base state and iterations
 //! are independent.
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spc_bench::{ruleset, traffic};
 use spc_classbench::{FilterKind, RuleSetGenerator, ScenarioScript};

@@ -1,6 +1,12 @@
 //! Criterion bench: incremental rule insert/remove rate (§V.A), MBT vs
 //! BST — the BST pays its software rebuild on every flush.
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use spc_bench::ruleset;
 use spc_classbench::FilterKind;

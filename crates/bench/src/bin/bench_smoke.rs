@@ -18,6 +18,12 @@
 //!
 //! Run: `cargo run --release -p spc-bench --bin bench_smoke`
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc_bench::{print_table, ruleset, scale_or, trace, traffic, Row, ToJson};
 use spc_classbench::{
     write_pcap, FilterKind, PcapReader, RuleSetGenerator, ScenarioScript, TraceGenerator,
@@ -47,6 +53,7 @@ struct Record {
     scenarios: Vec<ScenarioRec>,
     cached: Vec<CachedRec>,
     concurrent: Vec<ConcurrentRec>,
+    optimized: Vec<OptimizedRec>,
 }
 
 struct SpecRec {
@@ -89,6 +96,28 @@ struct ConcurrentRec {
     oracle_agrees: bool,
 }
 
+/// One optimizer measurement: the semantics-preserving pass pipeline
+/// (`spc-analyze`'s `optimize`, id-preserving configuration — the one
+/// `optimize=validated` wires into every backend) ahead of a large
+/// build. Rules elided, build memory and per-packet `mem_reads` for the
+/// optimized engine next to the same backend built raw, the checker's
+/// validation verdict, and an oracle check against linear over the
+/// *original* set — the optimized engine answers in original id space
+/// by contract, so the comparison is exact, id for id.
+struct OptimizedRec {
+    spec: String,
+    filter_kind: &'static str,
+    rules_before: usize,
+    rules_removed: usize,
+    optimize_ms: f64,
+    raw_memory_kbits: f64,
+    memory_kbits: f64,
+    raw_avg_mem_reads: f64,
+    avg_mem_reads: f64,
+    validation: String,
+    oracle_agrees: bool,
+}
+
 /// One flow-cache measurement: a `cached:*` spec on a locality-shaped
 /// trace, timed next to its own *uncached* inner engine on the same
 /// trace — the speedup column is the cache's whole value proposition.
@@ -112,7 +141,21 @@ spc_bench::json_object!(Record {
     rows,
     scenarios,
     cached,
-    concurrent
+    concurrent,
+    optimized
+});
+spc_bench::json_object!(OptimizedRec {
+    spec,
+    filter_kind,
+    rules_before,
+    rules_removed,
+    optimize_ms,
+    raw_memory_kbits,
+    memory_kbits,
+    raw_avg_mem_reads,
+    avg_mem_reads,
+    validation,
+    oracle_agrees
 });
 spc_bench::json_object!(ConcurrentRec {
     spec,
@@ -617,6 +660,71 @@ fn main() {
         }
     }
 
+    // Optimizer: the semantics-preserving pass pipeline ahead of a
+    // large build, per ClassBench family. The raw backend and
+    // `optimize=validated` over the same original set classify the same
+    // trace; both verdict vectors are checked against the linear oracle
+    // over the ORIGINAL set — the optimized engine must answer in
+    // original id space, so the oracle comparison is exact, id for id.
+    const OPT_INNER: &str = "configurable-bst";
+    let mut optimized_rows = Vec::new();
+    let mut optimized_recs = Vec::new();
+    for (fk, fk_name) in [
+        (FilterKind::Acl, "acl"),
+        (FilterKind::Fw, "fw"),
+        (FilterKind::Ipc, "ipc"),
+    ] {
+        let orules = ruleset(fk, scale_or(8192));
+        let otrace = trace(&orules, TRACE_LEN);
+        let ooracle = build_engine("linear", &orules).expect("linear always builds");
+        let owant: Vec<Verdict> = otrace.iter().map(|h| ooracle.classify(h)).collect();
+
+        // The pass pipeline itself, timed: the id-preserving
+        // configuration is exactly what `optimize=validated` runs.
+        let t0 = Instant::now();
+        let opt = spc_analyze::optimize(&orules, &spc_analyze::OptimizeConfig::id_preserving())
+            .unwrap_or_else(|e| panic!("optimizer must validate on {fk_name}: {e}"));
+        let optimize_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut out = Vec::new();
+        let mut raw =
+            build_engine(OPT_INNER, &orules).unwrap_or_else(|e| panic!("{OPT_INNER}: {e}"));
+        let raw_stats = raw.classify_batch(&otrace, &mut out);
+        all_agree &= agrees(&out, &owant);
+        let raw_memory_kbits = raw.memory_bits() as f64 / 1e3;
+
+        let spec = format!("{OPT_INNER}:optimize=validated");
+        let mut engine = build_engine(&spec, &orules).unwrap_or_else(|e| panic!("{spec}: {e}"));
+        let stats = engine.classify_batch(&otrace, &mut out);
+        let oracle_agrees = agrees(&out, &owant);
+        all_agree &= oracle_agrees;
+
+        let rec = OptimizedRec {
+            spec: spec.clone(),
+            filter_kind: fk_name,
+            rules_before: orules.len(),
+            rules_removed: opt.removed_rules(),
+            optimize_ms,
+            raw_memory_kbits,
+            memory_kbits: engine.memory_bits() as f64 / 1e3,
+            raw_avg_mem_reads: raw_stats.avg_mem_reads(),
+            avg_mem_reads: stats.avg_mem_reads(),
+            validation: opt.validation.to_string(),
+            oracle_agrees,
+        };
+        optimized_rows.push(Row {
+            name: format!("optimized:{fk_name}:{spec}"),
+            values: vec![
+                format!("{}", rec.rules_removed),
+                format!("{optimize_ms:.0}"),
+                format!("{:.0} -> {:.0}", rec.raw_memory_kbits, rec.memory_kbits),
+                format!("{:.2} -> {:.2}", rec.raw_avg_mem_reads, rec.avg_mem_reads),
+                if rec.oracle_agrees { "yes" } else { "NO" }.to_string(),
+            ],
+        });
+        optimized_recs.push(rec);
+    }
+
     // Scripted churn: the §V.A fast-update path as a ScenarioScript —
     // insert bursts from a foreign pool, classify batches, FIFO
     // removes — sharded at {1, 2, 8} shards (both strategies) against
@@ -714,6 +822,15 @@ fn main() {
     );
     print_table(
         &format!(
+            "optimizer (id-preserving passes, {} rules/family, batch {})",
+            scale_or(8192),
+            TRACE_LEN
+        ),
+        &["removed", "opt ms", "mem Kb", "avg reads", "oracle"],
+        &optimized_rows,
+    );
+    print_table(
+        &format!(
             "scenario churn (acl base {}, fw pool {}, script: {} classifies / {} inserts / {} removes)",
             rules.len(),
             churn_pool.len(),
@@ -751,6 +868,7 @@ fn main() {
         scenarios: scenario_recs,
         cached: cached_recs,
         concurrent: concurrent_recs,
+        optimized: optimized_recs,
     };
     let path = std::env::var("SPC_BENCH_OUT").unwrap_or_else(|_| "BENCH_smoke.json".to_string());
     std::fs::write(&path, record.to_json().pretty() + "\n").expect("write bench record");

@@ -1,6 +1,12 @@
 //! Fig 3 — the 4-phase lookup pipeline: per-phase cycle breakdown and
 //! latency/throughput in both IP-algorithm configurations.
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc_bench::{emit_json, print_table, ruleset, scale_or, trace, Row};
 use spc_classbench::FilterKind;
 use spc_core::{ArchConfig, Classifier, CombineStrategy, IpAlg};

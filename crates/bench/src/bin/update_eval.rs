@@ -11,6 +11,12 @@
 //! generic scenario runner, so the sweep exercises the same
 //! `TraceSource` machinery as the churn benches.
 
+// Reproduction harness: a panic here means the bench environment itself
+// is broken (bad spec string, generator misconfiguration), and aborting
+// with the site's message is the correct response — there is no caller
+// to hand a typed error to.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc_bench::{emit_json, print_table, ruleset, scale_or, Row};
 use spc_classbench::{FilterKind, ScenarioScript, TraceGenerator};
 use spc_core::{ArchConfig, Classifier, IpAlg};

@@ -40,6 +40,7 @@ pub fn trace_source(rules: &RuleSet, len: usize) -> SyntheticTrace<'_> {
 /// Standard evaluation trace, materialised — for harnesses (criterion
 /// timing loops, oracle vectors) that need the whole workload at once.
 /// Everything else should stream from [`trace_source`].
+#[allow(clippy::expect_used)] // synthetic sources are infallible
 pub fn trace(rules: &RuleSet, len: usize) -> Vec<Header> {
     trace_source(rules, len)
         .collect_headers()

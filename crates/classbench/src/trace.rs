@@ -23,6 +23,7 @@ use spc_types::{Header, ProtoSpec, Rule, RuleSet};
 /// let h = sample_matching_header(&rule, &mut rng);
 /// assert!(rule.matches(&h));
 /// ```
+#[allow(clippy::expect_used)] // `choose` on a fixed non-empty array
 pub fn sample_matching_header(rule: &Rule, rng: &mut StdRng) -> Header {
     let sip = rng.gen_range(rule.src_ip.first().0..=rule.src_ip.last().0);
     let dip = rng.gen_range(rule.dst_ip.first().0..=rule.dst_ip.last().0);
@@ -48,6 +49,7 @@ pub(crate) struct Sampler {
 }
 
 impl Sampler {
+    #[allow(clippy::expect_used)] // `choose` on a fixed non-empty array
     pub(crate) fn next_header(&mut self, rules: &RuleSet) -> Header {
         if let Some(p) = self.prev {
             if self.rng.gen_bool(self.locality) {

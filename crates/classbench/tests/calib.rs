@@ -1,6 +1,12 @@
 //! Manual calibration harness: prints generated-family statistics for
 //! eyeballing against the paper's Table II (run with `--ignored`).
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 #[test]
 #[ignore]
 fn calib() {

@@ -278,6 +278,10 @@ impl Classifier {
         Ok(ids)
     }
 
+    // The lone `expect` reads back a label-table entry in the same arm
+    // that proved it exists (`InsertOutcome::Referenced`), so it cannot
+    // be absent.
+    #[allow(clippy::expect_used)]
     fn insert_inner(&mut self, rule: Rule, defer: bool) -> Result<UpdateReport, ClassifierError> {
         let id = RuleId(self.next_id);
         let writes_before = self.write_cycles();
@@ -462,6 +466,10 @@ impl Classifier {
     /// # Panics
     ///
     /// As [`Classifier::classify`].
+    // `lookup_into` only errors on unflushed engines (the update paths
+    // always flush), and `head()` runs after the `any_empty` early
+    // return proved every list is non-empty.
+    #[allow(clippy::expect_used)]
     pub fn classify_with(&self, header: &Header, scratch: &mut ClassifyScratch) -> Classification {
         // Phase 2: parallel single-field lookups, each writing into the
         // scratch's per-dimension list so nothing allocates after warm-up.
@@ -531,6 +539,9 @@ impl Classifier {
     ///
     /// Reads the phase-2 label lists from `scratch.lists` and reuses the
     /// frontier buffers in `scratch`.
+    // The bound closure maxes over the fixed `0..7` dimension range,
+    // which is never empty.
+    #[allow(clippy::expect_used)]
     fn priority_probe(&self, scratch: &mut ClassifyScratch) -> (Option<StoredRule>, u32, u32) {
         // Sort each dimension by rule priority (port/protocol lists are
         // hardware-ordered differently; the bound argument needs priority
@@ -602,6 +613,13 @@ impl Classifier {
     ///
     /// [`ClassifierError::Capacity`] if the new structures don't fit; the
     /// previous engines are restored in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if restoring the previous engines fails — they held this
+    /// exact rule set a moment ago, so a rollback failure means the
+    /// classifier state is corrupt and continuing would misclassify.
+    #[allow(clippy::expect_used)] // rollback invariant documented above
     pub fn set_ip_alg(&mut self, alg: IpAlg) -> Result<(), ClassifierError> {
         if alg == self.config.ip_alg {
             return Ok(());

@@ -25,6 +25,13 @@ pub struct LabelState {
 
 impl LabelState {
     /// Best (numerically smallest) priority among users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a state with no users — the label table
+    /// removes a state the moment its refcount reaches zero, so a live
+    /// state always holds at least one priority.
+    #[allow(clippy::expect_used)] // liveness invariant documented above
     pub fn best_priority(&self) -> Priority {
         Priority(
             *self

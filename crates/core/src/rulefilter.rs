@@ -57,6 +57,11 @@ pub struct RuleFilter {
 
 const RULE_BODY_BITS: u32 = 48;
 
+// Every slot access goes through `HashUnit::probe`, which masks the hash
+// down to the block's address width, so `read`/`write` cannot see an
+// out-of-range address; `new` pre-allocates exactly `words` slots, so
+// `alloc` cannot overflow the provisioned block.
+#[allow(clippy::expect_used)]
 impl RuleFilter {
     /// Creates a filter with `2^addr_bits` slots and a `key_bits`-wide key
     /// field per word.

@@ -434,6 +434,7 @@ impl ShardRouter {
     ///
     /// Panics if the strategy is not [`ShardStrategy::PriorityBands`] or
     /// a moved id is not installed in `band`.
+    #[allow(clippy::expect_used)] // panic contract documented above
     pub fn apply_band_split(&mut self, band: usize, moved: &[(RuleId, RuleId)]) {
         assert_eq!(
             self.strategy,

@@ -1,5 +1,11 @@
 //! Early smoke test: classifier vs linear-search oracle on generated sets.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc_classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
 use spc_core::{ArchConfig, Classifier, IpAlg};
 

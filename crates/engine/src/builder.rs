@@ -32,6 +32,8 @@ enum KeyScope {
     Inner,
     /// The cached backend only.
     Cached,
+    /// Every backend (build-level keys such as `optimize`).
+    Any,
 }
 
 impl KeyScope {
@@ -45,6 +47,7 @@ impl KeyScope {
                     || kind == EngineKind::Snapshot
             }
             KeyScope::Cached => kind == EngineKind::Cached,
+            KeyScope::Any => true,
         }
     }
 }
@@ -64,6 +67,7 @@ const SPEC_KEYS: &[(&str, KeyScope)] = &[
     ("skew", KeyScope::Sharded),
     ("flows", KeyScope::Cached),
     ("megaflow", KeyScope::Cached),
+    ("optimize", KeyScope::Any),
 ];
 
 /// The comma-separated key list for error messages, straight from
@@ -130,6 +134,14 @@ pub enum BuildError {
         /// The first error finding's explanation.
         first: String,
     },
+    /// [`OptimizePolicy::Validated`] ran the rule-set optimizer and its
+    /// output failed equivalence validation against the original set —
+    /// an optimizer bug caught before any engine was built from the bad
+    /// rewrite.
+    OptimizeFailed {
+        /// The validation failure, witness included.
+        reason: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -164,6 +176,9 @@ impl fmt::Display for BuildError {
                     if *errors == 1 { "" } else { "s" }
                 )
             }
+            BuildError::OptimizeFailed { reason } => {
+                write!(f, "rule-set optimization failed validation: {reason}")
+            }
         }
     }
 }
@@ -184,6 +199,24 @@ pub enum AuditPolicy {
 }
 
 impl std::error::Error for BuildError {}
+
+/// Whether [`EngineBuilder::build`] runs the semantics-preserving
+/// rule-set optimizer before constructing the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizePolicy {
+    /// Build from the rule set as given (the default).
+    #[default]
+    Off,
+    /// Run `spc_analyze::optimize` with its id-preserving configuration
+    /// (duplicate coalescing, dead-rule elimination, priority
+    /// renumbering — no range merging), validate the output against the
+    /// original set with the equivalence checker, build the backend from
+    /// the optimized set, and wrap it in [`crate::OptimizedEngine`] so
+    /// every verdict, update report and error speaks the *original* id
+    /// space. Validation failure is [`BuildError::OptimizeFailed`] —
+    /// never a silently different engine.
+    Validated,
+}
 
 /// Builds any registered backend as a `Box<dyn PacketClassifier>`.
 ///
@@ -219,6 +252,7 @@ pub struct EngineBuilder {
     /// Full builder for the snapshot wrapper's inner engine (`None`
     /// means the default `configurable-bst`) — boxed like `cache_inner`.
     snapshot_inner: Option<Box<EngineBuilder>>,
+    optimize: OptimizePolicy,
 }
 
 /// Default shard count for `sharded` specs that don't say.
@@ -302,6 +336,7 @@ impl EngineBuilder {
             cache_megaflow: true,
             cache_inner: None,
             snapshot_inner: None,
+            optimize: OptimizePolicy::Off,
         }
     }
 
@@ -461,6 +496,13 @@ impl EngineBuilder {
                     b.cache_megaflow = match value {
                         "on" => true,
                         "off" => false,
+                        _ => return Err(bad()),
+                    };
+                }
+                "optimize" => {
+                    b.optimize = match value {
+                        "off" => OptimizePolicy::Off,
+                        "validated" => OptimizePolicy::Validated,
                         _ => return Err(bad()),
                     };
                 }
@@ -625,6 +667,13 @@ impl EngineBuilder {
     /// (snapshot backend; defaults to `configurable-bst`).
     pub fn with_snapshot_inner(mut self, inner: EngineBuilder) -> Self {
         self.snapshot_inner = Some(Box::new(inner));
+        self
+    }
+
+    /// Sets whether [`EngineBuilder::build`] optimizes the rule set
+    /// first (spec key `optimize=off|validated`; any backend).
+    pub fn with_optimize(mut self, policy: OptimizePolicy) -> Self {
+        self.optimize = policy;
         self
     }
 
@@ -827,12 +876,17 @@ impl EngineBuilder {
     /// conditions (checked up front on every backend),
     /// [`BuildError::AuditRejected`] when
     /// [`AuditPolicy::RejectErrors`] is set and the audit finds
-    /// error-level issues, and [`BuildError::Rejected`] when the backend
-    /// cannot hold the set (provisioning limits, RFC entry cap).
+    /// error-level issues, [`BuildError::OptimizeFailed`] when
+    /// [`OptimizePolicy::Validated`] is set and the optimizer's output
+    /// fails equivalence validation, and [`BuildError::Rejected`] when
+    /// the backend cannot hold the set (provisioning limits, RFC entry
+    /// cap).
     pub fn build(&self, rules: &RuleSet) -> Result<Box<dyn PacketClassifier>, BuildError> {
         // Duplicate 5-tuples are unrepresentable on the configurable
         // architecture; reject them uniformly so a set either builds on
-        // every backend or on none.
+        // every backend or on none. The check runs on the set as given,
+        // before any optimization, so registry semantics do not depend
+        // on the optimize policy.
         let mut first_seen: HashMap<[DimValue; 7], RuleId> = HashMap::new();
         for (id, rule) in rules.iter() {
             if let Some(&first) = first_seen.get(&rule.dim_values()) {
@@ -860,6 +914,23 @@ impl EngineBuilder {
                 }
             }
         }
+        match self.optimize {
+            OptimizePolicy::Off => self.build_raw(rules),
+            OptimizePolicy::Validated => {
+                let opt =
+                    spc_analyze::optimize(rules, &spc_analyze::OptimizeConfig::id_preserving())
+                        .map_err(|e| BuildError::OptimizeFailed {
+                            reason: e.to_string(),
+                        })?;
+                let inner = self.build_raw(&opt.rules)?;
+                Ok(Box::new(crate::OptimizedEngine::new(inner, &opt, rules)))
+            }
+        }
+    }
+
+    /// The kind dispatch, after all set-level checks: builds the backend
+    /// from exactly the rules it is given.
+    fn build_raw(&self, rules: &RuleSet) -> Result<Box<dyn PacketClassifier>, BuildError> {
         Ok(match self.kind {
             EngineKind::ConfigurableMbt => Box::new(self.build_configurable(IpAlg::Mbt, rules)?),
             EngineKind::ConfigurableBst => Box::new(self.build_configurable(IpAlg::Bst, rules)?),

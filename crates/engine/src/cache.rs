@@ -160,12 +160,18 @@ impl<K: Hash + Eq + Copy> FlowTable<K> {
         let mut victim = home;
         for i in 0..PROBE_WINDOW {
             let slot = (home + i) & self.mask;
-            let e = self.slots[slot].as_mut().expect("window is full");
-            if e.referenced {
-                e.referenced = false;
-            } else {
-                victim = slot;
-                break;
+            match &mut self.slots[slot] {
+                // Unreachable (the first pass would have taken a free
+                // slot), but a free slot is also the perfect victim.
+                None => {
+                    victim = slot;
+                    break;
+                }
+                Some(e) if e.referenced => e.referenced = false,
+                Some(_) => {
+                    victim = slot;
+                    break;
+                }
             }
         }
         self.slots[victim] = Some(Entry {
@@ -378,7 +384,11 @@ impl CachedEngine {
 
     /// Whether the megaflow layer is enabled.
     pub fn has_megaflow(&self) -> bool {
-        self.state.lock().expect("cache lock").mega.is_some()
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .mega
+            .is_some()
     }
 
     /// Snapshot of the cache counters.
@@ -453,7 +463,10 @@ impl PacketClassifier for CachedEngine {
 
     fn classify(&self, header: &Header) -> Verdict {
         {
-            let mut state = self.state.lock().expect("cache lock");
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             self.flush_if_stale(&mut state);
             if let Some(v) = self.probe(&mut state, header) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -466,7 +479,10 @@ impl PacketClassifier for CachedEngine {
         // they cannot interleave with `&self` lookups).
         self.misses.fetch_add(1, Ordering::Relaxed);
         let verdict = self.inner.classify(header);
-        let mut state = self.state.lock().expect("cache lock");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         self.install(&mut state, header, verdict);
         verdict
     }
@@ -482,7 +498,10 @@ impl PacketClassifier for CachedEngine {
     fn classify_batch(&mut self, headers: &[Header], out: &mut Vec<Verdict>) -> LookupStats {
         out.clear();
         let epoch = self.inner.update_epoch();
-        let state = self.state.get_mut().expect("cache lock");
+        let state = self
+            .state
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if self.seen_epoch.swap(epoch, Ordering::Relaxed) != epoch {
             state.flush();
             self.flushes.fetch_add(1, Ordering::Relaxed);
@@ -564,7 +583,10 @@ impl PacketClassifier for CachedEngine {
     }
 
     fn memory_bits(&self) -> u64 {
-        let state = self.state.lock().expect("cache lock");
+        let state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let micro_bits =
             (state.micro.capacity() * std::mem::size_of::<Option<Entry<Header>>>()) as u64 * 8;
         let mega_bits = state.mega.as_ref().map_or(0, |m| {
@@ -593,7 +615,7 @@ impl PacketClassifier for CachedEngine {
         let (dropped, flushed) = self
             .state
             .get_mut()
-            .expect("cache lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .invalidate_for_insert(&rule);
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
         self.flushes
@@ -608,7 +630,7 @@ impl PacketClassifier for CachedEngine {
         let dropped = self
             .state
             .get_mut()
-            .expect("cache lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .invalidate_for_remove(id);
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
         self.seen_epoch

@@ -73,16 +73,18 @@ mod builder;
 pub mod cache;
 mod configurable;
 mod kind;
+mod optimized;
 pub mod pipeline;
 mod sharded;
 pub mod snapshot;
 pub mod workload;
 
 pub use baseline::BaselineEngine;
-pub use builder::{build_engine, AuditPolicy, BuildError, EngineBuilder};
+pub use builder::{build_engine, AuditPolicy, BuildError, EngineBuilder, OptimizePolicy};
 pub use cache::{CacheStats, CachedEngine};
 pub use configurable::ConfigurableEngine;
 pub use kind::EngineKind;
+pub use optimized::OptimizedEngine;
 pub use pipeline::{
     BatchWorker, EngineSource, IngestConfig, IngestPipeline, PipelineError, SharedWorker,
 };

@@ -433,6 +433,7 @@ impl IngestPipeline {
     /// # Panics
     ///
     /// Panics if every worker died (a worker panic poisons the pool).
+    #[allow(clippy::expect_used)] // panic contract documented above
     pub fn feed(&mut self, headers: &[Header]) -> usize {
         let tx = self.feed_tx.as_ref().expect("pipeline is not shut down");
         let mut queued = 0;
@@ -455,6 +456,7 @@ impl IngestPipeline {
     /// Panics if a worker died (panicked) before completing the stream —
     /// a dead worker delivers a death marker for the chunk it was
     /// holding, so this fails loudly instead of waiting forever.
+    #[allow(clippy::expect_used)] // panic contract documented above
     pub fn drain(&mut self, out: &mut Vec<Verdict>) -> LookupStats {
         let mut folded = LookupStats::default();
         while self.drained_seq < self.next_seq {

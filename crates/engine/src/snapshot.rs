@@ -157,7 +157,12 @@ impl SnapshotHandle {
 
     /// Clones the current snapshot `Arc` (brief lock).
     fn load(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current.lock().expect("snapshot lock poisoned"))
+        Arc::clone(
+            &self
+                .current
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     fn version(&self) -> u64 {
@@ -168,7 +173,12 @@ impl SnapshotHandle {
     /// version while still holding the lock, so a reader that sees the
     /// new version is guaranteed to load a snapshot at least that new.
     fn publish(&self, next: Arc<Snapshot>) {
-        let mut cur = self.current.lock().expect("snapshot lock poisoned");
+        // The guarded value is a plain `Arc` pointer, never left half-updated,
+        // so a poisoned lock is safe to recover.
+        let mut cur = self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *cur = next;
         self.version.fetch_add(1, Ordering::Release);
     }
@@ -580,6 +590,10 @@ impl PacketClassifier for SnapshotEngine {
         Ok(global)
     }
 
+    // The writer's shard mirrors and the router are updated in lock-step
+    // by every update path, so a rule the router locates is always
+    // present in the mirrored shard.
+    #[allow(clippy::expect_used)]
     fn remove(&mut self, id: RuleId) -> Result<(), UpdateError> {
         let report = match &mut self.mode {
             WriterMode::Single { live, .. } => {

@@ -212,6 +212,9 @@ impl FieldEngine for RangeBst {
         Ok(())
     }
 
+    // Interval 0 starts at port 0, so the binary search always lands on
+    // a covering interval for any u16 query.
+    #[allow(clippy::expect_used)]
     fn lookup_into(
         &self,
         store: &LabelStore,

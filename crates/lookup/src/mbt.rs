@@ -147,6 +147,9 @@ pub struct MultiBitTrie {
 
 impl MultiBitTrie {
     /// Creates an empty trie with the given geometry (root pre-allocated).
+    // The level-0 block is sized `level_nodes[0] << strides[0]` words, so
+    // allocating the root's `1 << strides[0]` slots cannot overflow.
+    #[allow(clippy::expect_used)]
     pub fn new(config: MbtConfig) -> Self {
         let cum = config.cum();
         let mut levels: Vec<MemoryBlock<Slot>> = config
@@ -227,6 +230,9 @@ impl MultiBitTrie {
     }
 
     /// Level index whose cumulative stride first covers `len`.
+    // `cum` ends at `key_bits` and insert validates `len <= key_bits`, so
+    // a covering level always exists.
+    #[allow(clippy::expect_used)]
     fn target_level(&self, len: u8) -> usize {
         self.cum
             .iter()

@@ -45,6 +45,7 @@ pub struct ProtocolLut {
 impl ProtocolLut {
     /// Creates an empty LUT (256 words pre-allocated — it is a direct
     /// table, not an allocated structure).
+    #[allow(clippy::expect_used)] // exactly 256 words provisioned above
     pub fn new() -> Self {
         let label_bits = 2u8; // paper width; entry also needs a valid bit
         let mut table = MemoryBlock::new("proto_lut", 256, u32::from(label_bits) + 1);

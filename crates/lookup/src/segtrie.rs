@@ -127,6 +127,9 @@ type SlotOp<'a> =
 
 impl SegmentTrie {
     /// Creates an empty trie (root pre-allocated).
+    // The level-0 block is sized `level_nodes[0] << strides[0]` words, so
+    // allocating the root's `1 << strides[0]` slots cannot overflow.
+    #[allow(clippy::expect_used)]
     pub fn new(config: SegTrieConfig) -> Self {
         let cum = config.cum();
         let mut levels: Vec<MemoryBlock<Slot>> = config

@@ -5,6 +5,12 @@
 //! The generators are seeded (`StdRng::seed_from_u64`) so every run
 //! exercises the same cases; failures print the case number and query.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::prelude::*;
 use spc_lookup::{
     FieldEngine, Label, LabelEntry, LabelStore, MbtConfig, MultiBitTrie, PortRegisters,

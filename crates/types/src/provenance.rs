@@ -1,0 +1,107 @@
+//! Mapping optimized rule ids back to the original rule set.
+
+use crate::RuleId;
+
+/// The id translation an optimizer emits alongside a rewritten
+/// [`crate::RuleSet`]: entry `i` is the original-set id that optimized
+/// rule `RuleId(i)` descends from.
+///
+/// The map is total over the optimized set (every surviving rule has
+/// provenance) and injective for id-preserving pipelines (no two
+/// optimized rules share an ancestor); range-merging pipelines may fold
+/// several original rules into one survivor, in which case the survivor
+/// carries the best-ranked ancestor.
+///
+/// ```
+/// use spc_types::{ProvenanceMap, RuleId};
+///
+/// // Rules 1 and 3 of a 4-rule set were eliminated.
+/// let map = ProvenanceMap::from_vec(vec![RuleId(0), RuleId(2)]);
+/// assert_eq!(map.original(RuleId(1)), Some(RuleId(2)));
+/// assert_eq!(map.original(RuleId(2)), None); // not in the optimized set
+/// assert_eq!(map.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProvenanceMap {
+    /// `to_original[optimized_id] = original_id`.
+    to_original: Vec<RuleId>,
+}
+
+impl ProvenanceMap {
+    /// The identity map over `n` rules (a no-op optimization).
+    pub fn identity(n: usize) -> Self {
+        ProvenanceMap {
+            to_original: (0..n as u32).map(RuleId).collect(),
+        }
+    }
+
+    /// A map from the explicit per-optimized-id ancestor list.
+    pub fn from_vec(to_original: Vec<RuleId>) -> Self {
+        ProvenanceMap { to_original }
+    }
+
+    /// The original-set id behind an optimized id, or `None` when the id
+    /// is outside the optimized set.
+    pub fn original(&self, optimized: RuleId) -> Option<RuleId> {
+        self.to_original.get(optimized.0 as usize).copied()
+    }
+
+    /// Number of optimized rules mapped.
+    pub fn len(&self) -> usize {
+        self.to_original.len()
+    }
+
+    /// Whether the optimized set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_original.is_empty()
+    }
+
+    /// Whether every optimized id maps to itself (nothing was removed or
+    /// reordered).
+    pub fn is_identity(&self) -> bool {
+        self.to_original
+            .iter()
+            .enumerate()
+            .all(|(i, id)| id.0 as usize == i)
+    }
+
+    /// Iterates `(optimized_id, original_id)` pairs in optimized-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, RuleId)> + '_ {
+        self.to_original
+            .iter()
+            .enumerate()
+            .map(|(i, &orig)| (RuleId(i as u32), orig))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_every_id_to_itself() {
+        let map = ProvenanceMap::identity(3);
+        assert!(map.is_identity());
+        assert_eq!(map.len(), 3);
+        for i in 0..3 {
+            assert_eq!(map.original(RuleId(i)), Some(RuleId(i)));
+        }
+        assert_eq!(map.original(RuleId(3)), None);
+    }
+
+    #[test]
+    fn gaps_are_not_identity() {
+        let map = ProvenanceMap::from_vec(vec![RuleId(0), RuleId(2)]);
+        assert!(!map.is_identity());
+        let pairs: Vec<_> = map.iter().collect();
+        assert_eq!(pairs, vec![(RuleId(0), RuleId(0)), (RuleId(1), RuleId(2))]);
+    }
+
+    #[test]
+    fn empty_map() {
+        let map = ProvenanceMap::default();
+        assert!(map.is_empty());
+        assert!(map.is_identity());
+        assert_eq!(map.original(RuleId(0)), None);
+    }
+}

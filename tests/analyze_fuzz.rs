@@ -23,8 +23,16 @@
 //! shadow-chained, duplicate-ridden and degenerate-range sets that the
 //! ClassBench generators never emit.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::prelude::*;
-use spc::analyze::{analyze, candidate_values, grid_size, Reachability};
+use spc::analyze::{
+    analyze, candidate_values, grid_size, optimize, OptimizeConfig, PassKind, Reachability,
+};
 use spc::classbench::{PcapReader, PcapWriter, ScenarioScript, TraceSource};
 use spc::core::{ArchConfig, Classifier};
 use spc::engine::{BuildError, EngineBuilder, EngineKind};
@@ -262,6 +270,92 @@ fn adversarial_sets_cross_check_analyzer_oracle_and_backends() {
         exhaustive_sets >= SETS - 5,
         "only {exhaustive_sets}/{SETS} sets swept exhaustively; shrink the pools"
     );
+}
+
+#[test]
+fn optimizer_round_trips_on_every_adversarial_set_and_backend() {
+    use spc::engine::OptimizePolicy;
+    for i in 0..SETS {
+        let seed = FUZZ_SEED + i as u64;
+        let rules = adversarial_set(seed);
+        let grid = grid_headers(&rules);
+
+        // Full pipeline (merging included): the optimized set gives every
+        // grid header the same *action* outcome as the original. The
+        // original's grid is a decision grid for the pair — every cut
+        // point the optimizer can produce (range unions, survivors) is
+        // already a cut point of the original set.
+        let opt = optimize(&rules, &OptimizeConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: optimizer failed validation: {e}"));
+        assert!(
+            opt.validation.is_equivalent(),
+            "seed {seed}: tiny pool grids must validate exhaustively, got {}",
+            opt.validation
+        );
+        for h in &grid {
+            let want = rules.classify(h).map(|(_, r)| r.action);
+            let got = opt.rules.classify(h).map(|(_, r)| r.action);
+            assert_eq!(got, want, "seed {seed}: optimized action differs at {h}");
+        }
+
+        // Every rule the duplicate/dead passes removed is independently
+        // condemned by the analyzer: a duplicate-rule or shadowed-rule
+        // finding names it. (Range-merge removals are exempt — absorbed
+        // rules are live, just action-redundant with their survivor.)
+        let report = analyze(&rules);
+        let condemned: std::collections::HashSet<RuleId> = report
+            .findings
+            .iter()
+            .filter(|f| matches!(f.kind.code(), "duplicate-rule" | "shadowed-rule"))
+            .flat_map(|f| f.rules.iter().copied())
+            .collect();
+        for pass in &opt.passes {
+            if matches!(
+                pass.pass,
+                PassKind::DuplicateCoalescing | PassKind::DeadRuleElimination
+            ) {
+                for id in &pass.removed {
+                    assert!(
+                        condemned.contains(id),
+                        "seed {seed}: optimizer removed {id} ({}) but the analyzer \
+                         does not flag it",
+                        pass.pass
+                    );
+                }
+            }
+        }
+
+        // Engine wiring: every registry backend built with
+        // optimize=validated returns the *unoptimized* linear oracle's
+        // verdict — original rule id, priority and action — on every
+        // grid header.
+        let oracle = EngineBuilder::new(EngineKind::Linear)
+            .build(&rules)
+            .unwrap();
+        for kind in EngineKind::ALL {
+            let engine = EngineBuilder::new(kind)
+                .with_optimize(OptimizePolicy::Validated)
+                .build(&rules)
+                .unwrap_or_else(|e| panic!("seed {seed}: {kind} optimized build failed: {e}"));
+            assert_eq!(engine.rules(), rules.len(), "seed {seed}: {kind}");
+            for h in &grid {
+                let want = oracle.classify(h);
+                let got = engine.classify(h);
+                assert_eq!(
+                    got.rule, want.rule,
+                    "seed {seed}: optimized {kind} id differs at {h}"
+                );
+                assert_eq!(
+                    got.priority, want.priority,
+                    "seed {seed}: optimized {kind} priority at {h}"
+                );
+                assert_eq!(
+                    got.action, want.action,
+                    "seed {seed}: optimized {kind} action at {h}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -4,6 +4,12 @@
 //! trace — through the unified `PacketClassifier` API, single-shot and
 //! batch alike.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
 use spc::engine::{EngineBuilder, EngineKind, Verdict};
 use spc::types::{Header, RuleSet};

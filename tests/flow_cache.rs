@@ -13,6 +13,12 @@
 //! * hit rate must grow with flow locality, and eviction pressure from
 //!   an undersized table must cost performance only, never correctness.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::prelude::*;
 use spc::classbench::{FilterKind, RuleSetGenerator, ScenarioScript, TraceGenerator};
 use spc::engine::{build_engine, run_scenario, EngineKind, LookupStats, PacketClassifier, Verdict};

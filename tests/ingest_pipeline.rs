@@ -6,6 +6,12 @@
 //! and the degenerate shapes (zero-length batch, more workers than
 //! packets) must hold.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
 use spc::engine::pipeline::BatchWorker;
 use spc::engine::{

@@ -4,6 +4,12 @@
 //! switching, label refcounts, §V.A update accounting) still poke
 //! `spc::core::Classifier` directly through the engine's accessor.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
 use spc::core::{ArchConfig, Classifier, IpAlg};
 use spc::engine::{build_engine, ConfigurableEngine, EngineBuilder, EngineKind, PacketClassifier};

@@ -3,6 +3,12 @@
 //! type invariants. Classifier-facing properties go through the unified
 //! `spc::engine::PacketClassifier` API.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::prelude::*;
 use spc::engine::{EngineBuilder, EngineKind, PacketClassifier, UpdateError, Verdict};
 use spc::types::{

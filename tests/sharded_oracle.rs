@@ -6,6 +6,12 @@
 //! (The general registry oracle in `tests/engine_oracle.rs` already
 //! sweeps the sharded default config; this suite sweeps its knobs.)
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::prelude::*;
 use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
 use spc::engine::{build_engine, EngineBuilder, EngineKind};

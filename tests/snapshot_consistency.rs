@@ -26,6 +26,12 @@
 //! CI runs this file in release mode with `RUST_TEST_THREADS=1`; each
 //! test manages its own reader threads.
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc::engine::{EngineBuilder, PacketClassifier, SnapshotEngine, Verdict};
 use spc::types::{Action, Header, PortRange, Priority, ProtoSpec, Rule, RuleId};
 use std::sync::atomic::{AtomicBool, Ordering};

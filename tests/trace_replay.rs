@@ -12,6 +12,12 @@
 //!   from scratch* over the live rule set (the same strongest-possible
 //!   reference `tests/sharded_oracle.rs` uses).
 
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use spc::classbench::{
     write_pcap, FilterKind, PcapError, PcapReader, RuleSetGenerator, ScenarioScript, TraceError,
     TraceGenerator, TraceSource,
