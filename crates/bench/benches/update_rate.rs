@@ -1,5 +1,8 @@
 //! Criterion bench: incremental rule insert/remove rate (§V.A), MBT vs
-//! BST — the BST pays its software rebuild on every flush.
+//! BST — the BST pays its software rebuild on every flush — plus the
+//! registry-level churn sweep across every updatable backend, so the
+//! paper's update story is measured against tuple-space search and the
+//! software TCAM through the same `PacketClassifier` API.
 
 // Reproduction harness: a panic here means the bench environment itself
 // is broken (bad spec string, generator misconfiguration), and aborting
@@ -55,5 +58,49 @@ fn bench_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_update);
+/// The same 64-insert/64-remove churn burst through the unified engine
+/// API: the configurable architecture next to the update-first
+/// backends (`tss`, `tcam`) it is framed against.
+fn bench_update_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_engines");
+    group.sample_size(20);
+    let base = ruleset(FilterKind::Acl, 1000);
+    let churn = ruleset(FilterKind::Acl, 1200);
+    let extra: Vec<_> = churn
+        .rules()
+        .iter()
+        .skip(1000)
+        .take(64)
+        .enumerate()
+        .map(|(i, r)| {
+            let mut r = *r;
+            r.priority = spc_types::Priority(50_000 + i as u32);
+            r
+        })
+        .collect();
+    for spec in ["configurable-mbt", "configurable-bst", "tss", "tcam"] {
+        let mut engine = spc_engine::build_engine(spec, &base).expect("spec builds");
+        assert!(engine.supports_updates(), "{spec}");
+        group.bench_function(BenchmarkId::new("insert_remove", spec), |b| {
+            b.iter_batched(
+                || extra.clone(),
+                |rules| {
+                    let mut ids = Vec::new();
+                    for r in rules {
+                        if let Ok(id) = engine.insert(r) {
+                            ids.push(id);
+                        }
+                    }
+                    for id in ids {
+                        engine.remove(id).unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update, bench_update_engines);
 criterion_main!(benches);

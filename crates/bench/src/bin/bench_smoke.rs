@@ -375,6 +375,9 @@ fn main() {
     let specs = [
         "linear".to_string(),
         "configurable-bst".to_string(),
+        // The update-first backends, next to the architecture they frame.
+        "tss".to_string(),
+        "tcam".to_string(),
         "sharded:inner=configurable-bst,shards=2,strategy=hash".to_string(),
         "sharded:inner=configurable-bst,shards=4,strategy=hash".to_string(),
         "sharded:inner=configurable-bst,shards=8,strategy=hash".to_string(),
@@ -755,6 +758,11 @@ fn main() {
         "sharded:inner=configurable-bst,shards=8,strategy=prio".to_string(),
         "sharded:inner=configurable-bst,shards=2,strategy=hash".to_string(),
         "sharded:inner=configurable-bst,shards=8,strategy=hash".to_string(),
+        // Update-first backends under the same scripted churn, so the
+        // §V.A numbers sit next to a TSS and a TCAM in the artifact.
+        "tss".to_string(),
+        "tcam".to_string(),
+        "sharded:inner=tss,shards=2,strategy=prio".to_string(),
     ];
     let mut scenario_rows = Vec::new();
     let mut scenario_recs = Vec::new();

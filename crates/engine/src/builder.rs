@@ -32,6 +32,10 @@ enum KeyScope {
     Inner,
     /// The cached backend only.
     Cached,
+    /// The tuple-space backend only.
+    TupleSpace,
+    /// The software-TCAM backend only.
+    Tcam,
     /// Every backend (build-level keys such as `optimize`).
     Any,
 }
@@ -47,6 +51,8 @@ impl KeyScope {
                     || kind == EngineKind::Snapshot
             }
             KeyScope::Cached => kind == EngineKind::Cached,
+            KeyScope::TupleSpace => kind == EngineKind::TupleSpace,
+            KeyScope::Tcam => kind == EngineKind::SoftTcam,
             KeyScope::Any => true,
         }
     }
@@ -67,6 +73,9 @@ const SPEC_KEYS: &[(&str, KeyScope)] = &[
     ("skew", KeyScope::Sharded),
     ("flows", KeyScope::Cached),
     ("megaflow", KeyScope::Cached),
+    ("tables", KeyScope::TupleSpace),
+    ("capacity", KeyScope::Tcam),
+    ("partitions", KeyScope::Tcam),
     ("optimize", KeyScope::Any),
 ];
 
@@ -252,6 +261,9 @@ pub struct EngineBuilder {
     /// Full builder for the snapshot wrapper's inner engine (`None`
     /// means the default `configurable-bst`) — boxed like `cache_inner`.
     snapshot_inner: Option<Box<EngineBuilder>>,
+    tss_tables: usize,
+    tcam_capacity: usize,
+    tcam_partitions: usize,
     optimize: OptimizePolicy,
 }
 
@@ -336,6 +348,9 @@ impl EngineBuilder {
             cache_megaflow: true,
             cache_inner: None,
             snapshot_inner: None,
+            tss_tables: crate::DEFAULT_TSS_TABLES,
+            tcam_capacity: crate::DEFAULT_TCAM_CAPACITY,
+            tcam_partitions: crate::DEFAULT_TCAM_PARTITIONS,
             optimize: OptimizePolicy::Off,
         }
     }
@@ -356,7 +371,11 @@ impl EngineBuilder {
     /// `flows=N` (microflow slots, rounded up to a power of two at build
     /// time) and `megaflow=on|off`. The snapshot backend takes
     /// `inner=<spec>` (a full nested spec, like cached —
-    /// `snapshot:inner=(sharded:shards=4)` rebuilds per shard).
+    /// `snapshot:inner=(sharded:shards=4)` rebuilds per shard). The
+    /// tuple-space backend takes `tables=N` (per-tuple hash-slot hint,
+    /// rounded up to a power of two at build time); the software TCAM
+    /// takes `capacity=N` (provisioned slots) and `partitions=K`
+    /// (allocator partition count, at most one per slot).
     ///
     /// Every key is checked against the kind it is for: unknown keys,
     /// keys for another backend, and duplicated keys are hard
@@ -499,6 +518,38 @@ impl EngineBuilder {
                         _ => return Err(bad()),
                     };
                 }
+                "tables" => {
+                    let n: usize = value.parse().map_err(|_| bad())?;
+                    if n == 0 {
+                        return Err(config_err(
+                            "tables must be >= 1 (each tuple needs at least one slot)".to_string(),
+                        ));
+                    }
+                    if !n.is_power_of_two() {
+                        eprintln!(
+                            "warning: tables={n} is not a power of two; \
+                             rounding up to {}",
+                            n.next_power_of_two()
+                        );
+                    }
+                    b.tss_tables = n;
+                }
+                "capacity" => {
+                    let n: usize = value.parse().map_err(|_| bad())?;
+                    if n == 0 {
+                        return Err(config_err(
+                            "capacity must be >= 1 (the TCAM needs at least one slot)".to_string(),
+                        ));
+                    }
+                    b.tcam_capacity = n;
+                }
+                "partitions" => {
+                    let n: usize = value.parse().map_err(|_| bad())?;
+                    if n == 0 {
+                        return Err(config_err("partitions must be >= 1".to_string()));
+                    }
+                    b.tcam_partitions = n;
+                }
                 "optimize" => {
                     b.optimize = match value {
                         "off" => OptimizePolicy::Off,
@@ -557,6 +608,12 @@ impl EngineBuilder {
             return Err(BuildError::ConfigError {
                 option: format!("skew={}", b.band_skew),
                 reason: "skew tunes priority-band splitting; it requires strategy=prio".to_string(),
+            });
+        }
+        if kind == EngineKind::SoftTcam && b.tcam_partitions > b.tcam_capacity {
+            return Err(BuildError::ConfigError {
+                option: format!("partitions={}", b.tcam_partitions),
+                reason: format!("partitions must not exceed capacity ({})", b.tcam_capacity),
             });
         }
         if kind == EngineKind::Sharded
@@ -670,6 +727,27 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the per-tuple hash-slot hint (tuple-space backend; rounded
+    /// up to a power of two, minimum 4, by the structure).
+    pub fn with_tss_tables(mut self, tables: usize) -> Self {
+        self.tss_tables = tables;
+        self
+    }
+
+    /// Sets the provisioned slot capacity (software-TCAM backend;
+    /// 0 is clamped to 1 at build time).
+    pub fn with_tcam_capacity(mut self, capacity: usize) -> Self {
+        self.tcam_capacity = capacity;
+        self
+    }
+
+    /// Sets the allocator partition count (software-TCAM backend;
+    /// clamped to `1..=capacity` at build time).
+    pub fn with_tcam_partitions(mut self, partitions: usize) -> Self {
+        self.tcam_partitions = partitions;
+        self
+    }
+
     /// Sets whether [`EngineBuilder::build`] optimizes the rule set
     /// first (spec key `optimize=off|validated`; any backend).
     pub fn with_optimize(mut self, policy: OptimizePolicy) -> Self {
@@ -766,6 +844,9 @@ impl EngineBuilder {
         inner.combine = self.combine;
         inner.rfc_entry_cap = self.rfc_entry_cap;
         inner.hypercuts = self.hypercuts;
+        inner.tss_tables = self.tss_tables;
+        inner.tcam_capacity = self.tcam_capacity;
+        inner.tcam_partitions = self.tcam_partitions;
         let mut parts = Vec::with_capacity(plan.shards.len());
         for slice in plan.shards {
             let engine = inner.build(&slice.rules)?;
@@ -862,6 +943,9 @@ impl EngineBuilder {
             per.combine = inner.combine;
             per.rfc_entry_cap = inner.rfc_entry_cap;
             per.hypercuts = inner.hypercuts;
+            per.tss_tables = inner.tss_tables;
+            per.tcam_capacity = inner.tcam_capacity;
+            per.tcam_partitions = inner.tcam_partitions;
             crate::SnapshotEngine::from_sharded(plan, router, per, inner.shard_strategy)
         } else {
             crate::SnapshotEngine::from_single(rules, inner)
@@ -966,6 +1050,21 @@ impl EngineBuilder {
             EngineKind::Sharded => Box::new(self.build_sharded(rules)?),
             EngineKind::Cached => Box::new(self.build_cached(rules)?),
             EngineKind::Snapshot => Box::new(self.build_snapshot(rules)?),
+            EngineKind::TupleSpace => Box::new(
+                crate::TupleSpaceEngine::build(rules, self.tss_tables).map_err(|e| {
+                    BuildError::Rejected {
+                        kind: self.kind,
+                        reason: e.to_string(),
+                    }
+                })?,
+            ),
+            EngineKind::SoftTcam => Box::new(
+                crate::SoftTcamEngine::build(rules, self.tcam_capacity, self.tcam_partitions)
+                    .map_err(|e| BuildError::Rejected {
+                        kind: self.kind,
+                        reason: e.to_string(),
+                    })?,
+            ),
         })
     }
 }
@@ -1009,11 +1108,15 @@ mod tests {
             // registry kind: the default sharded and cached configs wrap
             // configurable-bst inners, so they are updatable too. The
             // snapshot wrapper is updatable regardless of its inner —
-            // build-once inners are rebuilt wholesale per update.
+            // build-once inners are rebuilt wholesale per update. The
+            // tuple-space and software-TCAM backends are update-first by
+            // design.
             let expected = kind.is_configurable()
                 || kind == EngineKind::Sharded
                 || kind == EngineKind::Cached
-                || kind == EngineKind::Snapshot;
+                || kind == EngineKind::Snapshot
+                || kind == EngineKind::TupleSpace
+                || kind == EngineKind::SoftTcam;
             assert_eq!(e.supports_updates(), expected, "{kind}");
         }
     }
@@ -1081,6 +1184,8 @@ mod tests {
             // with an unknown-key rejection.
             let probe = match scope {
                 KeyScope::Cached => "cached",
+                KeyScope::TupleSpace => "tss",
+                KeyScope::Tcam => "tcam",
                 _ => "sharded",
             };
             let e = EngineBuilder::from_spec(&format!("{probe}:{key}=\u{2301}")).unwrap_err();
@@ -1401,6 +1506,86 @@ mod tests {
                 "{spec} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn tuplespace_and_tcam_spec_options_reach_the_engine() {
+        let rules = rules();
+        let e = build_engine("tss:tables=16", &rules).unwrap();
+        assert_eq!(e.kind(), EngineKind::TupleSpace);
+        assert!(e.supports_updates());
+        let e = build_engine("tcam:capacity=1024,partitions=4", &rules).unwrap();
+        assert_eq!(e.kind(), EngineKind::SoftTcam);
+        assert!(e.supports_updates());
+        // Both compose as wrapper inners and under sharding.
+        for spec in [
+            "cached:inner=tss,flows=64",
+            "snapshot:inner=(tcam:capacity=4096)",
+            "sharded:inner=tss,shards=2",
+            "sharded:inner=tcam,shards=2",
+        ] {
+            let e = build_engine(spec, &rules).unwrap();
+            assert_eq!(e.rules(), 2, "{spec}");
+            assert!(e.supports_updates(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn tuplespace_and_tcam_spec_errors_are_typed() {
+        // Malformed values are BadOption.
+        for spec in ["tss:tables=lots", "tcam:capacity=big", "tcam:partitions=x"] {
+            assert!(
+                matches!(
+                    EngineBuilder::from_spec(spec),
+                    Err(BuildError::BadOption { .. })
+                ),
+                "{spec} must be BadOption"
+            );
+        }
+        // Out-of-range and inconsistent values are ConfigError.
+        for spec in [
+            "tss:tables=0",
+            "tcam:capacity=0",
+            "tcam:partitions=0",
+            "tcam:capacity=4,partitions=8",
+            "tcam:partitions=8,capacity=4", // key order must not matter
+        ] {
+            assert!(
+                matches!(
+                    EngineBuilder::from_spec(spec),
+                    Err(BuildError::ConfigError { .. })
+                ),
+                "{spec} must be ConfigError"
+            );
+        }
+        // Each backend's keys belong to it alone.
+        for spec in [
+            "tcam:tables=8",
+            "tss:capacity=64",
+            "linear:partitions=2",
+            "sharded:inner=tss,tables=8",
+        ] {
+            assert!(
+                matches!(
+                    EngineBuilder::from_spec(spec),
+                    Err(BuildError::ConfigError { .. })
+                ),
+                "{spec} must be ConfigError"
+            );
+        }
+        // A rule set whose expansion overflows the TCAM is a typed
+        // build rejection, not a panic.
+        let wide = RuleSet::from_rules(vec![Rule::builder(Priority(0))
+            .src_port(PortRange::new(1000, 40000).unwrap())
+            .build()]);
+        let e = EngineBuilder::from_spec("tcam:capacity=4,partitions=2")
+            .unwrap()
+            .build(&wide);
+        assert!(
+            matches!(&e, Err(BuildError::Rejected { kind, reason })
+                if *kind == EngineKind::SoftTcam && reason.contains("capacity")),
+            "expected a capacity rejection, got {e:?}"
+        );
     }
 
     #[test]

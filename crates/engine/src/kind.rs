@@ -38,12 +38,20 @@ pub enum EngineKind {
     /// against an immutable published snapshot while updates rebuild
     /// and atomically publish the next one (see `SnapshotEngine`).
     Snapshot,
+    /// Tuple-space search: rules grouped by mask signature into one
+    /// hash table per tuple, probed in best-priority order; an update
+    /// touches exactly one tuple (see `TupleSpaceEngine`).
+    TupleSpace,
+    /// Software TCAM: priority-ordered mask/value entries scanned
+    /// first-match, with a partitioned allocator whose shift-on-insert
+    /// cost is surfaced per update (see `SoftTcamEngine`).
+    SoftTcam,
 }
 
 impl EngineKind {
     /// Every backend, in the order the paper's tables list them
     /// (workspace-grown backends follow the paper's rows).
-    pub const ALL: [EngineKind; 11] = [
+    pub const ALL: [EngineKind; 13] = [
         EngineKind::ConfigurableMbt,
         EngineKind::ConfigurableBst,
         EngineKind::Linear,
@@ -55,6 +63,8 @@ impl EngineKind {
         EngineKind::Sharded,
         EngineKind::Cached,
         EngineKind::Snapshot,
+        EngineKind::TupleSpace,
+        EngineKind::SoftTcam,
     ];
 
     /// The canonical config-string spelling ([`FromStr`] inverse).
@@ -71,6 +81,30 @@ impl EngineKind {
             EngineKind::Sharded => "sharded",
             EngineKind::Cached => "cached",
             EngineKind::Snapshot => "snapshot",
+            EngineKind::TupleSpace => "tss",
+            EngineKind::SoftTcam => "tcam",
+        }
+    }
+
+    /// Accepted alternative spellings, beyond the canonical
+    /// [`EngineKind::as_str`] name. [`FromStr`] is derived from this
+    /// table plus the canonical names — extend it here, never in the
+    /// parser.
+    pub fn aliases(self) -> &'static [&'static str] {
+        match self {
+            EngineKind::ConfigurableMbt => &["configurable_mbt", "mbt"],
+            EngineKind::ConfigurableBst => &["configurable_bst", "bst"],
+            EngineKind::Linear => &["linear-search"],
+            EngineKind::HyperCuts => &[],
+            EngineKind::Rfc => &[],
+            EngineKind::Dcfl => &[],
+            EngineKind::Option1 => &["option-1"],
+            EngineKind::Option2 => &["option-2"],
+            EngineKind::Sharded => &[],
+            EngineKind::Cached => &[],
+            EngineKind::Snapshot => &[],
+            EngineKind::TupleSpace => &["tuple-space", "tuplespace"],
+            EngineKind::SoftTcam => &["soft-tcam"],
         }
     }
 
@@ -114,25 +148,13 @@ impl FromStr for EngineKind {
     type Err = ParseEngineKindError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let k = match s.to_ascii_lowercase().as_str() {
-            "configurable-mbt" | "configurable_mbt" | "mbt" => EngineKind::ConfigurableMbt,
-            "configurable-bst" | "configurable_bst" | "bst" => EngineKind::ConfigurableBst,
-            "linear" | "linear-search" => EngineKind::Linear,
-            "hypercuts" => EngineKind::HyperCuts,
-            "rfc" => EngineKind::Rfc,
-            "dcfl" => EngineKind::Dcfl,
-            "option1" | "option-1" => EngineKind::Option1,
-            "option2" | "option-2" => EngineKind::Option2,
-            "sharded" => EngineKind::Sharded,
-            "cached" => EngineKind::Cached,
-            "snapshot" => EngineKind::Snapshot,
-            _ => {
-                return Err(ParseEngineKindError {
-                    input: s.to_string(),
-                })
-            }
-        };
-        Ok(k)
+        let lower = s.to_ascii_lowercase();
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.as_str() == lower || k.aliases().contains(&lower.as_str()))
+            .ok_or_else(|| ParseEngineKindError {
+                input: s.to_string(),
+            })
     }
 }
 
@@ -175,5 +197,64 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), EngineKind::ALL.len());
+    }
+
+    #[test]
+    fn all_lists_every_variant_exactly_once() {
+        // The exhaustive match makes the compiler flag any variant a
+        // future edit adds; the `seen` check flags one missing from (or
+        // duplicated in) `ALL`. Together they keep `ALL` in lock-step
+        // with the enum.
+        fn ordinal(k: EngineKind) -> usize {
+            match k {
+                EngineKind::ConfigurableMbt => 0,
+                EngineKind::ConfigurableBst => 1,
+                EngineKind::Linear => 2,
+                EngineKind::HyperCuts => 3,
+                EngineKind::Rfc => 4,
+                EngineKind::Dcfl => 5,
+                EngineKind::Option1 => 6,
+                EngineKind::Option2 => 7,
+                EngineKind::Sharded => 8,
+                EngineKind::Cached => 9,
+                EngineKind::Snapshot => 10,
+                EngineKind::TupleSpace => 11,
+                EngineKind::SoftTcam => 12,
+            }
+        }
+        let mut seen = [false; EngineKind::ALL.len()];
+        for k in EngineKind::ALL {
+            assert!(!seen[ordinal(k)], "{k} listed twice in ALL");
+            seen[ordinal(k)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "a variant is missing from ALL");
+    }
+
+    #[test]
+    fn aliases_parse_and_never_shadow_canonical_names() {
+        let mut spellings: Vec<&str> = Vec::new();
+        for kind in EngineKind::ALL {
+            spellings.push(kind.as_str());
+            for a in kind.aliases() {
+                assert_eq!(a.parse::<EngineKind>().unwrap(), kind, "alias {a}");
+                spellings.push(a);
+            }
+        }
+        let n = spellings.len();
+        spellings.sort_unstable();
+        spellings.dedup();
+        assert_eq!(spellings.len(), n, "a spelling maps to two kinds");
+    }
+
+    #[test]
+    fn new_backends_parse() {
+        for (s, k) in [
+            ("tss", EngineKind::TupleSpace),
+            ("tuple-space", EngineKind::TupleSpace),
+            ("tcam", EngineKind::SoftTcam),
+            ("soft-tcam", EngineKind::SoftTcam),
+        ] {
+            assert_eq!(s.parse::<EngineKind>().unwrap(), k);
+        }
     }
 }

@@ -38,6 +38,11 @@
 //!   other threads classify against lock-free while `insert`/`remove`
 //!   rebuild and atomically publish the next version (per-shard rebuilds
 //!   for `sharded:` inners);
+//! * [`TupleSpaceEngine`] / [`SoftTcamEngine`] — the update-first
+//!   backends of `spc-tuplespace` behind the same trait: tuple-space
+//!   search (`"tss:tables=8"`) and a partitioned software TCAM
+//!   (`"tcam:capacity=1048576,partitions=8"`), both with live
+//!   incremental updates priced in §V.A write cycles;
 //! * [`workload`] — engines driven from streaming
 //!   [`spc_classbench::TraceSource`] workloads: classify-only streams
 //!   (synthetic or pcap replay) through
@@ -77,6 +82,7 @@ mod optimized;
 pub mod pipeline;
 mod sharded;
 pub mod snapshot;
+mod tuple;
 pub mod workload;
 
 pub use baseline::BaselineEngine;
@@ -90,6 +96,10 @@ pub use pipeline::{
 };
 pub use sharded::{InnerFactory, ShardedEngine};
 pub use snapshot::{SnapshotEngine, SnapshotReader};
+pub use tuple::{
+    SoftTcamEngine, TupleSpaceEngine, DEFAULT_TCAM_CAPACITY, DEFAULT_TCAM_PARTITIONS,
+    DEFAULT_TSS_TABLES,
+};
 pub use workload::{run_scenario, ScenarioReport, WorkloadError};
 // Re-exported so callers can configure sharding without a spc-core dep.
 pub use spc_core::shard::ShardStrategy;

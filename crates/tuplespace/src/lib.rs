@@ -1,0 +1,90 @@
+//! # spc-tuplespace — update-first classifier structures
+//!
+//! The configurable architecture's §V.A selling point is fast incremental
+//! updates. This crate holds the two classic *update-first* designs the
+//! paper's comparison tables omit, as pure data structures behind the
+//! `spc-engine` registry adapters:
+//!
+//! * [`TupleSpace`] — tuple-space search (Srinivasan, Suri & Varghese,
+//!   SIGCOMM '99; the software path of Open vSwitch): rules grouped by
+//!   their [`spc_types::MaskSummary::hash_signature`] into *tuples*, one
+//!   open-addressed hash table per tuple keyed by the masked query
+//!   values. A lookup probes tuples in best-priority order and stops as
+//!   soon as the current winner outranks every remaining tuple; an
+//!   update touches exactly one tuple's table plus the pruning index.
+//! * [`SoftTcam`] — a software model of a priority-ordered TCAM:
+//!   mask/value entries (port ranges expanded to prefixes) scanned
+//!   first-match, with a partitioned free-slot allocator whose
+//!   shift-on-insert cost is surfaced per update ([`TcamUpdate`]).
+//!
+//! Both structures allocate **monotonic, never-reused** rule ids (the
+//! registry-wide churn-oracle convention) and report per-update costs
+//! through [`TssUpdate`] / [`TcamUpdate`], which the engine layer maps
+//! onto §V.A-style `UpdateReport`s.
+
+mod tcam;
+mod tss;
+
+pub use tcam::{port_prefixes, SoftTcam, TcamEntry, TcamUpdate};
+pub use tss::{TssUpdate, TupleSpace};
+
+use std::fmt;
+
+/// Typed error for tuple-space / TCAM updates and builds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TupleError {
+    /// A rule identical in every match dimension is already installed.
+    Duplicate {
+        /// Id of the already-installed rule.
+        existing: u32,
+    },
+    /// No installed rule has this id.
+    UnknownRule {
+        /// The offending id.
+        id: u32,
+    },
+    /// The structure cannot hold the update: every slot is occupied.
+    CapacityExhausted {
+        /// Configured entry capacity.
+        capacity: usize,
+        /// Entries the rejected operation would have required.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for TupleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleError::Duplicate { existing } => {
+                write!(f, "identical rule already installed as r{existing}")
+            }
+            TupleError::UnknownRule { id } => write!(f, "unknown rule r{id}"),
+            TupleError::CapacityExhausted { capacity, needed } => {
+                write!(
+                    f,
+                    "capacity exhausted: {needed} entries needed, {capacity} provisioned"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TupleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(TupleError::Duplicate { existing: 3 }
+            .to_string()
+            .contains("r3"));
+        assert!(TupleError::UnknownRule { id: 9 }.to_string().contains("r9"));
+        let e = TupleError::CapacityExhausted {
+            capacity: 4,
+            needed: 5,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('5'));
+    }
+}

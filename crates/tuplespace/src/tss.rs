@@ -1,0 +1,611 @@
+//! Tuple-space search: rules grouped by hash-mask signature, one
+//! open-addressed hash table per tuple, probed in best-priority order.
+
+use crate::TupleError;
+use spc_types::{Header, MaskSummary, Priority, Rule, RuleSet};
+use std::collections::HashMap;
+
+/// Approximate storage of one installed rule (5-tuple + priority +
+/// action + id), for the memory model.
+const RULE_BITS: u64 = 256;
+/// Slot header (occupancy + cached hash) in the memory model.
+const SLOT_BITS: u64 = 64;
+/// One bucket's key — seven 16-bit masked query values.
+const KEY_BITS: u64 = 7 * 16;
+
+/// Cost accounting for one [`TupleSpace`] update, mapped by the engine
+/// layer onto a §V.A-style `UpdateReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TssUpdate {
+    /// An insert opened a tuple this signature did not have yet.
+    pub tuple_created: bool,
+    /// A remove emptied and freed the rule's tuple.
+    pub tuple_freed: bool,
+    /// Hash-table slots written: the touched bucket plus any slots moved
+    /// by a rehash (insert growth) or a backward-shift deletion.
+    pub slots_written: u32,
+}
+
+/// One installed rule inside a tuple's table.
+#[derive(Debug, Clone)]
+struct Entry {
+    id: u32,
+    rule: Rule,
+}
+
+/// One hash bucket: all rules of the tuple whose masked values collide
+/// exactly (they can differ only in range dimensions, which the
+/// signature excludes). Entries stay sorted by `(priority, id)`, so the
+/// first match in a bucket is the bucket's best match.
+#[derive(Debug, Clone)]
+struct Bucket {
+    key: [u16; 7],
+    entries: Vec<Entry>,
+}
+
+/// FNV-1a over the seven masked 16-bit query values.
+fn hash_key(key: &[u16; 7]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in key {
+        h ^= u64::from(v);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Open-addressed (linear probing, backward-shift deletion) table of
+/// buckets. Power-of-two capacity, load kept under 3/4 so every probe
+/// chain ends at an empty slot.
+#[derive(Debug, Clone)]
+struct Table {
+    slots: Vec<Option<Bucket>>,
+    buckets: usize,
+}
+
+impl Table {
+    fn new(slots_hint: usize) -> Self {
+        let cap = slots_hint.max(4).next_power_of_two();
+        Table {
+            slots: vec![None; cap],
+            buckets: 0,
+        }
+    }
+
+    /// Walks the probe chain for `key`: the matching slot, or the empty
+    /// slot that terminates the chain. Returns `(slot, probe_steps,
+    /// found)`.
+    fn find_slot(&self, key: &[u16; 7]) -> (usize, u32, bool) {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_key(key) as usize) & mask;
+        let mut steps = 1u32;
+        loop {
+            match &self.slots[i] {
+                Some(b) if b.key == *key => return (i, steps, true),
+                None => return (i, steps, false),
+                Some(_) => {
+                    i = (i + 1) & mask;
+                    steps = steps.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// Doubles the capacity and reinserts every bucket; returns the
+    /// number of slots written.
+    fn grow(&mut self) -> u32 {
+        let old = std::mem::replace(&mut self.slots, vec![None; 0]);
+        self.slots = vec![None; old.len() * 2];
+        let mut moved = 0u32;
+        for b in old.into_iter().flatten() {
+            let (i, _, _) = self.find_slot(&b.key);
+            self.slots[i] = Some(b);
+            moved = moved.saturating_add(1);
+        }
+        moved
+    }
+
+    /// Removes slot `i` and backward-shifts the tail of its probe chain
+    /// so that no chain crosses an artificial hole (no tombstones).
+    /// Returns slots written.
+    fn erase_slot(&mut self, mut i: usize) -> u32 {
+        let mask = self.slots.len() - 1;
+        self.slots[i] = None;
+        let mut written = 1u32;
+        let mut j = (i + 1) & mask;
+        while let Some(b) = self.slots[j].take() {
+            let home = (hash_key(&b.key) as usize) & mask;
+            // `b` may move into the hole at `i` iff `i` lies on its
+            // probe path, i.e. the cyclic distance home→j covers i→j.
+            if j.wrapping_sub(home) & mask >= j.wrapping_sub(i) & mask {
+                self.slots[i] = Some(b);
+                written = written.saturating_add(1);
+                i = j;
+            } else {
+                self.slots[j] = Some(b);
+            }
+            j = (j + 1) & mask;
+        }
+        written
+    }
+}
+
+/// One tuple: every rule whose hash-mask signature equals `sig`, indexed
+/// by masked query value, plus the best (minimum) installed priority for
+/// probe-order pruning.
+#[derive(Debug, Clone)]
+struct Tuple {
+    sig: MaskSummary,
+    table: Table,
+    rules: usize,
+    best: Priority,
+}
+
+impl Tuple {
+    fn recompute_best(&mut self) {
+        let mut best = Priority(u32::MAX);
+        for b in self.slots() {
+            for e in &b.entries {
+                best = best.min(e.rule.priority);
+            }
+        }
+        self.best = best;
+    }
+
+    fn slots(&self) -> impl Iterator<Item = &Bucket> {
+        self.table.slots.iter().flatten()
+    }
+}
+
+/// Tuple-space search over rule mask signatures.
+///
+/// Rules with the same [`MaskSummary::hash_signature`] share a *tuple*;
+/// inside a tuple, masked equality of the seven query values is a
+/// necessary condition for a match (exact for every non-range
+/// dimension), so each tuple is one hash-table probe. Tuples are probed
+/// in ascending best-priority order and the scan stops as soon as the
+/// current winner strictly outranks every remaining tuple.
+///
+/// Ids are monotonic and never reused; the `n` rules of
+/// [`TupleSpace::build`] get ids `0..n` in rule-set order.
+///
+/// ```
+/// use spc_tuplespace::TupleSpace;
+/// use spc_types::{Header, PortRange, Priority, ProtoSpec, Rule};
+///
+/// let mut ts = TupleSpace::new(8);
+/// let (web, _) = ts
+///     .insert(
+///         Rule::builder(Priority(0))
+///             .dst_port(PortRange::exact(80))
+///             .proto(ProtoSpec::Exact(6))
+///             .build(),
+///     )
+///     .unwrap();
+/// let h = Header::new([1, 2, 3, 4].into(), [5, 6, 7, 8].into(), 999, 80, 6);
+/// let (hit, _reads) = ts.lookup(&h);
+/// assert_eq!(hit.map(|(id, _)| id), Some(web));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TupleSpace {
+    tuples: Vec<Option<Tuple>>,
+    free: Vec<usize>,
+    by_sig: HashMap<[u16; 7], usize>,
+    /// Live tuple indices sorted by `(best priority, index)` — the
+    /// pruning index the lookup walks.
+    order: Vec<usize>,
+    /// Rule id → (tuple index, bucket key).
+    locs: HashMap<u32, (usize, [u16; 7])>,
+    next_id: u32,
+    len: usize,
+    slots_hint: usize,
+}
+
+impl TupleSpace {
+    /// An empty tuple space; `slots_hint` seeds each new tuple's table
+    /// capacity (rounded up to a power of two, minimum 4).
+    pub fn new(slots_hint: usize) -> Self {
+        TupleSpace {
+            tuples: Vec::new(),
+            free: Vec::new(),
+            by_sig: HashMap::new(),
+            order: Vec::new(),
+            locs: HashMap::new(),
+            next_id: 0,
+            len: 0,
+            slots_hint,
+        }
+    }
+
+    /// Builds from a rule set; rule `i` gets id `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`TupleError::Duplicate`] when two rules share all seven match
+    /// dimensions.
+    pub fn build(rules: &RuleSet, slots_hint: usize) -> Result<Self, TupleError> {
+        let mut ts = TupleSpace::new(slots_hint);
+        for (_, r) in rules.iter() {
+            ts.insert(*r)?;
+        }
+        Ok(ts)
+    }
+
+    /// Installed rule count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live tuples (distinct hash-mask signatures).
+    pub fn tuple_count(&self) -> usize {
+        self.by_sig.len()
+    }
+
+    /// Bits of memory the structure occupies in the hardware model:
+    /// slot headers, bucket keys and stored rules.
+    pub fn memory_bits(&self) -> u64 {
+        let mut bits = 0u64;
+        for t in self.tuples.iter().flatten() {
+            bits += t.table.slots.len() as u64 * SLOT_BITS;
+            for b in t.slots() {
+                bits += KEY_BITS + b.entries.len() as u64 * RULE_BITS;
+            }
+        }
+        bits
+    }
+
+    /// Iterates `(id, rule)` over every installed rule, in no particular
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Rule)> {
+        self.tuples
+            .iter()
+            .flatten()
+            .flat_map(Tuple::slots)
+            .flat_map(|b| b.entries.iter().map(|e| (e.id, &e.rule)))
+    }
+
+    /// The highest-priority matching rule (ties broken by lowest id) and
+    /// the memory reads the probe cost: one read per tuple descriptor,
+    /// probe step and bucket entry examined.
+    pub fn lookup(&self, h: &Header) -> (Option<(u32, &Rule)>, u32) {
+        let mut best: Option<(Priority, u32, &Rule)> = None;
+        let mut reads = 0u32;
+        for &ti in &self.order {
+            let Some(t) = self.tuples[ti].as_ref() else {
+                continue;
+            };
+            if let Some((bp, _, _)) = best {
+                // `order` ascends by best priority: once the winner
+                // strictly outranks this tuple's best, it outranks every
+                // remaining tuple. Equal priorities must still be probed
+                // (a lower id could win the tie).
+                if bp < t.best {
+                    break;
+                }
+            }
+            reads = reads.saturating_add(1);
+            let key = t.sig.masked_query(h);
+            let (slot, steps, found) = t.table.find_slot(&key);
+            reads = reads.saturating_add(steps);
+            if !found {
+                continue;
+            }
+            let Some(bucket) = t.slots_at(slot) else {
+                continue;
+            };
+            for e in &bucket.entries {
+                if let Some((bp, bid, _)) = best {
+                    // Entries ascend by (priority, id): stop once the
+                    // current winner beats everything left in the bucket.
+                    if (bp, bid) < (e.rule.priority, e.id) {
+                        break;
+                    }
+                }
+                reads = reads.saturating_add(1);
+                if e.rule.matches(h) {
+                    best = Some((e.rule.priority, e.id, &e.rule));
+                    break;
+                }
+            }
+        }
+        (best.map(|(_, id, r)| (id, r)), reads.max(1))
+    }
+
+    /// Installs one rule; returns its id and the update cost.
+    ///
+    /// # Errors
+    ///
+    /// [`TupleError::Duplicate`] when an identical 5-tuple is installed.
+    pub fn insert(&mut self, rule: Rule) -> Result<(u32, TssUpdate), TupleError> {
+        let sig = MaskSummary::hash_signature(&rule);
+        let key = sig.masked_rule(&rule);
+        let mut up = TssUpdate::default();
+
+        let ti = match self.by_sig.get(&sig.masks) {
+            Some(&ti) => ti,
+            None => {
+                let t = Tuple {
+                    sig,
+                    table: Table::new(self.slots_hint),
+                    rules: 0,
+                    best: rule.priority,
+                };
+                let ti = match self.free.pop() {
+                    Some(i) => {
+                        self.tuples[i] = Some(t);
+                        i
+                    }
+                    None => {
+                        self.tuples.push(Some(t));
+                        self.tuples.len() - 1
+                    }
+                };
+                self.by_sig.insert(sig.masks, ti);
+                self.order.push(ti);
+                up.tuple_created = true;
+                ti
+            }
+        };
+
+        let id = self.next_id;
+        let Some(t) = self.tuples[ti].as_mut() else {
+            unreachable!("by_sig and free agree on live tuples")
+        };
+
+        // Grow before probing so the chain we write stays valid.
+        if (t.table.buckets + 1) * 4 > t.table.slots.len() * 3 {
+            up.slots_written = up.slots_written.saturating_add(t.table.grow());
+        }
+        let (slot, _, found) = t.table.find_slot(&key);
+        if found {
+            let Some(bucket) = t.table.slots[slot].as_mut() else {
+                unreachable!("find_slot reported a live bucket")
+            };
+            // Identical dim_values always share signature and key, so
+            // this bucket-local scan is a complete duplicate check.
+            if let Some(e) = bucket
+                .entries
+                .iter()
+                .find(|e| e.rule.dim_values() == rule.dim_values())
+            {
+                // Roll back a tuple opened just for this rejected rule.
+                let existing = e.id;
+                if up.tuple_created {
+                    self.drop_tuple(ti, &sig);
+                }
+                return Err(TupleError::Duplicate { existing });
+            }
+            let pos = bucket
+                .entries
+                .partition_point(|e| (e.rule.priority, e.id) < (rule.priority, id));
+            bucket.entries.insert(pos, Entry { id, rule });
+        } else {
+            t.table.slots[slot] = Some(Bucket {
+                key,
+                entries: vec![Entry { id, rule }],
+            });
+            t.table.buckets += 1;
+        }
+        up.slots_written = up.slots_written.saturating_add(1);
+
+        t.rules += 1;
+        t.best = t.best.min(rule.priority);
+        self.next_id += 1;
+        self.len += 1;
+        self.locs.insert(id, (ti, key));
+        self.sort_order();
+        Ok((id, up))
+    }
+
+    /// Removes one rule by id; returns the rule and the update cost.
+    ///
+    /// # Errors
+    ///
+    /// [`TupleError::UnknownRule`] when no rule has this id.
+    pub fn remove(&mut self, id: u32) -> Result<(Rule, TssUpdate), TupleError> {
+        let (ti, key) = self
+            .locs
+            .remove(&id)
+            .ok_or(TupleError::UnknownRule { id })?;
+        let Some(t) = self.tuples[ti].as_mut() else {
+            unreachable!("locs points at a live tuple")
+        };
+        let mut up = TssUpdate::default();
+        let (slot, _, found) = t.table.find_slot(&key);
+        debug_assert!(found, "locs points at a live bucket");
+        let Some(bucket) = t.table.slots[slot].as_mut() else {
+            unreachable!("locs points at a live bucket")
+        };
+        let Some(pos) = bucket.entries.iter().position(|e| e.id == id) else {
+            unreachable!("locs points at a live entry")
+        };
+        let rule = bucket.entries.remove(pos).rule;
+        if bucket.entries.is_empty() {
+            up.slots_written = up.slots_written.saturating_add(t.table.erase_slot(slot));
+            t.table.buckets -= 1;
+        } else {
+            up.slots_written = up.slots_written.saturating_add(1);
+        }
+        t.rules -= 1;
+        self.len -= 1;
+        if t.rules == 0 {
+            let sig = t.sig;
+            self.drop_tuple(ti, &sig);
+            up.tuple_freed = true;
+        } else if rule.priority == t.best {
+            t.recompute_best();
+        }
+        self.sort_order();
+        Ok((rule, up))
+    }
+
+    fn drop_tuple(&mut self, ti: usize, sig: &MaskSummary) {
+        self.by_sig.remove(&sig.masks);
+        self.order.retain(|&i| i != ti);
+        self.tuples[ti] = None;
+        self.free.push(ti);
+    }
+
+    fn sort_order(&mut self) {
+        let tuples = &self.tuples;
+        self.order
+            .sort_by_key(|&i| (tuples[i].as_ref().map_or(u32::MAX, |t| t.best.0), i));
+    }
+}
+
+impl Tuple {
+    fn slots_at(&self, slot: usize) -> Option<&Bucket> {
+        self.table.slots[slot].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spc_classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+    use spc_types::{Action, PortRange, Prefix, ProtoSpec};
+
+    fn naive<'a>(rules: impl Iterator<Item = (u32, &'a Rule)>, h: &Header) -> Option<u32> {
+        rules
+            .filter(|(_, r)| r.matches(h))
+            .min_by_key(|&(id, r)| (r.priority, id))
+            .map(|(id, _)| id)
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_on_generated_sets() {
+        for kind in [FilterKind::Acl, FilterKind::Fw, FilterKind::Ipc] {
+            let rules = RuleSetGenerator::new(kind, 300).seed(0xbead).generate();
+            let ts = TupleSpace::build(&rules, 8).unwrap();
+            assert_eq!(ts.len(), rules.len());
+            let trace = TraceGenerator::new()
+                .seed(0x5eed)
+                .match_fraction(0.7)
+                .generate(&rules, 400);
+            for h in &trace {
+                let (hit, reads) = ts.lookup(h);
+                assert!(reads >= 1);
+                assert_eq!(
+                    hit.map(|(id, _)| id),
+                    naive(ts.iter(), h),
+                    "{kind:?} disagreed at {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_is_detected_and_leaves_no_ghost_tuple() {
+        let mut ts = TupleSpace::new(4);
+        let r = Rule::builder(Priority(0))
+            .dst_port(PortRange::exact(80))
+            .build();
+        let (id, up) = ts.insert(r).unwrap();
+        assert!(up.tuple_created);
+        let mut dup = r;
+        dup.priority = Priority(9); // priority is not part of the filter
+        dup.action = Action::Forward(3);
+        assert_eq!(ts.insert(dup), Err(TupleError::Duplicate { existing: id }));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.tuple_count(), 1);
+        // A failed insert with a *fresh* signature must not leak a tuple.
+        let mut other = Rule::builder(Priority(1))
+            .proto(ProtoSpec::Exact(6))
+            .build();
+        let (oid, _) = ts.insert(other).unwrap();
+        other.priority = Priority(2);
+        assert_eq!(
+            ts.insert(other),
+            Err(TupleError::Duplicate { existing: oid })
+        );
+        assert_eq!(ts.tuple_count(), 2);
+    }
+
+    #[test]
+    fn churn_keeps_probe_chains_intact() {
+        // Insert many rules into one tuple (same signature: exact dst
+        // port), then remove half in an order that exercises the
+        // backward-shift deletion, and verify every survivor still
+        // resolves.
+        let mut ts = TupleSpace::new(4);
+        let mut ids = Vec::new();
+        for p in 0..200u16 {
+            let r = Rule::builder(Priority(u32::from(p)))
+                .dst_port(PortRange::exact(p))
+                .build();
+            ids.push(ts.insert(r).unwrap().0);
+        }
+        assert_eq!(ts.tuple_count(), 1, "one signature, one tuple");
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                ts.remove(id).unwrap();
+            }
+        }
+        assert_eq!(ts.len(), 100);
+        for p in 0..200u16 {
+            let h = Header::new([0; 4].into(), [0; 4].into(), 1, p, 6);
+            let (hit, _) = ts.lookup(&h);
+            assert_eq!(hit.is_some(), p % 2 == 1, "port {p}");
+        }
+        assert!(matches!(
+            ts.remove(ids[0]),
+            Err(TupleError::UnknownRule { .. })
+        ));
+    }
+
+    #[test]
+    fn one_distinct_mask_per_rule_degenerates_to_tuple_per_rule() {
+        // 17 distinct source prefix lengths → 17 signatures → 17 tuples.
+        let mut ts = TupleSpace::new(4);
+        for len in 0..=16u8 {
+            let r = Rule::builder(Priority(u32::from(len)))
+                .src_ip(Prefix::masked(0x0a00_0000, len))
+                .build();
+            ts.insert(r).unwrap();
+        }
+        assert_eq!(ts.tuple_count(), ts.len());
+        // Pruning still terminates correctly: the /16 rule has the worst
+        // priority, the /0 the best (priority 0 wins everywhere).
+        let h = Header::new([10, 0, 0, 1].into(), [1, 1, 1, 1].into(), 1, 1, 6);
+        let (hit, _) = ts.lookup(&h);
+        assert_eq!(hit.map(|(_, r)| r.priority), Some(Priority(0)));
+    }
+
+    #[test]
+    fn pruning_respects_priority_ties_across_tuples() {
+        // Two tuples with equal best priority: the lower id must win,
+        // whichever tuple the probe order visits first.
+        let mut ts = TupleSpace::new(4);
+        let (a, _) = ts.insert(Rule::any(Priority(5))).unwrap();
+        let (_b, _) = ts
+            .insert(
+                Rule::builder(Priority(5))
+                    .proto(ProtoSpec::Exact(6))
+                    .build(),
+            )
+            .unwrap();
+        let h = Header::new([1, 1, 1, 1].into(), [2, 2, 2, 2].into(), 1, 1, 6);
+        let (hit, _) = ts.lookup(&h);
+        assert_eq!(hit.map(|(id, _)| id), Some(a));
+    }
+
+    #[test]
+    fn update_costs_are_reported() {
+        let mut ts = TupleSpace::new(4);
+        let (id, up) = ts.insert(Rule::any(Priority(0))).unwrap();
+        assert!(up.tuple_created);
+        assert!(up.slots_written >= 1);
+        let (_, up) = ts.remove(id).unwrap();
+        assert!(up.tuple_freed);
+        assert!(up.slots_written >= 1);
+        assert!(ts.is_empty());
+        assert_eq!(ts.memory_bits(), 0);
+        // Ids are never reused.
+        let (id2, _) = ts.insert(Rule::any(Priority(0))).unwrap();
+        assert!(id2 > id);
+    }
+}

@@ -16,6 +16,9 @@
 //!   that can wrap any backend
 //! * [`analyze`] — static rule-set analysis: shadowing, duplicates,
 //!   label-pressure and port-expansion findings ([`spc_analyze`])
+//! * [`tuplespace`] — the update-first structures behind the `tss:` and
+//!   `tcam:` registry backends: tuple-space search and the software TCAM
+//!   ([`spc_tuplespace`])
 //!
 //! # Quickstart
 //!
@@ -65,6 +68,7 @@ pub use spc_core as core;
 pub use spc_engine as engine;
 pub use spc_hwsim as hwsim;
 pub use spc_lookup as lookup;
+pub use spc_tuplespace as tuplespace;
 pub use spc_types as types;
 
 // The flow-cache vocabulary, re-exported at the root: what a verdict

@@ -157,6 +157,9 @@ fn optimized_engines_emit_original_ids_under_churn() {
         "configurable-mbt:optimize=validated",
         "sharded:inner=configurable-bst,shards=2,strategy=prio,optimize=validated",
         "sharded:inner=configurable-bst,shards=8,strategy=hash,optimize=validated",
+        // The update-first backends take the same validated-optimizer path.
+        "tss:optimize=validated",
+        "tcam:optimize=validated",
     ] {
         let mut engine = build_engine(spec, &base).unwrap();
         // From the caller's view nothing was removed at build time.

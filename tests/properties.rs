@@ -222,6 +222,17 @@ fn update_epoch_bumps_iff_report_replaced() {
         "snapshot:inner=linear",
         "snapshot:inner=(sharded:inner=configurable-bst,shards=2)",
         "snapshot:inner=(cached:inner=configurable-bst,flows=64)",
+        // The update-first backends, bare and under every wrapper.
+        "tss",
+        "tss:tables=16",
+        "tcam",
+        "tcam:capacity=65536,partitions=4",
+        "snapshot:inner=tss",
+        "snapshot:inner=tcam",
+        "cached:inner=tss,flows=64",
+        "cached:inner=tcam,flows=64",
+        "sharded:inner=tss,shards=2,strategy=prio",
+        "sharded:inner=tcam,shards=2,strategy=hash",
     ] {
         let mut e = EngineBuilder::from_spec(spec)
             .unwrap()

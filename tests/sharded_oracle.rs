@@ -346,6 +346,18 @@ fn churn_oracle_mbt_inner() {
     churn_check("configurable-mbt", "prio", 2, false);
 }
 
+/// The update-first inners take the same churn path: tuple-space search
+/// under priority bands, the software TCAM under field hashing.
+#[test]
+fn churn_oracle_tuplespace_inner() {
+    churn_check("tss", "prio", 2, false);
+}
+
+#[test]
+fn churn_oracle_soft_tcam_inner() {
+    churn_check("tcam", "hash", 2, false);
+}
+
 /// More shards than rules, empty rule sets, and the typed-builder path
 /// all behave.
 #[test]

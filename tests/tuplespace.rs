@@ -1,0 +1,169 @@
+//! Integration oracles for the update-first backends: tuple-space
+//! search (`tss:`) and the software TCAM (`tcam:`) — pathological
+//! shapes, typed capacity errors, and scripted churn against a
+//! linear-search rebuild, bare and under the snapshot/cached wrappers.
+
+// Integration-test support code (helpers outside #[test] fns are not
+// covered by clippy.toml's allow-unwrap-in-tests): a failed unwrap here
+// IS the test failure, so panicking with the site's message is exactly
+// the behaviour we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::prelude::*;
+use spc::classbench::{FilterKind, RuleSetGenerator, TraceGenerator};
+use spc::engine::{
+    build_engine, BuildError, EngineBuilder, PacketClassifier, SoftTcamEngine, TupleSpaceEngine,
+    UpdateError,
+};
+use spc::types::{PortRange, Prefix, Priority, ProtoSpec, Rule, RuleId, RuleSet};
+
+const SEED: u64 = 0x7557;
+
+/// Every rule gets its own mask signature (a distinct src-prefix length
+/// per rule, half of them with an exact dst-port, half ranged), so the
+/// tuple space degenerates to one tuple per rule — the structure's
+/// worst case must stay oracle-correct, not just its happy path.
+#[test]
+fn tss_one_tuple_per_rule_worst_case_stays_correct() {
+    let rules: RuleSet = (0..33u32)
+        .map(|len| {
+            let mut b = Rule::builder(Priority(len))
+                .src_ip(Prefix::masked(0x0a00_0000, len as u8))
+                .proto(ProtoSpec::Exact(6));
+            if len % 2 == 0 {
+                b = b.dst_port(PortRange::exact(80));
+            }
+            b.build()
+        })
+        .collect();
+
+    let engine = TupleSpaceEngine::build(&rules, 8).unwrap();
+    assert_eq!(
+        engine.tuple_space().tuple_count(),
+        rules.len(),
+        "every distinct mask signature must open its own tuple"
+    );
+
+    // Degenerate or not, it still agrees with the oracle.
+    let trace = TraceGenerator::new()
+        .seed(SEED)
+        .match_fraction(0.8)
+        .generate(&rules, 200);
+    let oracle = build_engine("linear", &rules).unwrap();
+    for h in &trace {
+        let (want, got) = (oracle.classify(h), engine.classify(h));
+        assert_eq!(got.rule, want.rule, "tss worst case at {h}");
+        assert_eq!(got.priority, want.priority, "tss worst case at {h}");
+    }
+}
+
+/// Capacity exhaustion is a *typed* error on both paths: `Rejected` at
+/// build time through the spec pipeline, `Rejected` again on a live
+/// insert — never a panic, never a silent truncation.
+#[test]
+fn tcam_capacity_exhaustion_is_typed_on_both_paths() {
+    // One wide port range expands to far more than 4 prefix entries.
+    let wide: RuleSet = std::iter::once(
+        Rule::builder(Priority(0))
+            .src_port(PortRange::new(1000, 40_000).unwrap())
+            .build(),
+    )
+    .collect();
+    match EngineBuilder::from_spec("tcam:capacity=4,partitions=2")
+        .unwrap()
+        .build(&wide)
+    {
+        Err(BuildError::Rejected { kind, reason }) => {
+            assert_eq!(kind.as_str(), "tcam");
+            assert!(reason.contains("capacity"), "{reason}");
+        }
+        other => panic!("expected typed Rejected, got {other:?}"),
+    }
+
+    // Same rule against a live engine that is already near-full.
+    let mut engine = SoftTcamEngine::build(&RuleSet::new(), 4, 2).unwrap();
+    let before = engine.update_epoch();
+    match engine.insert(wide.rules()[0]) {
+        Err(UpdateError::Rejected { reason }) => assert!(reason.contains("capacity"), "{reason}"),
+        other => panic!("expected typed Rejected, got {other:?}"),
+    }
+    assert_eq!(engine.update_epoch(), before, "failed insert must not bump");
+}
+
+/// Scripted churn oracle: drive inserts/removes from a seeded script
+/// and, at every checkpoint, demand verdict-for-verdict agreement with
+/// a linear-search engine rebuilt from the live rules — for both
+/// backends, bare and under `snapshot:` / `cached:`.
+#[test]
+fn tss_and_tcam_survive_churn_bare_and_wrapped() {
+    let base = RuleSetGenerator::new(FilterKind::Acl, 150)
+        .seed(SEED)
+        .generate();
+    let pool = RuleSetGenerator::new(FilterKind::Fw, 120)
+        .seed(SEED ^ 0x77)
+        .generate();
+
+    for spec in [
+        "tss",
+        "tcam",
+        "snapshot:inner=tss",
+        "snapshot:inner=tcam",
+        "cached:inner=tss,flows=64",
+        "cached:inner=tcam,flows=64",
+    ] {
+        let mut engine = build_engine(spec, &base).unwrap();
+        assert!(engine.supports_updates(), "{spec}");
+        let mut live: Vec<(RuleId, Rule)> = base.iter().map(|(id, r)| (id, *r)).collect();
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0xc4u64);
+        let mut pool_next = 0usize;
+
+        for step in 0..120 {
+            if rng.gen_bool(0.6) || live.is_empty() {
+                let mut rule = pool.rules()[pool_next % pool.len()];
+                pool_next += 1;
+                rule.priority = Priority(rng.gen_range(0..50_000));
+                match engine.insert(rule) {
+                    Ok(id) => {
+                        assert!(live.iter().all(|&(g, _)| g != id), "{spec}: id {id} reused");
+                        live.push((id, rule));
+                    }
+                    Err(UpdateError::Duplicate { existing }) => {
+                        assert!(
+                            live.iter().any(|&(g, _)| g == existing),
+                            "{spec}: duplicate names a dead rule"
+                        );
+                    }
+                    Err(e) => panic!("{spec}: insert failed at step {step}: {e}"),
+                }
+            } else {
+                let victim = live.swap_remove(rng.gen_range(0..live.len())).0;
+                engine
+                    .remove(victim)
+                    .unwrap_or_else(|e| panic!("{spec}: remove {victim} failed: {e}"));
+            }
+            assert_eq!(engine.rules(), live.len(), "{spec} at step {step}");
+
+            if step % 30 == 29 {
+                // Checkpoint: the reference allocates positional ids in
+                // `live` order; both sides allocate monotonically, so
+                // priority ties break identically after the mapping.
+                let mut by_id = live.clone();
+                by_id.sort_by_key(|&(id, _)| id);
+                let rules: RuleSet = by_id.iter().map(|&(_, r)| r).collect();
+                let reference = build_engine("linear", &rules).unwrap();
+                let trace = TraceGenerator::new()
+                    .seed(SEED ^ step as u64)
+                    .match_fraction(0.8)
+                    .generate(&rules, 60);
+                for h in &trace {
+                    let want = reference.classify(h);
+                    let got = engine.classify(h);
+                    let want_global = want.rule.map(|pos| by_id[pos.0 as usize].0);
+                    assert_eq!(got.rule, want_global, "{spec} vs rebuild at {h}");
+                    assert_eq!(got.priority, want.priority, "{spec} priority at {h}");
+                    assert_eq!(got.action, want.action, "{spec} action at {h}");
+                }
+            }
+        }
+    }
+}
